@@ -1,0 +1,28 @@
+"""Fig. 11 — PAC distribution by QARMA (§VI).
+
+Regenerates the million-malloc PAC histogram with the real QARMA-64 cipher
+and the paper's published key/context, and benchmarks the batched QARMA
+kernel itself.
+"""
+
+from conftest import publish
+
+from repro.experiments.fig11 import PAPER_STATS, run_fig11
+from repro.workloads.microbench import pac_distribution
+
+
+def test_fig11_pac_distribution(benchmark):
+    # The paper's "1 million" calls must be 2^20 for the reported Avg of
+    # exactly 16.0 (2^20 / 2^16 PAC values).
+    result = run_fig11(n=1 << 20, pac_bits=16)
+    publish("fig11_pac_distribution", result.format())
+
+    d = result.distribution
+    # The paper's caption statistics, within sampling tolerance.
+    assert d.mean == PAPER_STATS["avg"]
+    assert abs(d.stdev - PAPER_STATS["stdev"]) < 0.3
+    assert abs(d.max - PAPER_STATS["max"]) <= 8
+    assert abs(d.min - PAPER_STATS["min"]) <= 4
+
+    # Benchmark the QARMA-64 batch kernel (256K PACs per round).
+    benchmark(lambda: pac_distribution(n=1 << 18, pac_bits=16))

@@ -1,0 +1,37 @@
+"""Fig. 16 — Statistics of instructions of interest (§IX-A).
+
+Signed/unsigned load-store mix plus bounds and pac instruction rates per
+workload.  Paper: signed accesses dominate in bzip2/gcc/hmmer/lbm (hmmer
+above 99 %), and sjeng/gobmk/namd sit at the low end.
+"""
+
+from conftest import publish
+
+from repro.compiler import lower_trace
+from repro.experiments.fig16 import run_fig16
+
+
+def test_fig16_instruction_mix(suite, benchmark):
+    result = run_fig16(suite)
+    publish("fig16_instruction_mix", result.format())
+
+    signed = result.signed_fraction
+    # The paper's signedness ordering.
+    assert signed["hmmer"] > 0.99, "hmmer needs checking for >99% of accesses"
+    for workload in ("bzip2", "lbm"):
+        assert signed[workload] > 0.80, f"{workload} should be >80% signed"
+    # gcc's heap fraction is diluted slightly by its allocator traffic.
+    assert signed["gcc"] > 0.72, "gcc should be strongly signed"
+    for workload in ("sjeng", "gobmk", "namd"):
+        assert signed[workload] < 0.45, f"{workload} should be lightly signed"
+    # Bounds-op rates track allocation rates: the §IX-A "more than 20
+    # million malloc calls" pair (gcc, omnetpp) tops the chart.
+    bounds = {w: row["bndstr/bndclr"] for w, row in result.rows.items()}
+    top = max(bounds, key=bounds.get)
+    assert top in ("gcc", "omnetpp"), top
+    assert bounds["lbm"] < bounds["omnetpp"] / 100
+
+    # Benchmark the lowering (instrumentation) pass itself.
+    trace = suite.trace("povray")
+    config = suite.config_for("pa+aos")
+    benchmark(lambda: lower_trace(trace, "pa+aos", config=config))

@@ -1,0 +1,52 @@
+"""Table III — Memory usage profiles for real-world benchmarks (§VI).
+
+The paper's observation: allocation counts scale with input size or
+request count, but the *maximum active* set stays modest for every
+real-world program — the property that keeps HBT occupancy low.
+"""
+
+from conftest import publish
+
+from repro.compiler import lower_trace
+from repro.cpu.core import Simulator
+from repro.experiments.common import scaled_config
+from repro.experiments.tables import run_table3
+from repro.stats.report import TableFormatter
+from repro.workloads import generate_trace, get_profile
+from repro.workloads.profiles import REALWORLD_PROFILES
+
+
+def test_table3_realworld_profiles(benchmark):
+    result = run_table3()
+
+    # Run the real-world profiles through the full pipeline too: the paper
+    # argues their modest live sets make AOS cheap outside SPEC.
+    table = TableFormatter(["aos time", "max active"])
+    rows = {}
+    for name in REALWORLD_PROFILES:
+        trace = generate_trace(get_profile(name), instructions=15_000, seed=3)
+        baseline_cfg = scaled_config("baseline", 8)
+        aos_cfg = scaled_config("aos", 8)
+        base = Simulator(baseline_cfg).run(lower_trace(trace, "baseline", config=baseline_cfg))
+        aos = Simulator(aos_cfg).run(lower_trace(trace, "aos", config=aos_cfg))
+        rows[name] = aos.cycles / base.cycles
+        table.add_row(
+            name,
+            {"aos time": rows[name], "max active": get_profile(name).table_max_active},
+        )
+    publish(
+        "table3_realworld_profiles",
+        result.format() + "\n\nAOS on the real-world profiles:\n" + table.render(),
+    )
+
+    published = {r.name: r for r in result.rows}
+    assert published["apache"].allocations == 13360000
+    assert published["md5sum"].max_active == 32
+    # All real-world max-active sets are tiny vs the 512K 1-way capacity.
+    assert all(r.max_active < 10000 for r in result.rows)
+    # ...and AOS stays cheap on all of them (modest live sets).
+    assert all(v < 1.35 for v in rows.values()), rows
+
+    benchmark(
+        lambda: generate_trace(get_profile("mysql"), instructions=10_000, seed=4)
+    )

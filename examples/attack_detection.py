@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Security analysis: the full §VII attack suite against every mechanism.
+
+Walks through the House-of-Spirit exploit of Fig. 1 step by step on an
+unprotected heap (showing the attack actually *working*), then on AOS
+(showing ``bndclr`` stopping it), and finally prints the complete
+mechanism-vs-attack detection matrix.
+
+Run with::
+
+    python examples/attack_detection.py
+"""
+
+from repro.core.exceptions import AOSException
+from repro.security import run_security_analysis
+from repro.security.adapters import AOSAdapter, BaselineAdapter
+
+
+def house_of_spirit_walkthrough() -> None:
+    print("=" * 72)
+    print("House of Spirit (Fig. 1) on an unprotected glibc-style heap")
+    print("=" * 72)
+    victim_heap = BaselineAdapter()
+    layout = victim_heap.allocator.layout
+
+    # The attacker crafts a fake fast_chunk in writable memory: the size
+    # fields must pass free()'s sanity tests (Fig. 1 lines 11-12).
+    fake_chunk = layout.globals_base + 0x1000
+    victim_heap.raw_write(fake_chunk + 8, 0x40)          # fchunk[0].size
+    victim_heap.raw_write(fake_chunk + 0x40 + 8, 0x40)   # fchunk[1].size
+    fake_payload = fake_chunk + 16
+    print(f"crafted fake chunk at {fake_chunk:#x}")
+
+    # free() trusts the in-memory size field -> fastbin insertion.
+    victim_heap.free(fake_payload)
+    print("free(crafted pointer) accepted -> fake chunk in the fastbin")
+
+    # The next malloc of that size returns attacker-controlled memory.
+    stolen = victim_heap.malloc(0x30)
+    print(f"malloc(0x30) returned {stolen:#x} "
+          f"({'ATTACK SUCCEEDED' if stolen == fake_payload else 'missed'})")
+
+    print("\nSame attack against AOS:")
+    protected = AOSAdapter()
+    fake_chunk = layout.globals_base + 0x1000
+    protected.raw_write(fake_chunk + 8, 0x40)
+    crafted = fake_chunk + 16
+    try:
+        protected.free(crafted)
+        print("  free() accepted the crafted pointer (unexpected!)")
+    except AOSException as exc:
+        print(f"  blocked at bndclr before free(): {exc}")
+
+
+def main() -> None:
+    house_of_spirit_walkthrough()
+
+    print()
+    print("=" * 72)
+    print("Full detection matrix (§VII)")
+    print("=" * 72)
+    matrix = run_security_analysis()
+    print(matrix.format_table())
+    print()
+    print("Notes:")
+    print(" - rest misses the non-adjacent overflow (jumps over redzones, §I)")
+    print(" - pa detects only pointer corruption, not OOB/UAF (§II-B)")
+    print(" - aos detects every class, incl. PAC/AHC forging via autm (§VII-C)")
+
+
+if __name__ == "__main__":
+    main()

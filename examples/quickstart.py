@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: an AOS-protected heap in twenty lines.
+
+Allocates, uses and frees memory through the AOS runtime, then shows every
+class of memory-safety violation from Fig. 12 being caught:
+
+- spatial: out-of-bounds read and write
+- temporal: use-after-free and double free
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AOSRuntime
+from repro.core.exceptions import BoundsCheckFault, BoundsClearFault
+
+
+def main() -> None:
+    rt = AOSRuntime()
+
+    # -- normal use ---------------------------------------------------------
+    p = rt.malloc(64)
+    print(f"malloc(64) returned a signed pointer: {p:#018x}")
+    print(f"  virtual address : {rt.signer.xpacm(p):#x}")
+    print(f"  embedded PAC    : {rt.signer.pac_of(p):#06x}")
+    print(f"  embedded AHC    : {rt.signer.ahc_of(p)} (size class, Alg. 1)")
+
+    rt.store(p, 0xDEADBEEF)
+    print(f"store/load through the checked pointer: {rt.load(p):#x}")
+
+    # -- spatial violations (Fig. 12 lines 6-7) ------------------------------
+    try:
+        rt.load(rt.offset(p, 64))
+    except BoundsCheckFault as exc:
+        print(f"OOB read caught    : {exc}")
+
+    try:
+        rt.store(rt.offset(p, 4096), 0)
+    except BoundsCheckFault as exc:
+        print(f"far OOB write caught (no redzone to jump over): {exc}")
+
+    # -- temporal violations (Fig. 12 lines 14-19) ---------------------------
+    dangling = rt.free(p)
+    print(f"free() re-signed (locked) the pointer: {dangling:#018x}")
+
+    try:
+        rt.load(dangling)
+    except BoundsCheckFault as exc:
+        print(f"use-after-free caught: {exc}")
+
+    try:
+        rt.free(dangling)
+    except BoundsClearFault as exc:
+        print(f"double free caught   : {exc}")
+
+    print("\nAll four violation classes detected — always-on heap safety.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships an older setuptools without the ``wheel``
+package, so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""AOS — Hardware-based Always-On Heap Memory Safety (MICRO 2020).
+
+A complete Python reproduction of Kim, Lee & Kim's AOS: the Arm-PA-based
+bounds-checking mechanism (pointer signing with PAC+AHC, the hashed bounds
+table, the memory check unit) together with every substrate its evaluation
+depends on — a QARMA-64 cipher, a glibc-style heap allocator, a cache
+hierarchy, an out-of-order core timing model, the compiler instrumentation
+passes, baseline mechanisms (Watchdog, PA/PARTS, REST, MPX) and a
+synthetic-workload harness calibrated to the paper's published SPEC 2006
+profiles.
+
+Quickstart::
+
+    from repro import AOSRuntime
+    from repro.core.exceptions import BoundsCheckFault
+
+    rt = AOSRuntime()
+    p = rt.malloc(64)          # signed pointer: PAC + AHC in the upper bits
+    rt.store(p, 0x1234)        # bounds-checked
+    try:
+        rt.load(rt.offset(p, 128))   # out of bounds
+    except BoundsCheckFault:
+        print("spatial violation detected")
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper's evaluation.
+"""
+
+from .config import (
+    AOSOptions,
+    BWBConfig,
+    CacheConfig,
+    CoreConfig,
+    HBTConfig,
+    MemoryHierarchyConfig,
+    PAConfig,
+    SystemConfig,
+    default_config,
+)
+from .core.aos import AOSRuntime
+from .core.exceptions import (
+    AOSException,
+    AuthenticationFault,
+    BoundsCheckFault,
+    BoundsClearFault,
+    BoundsStoreFault,
+)
+from .cpu.core import SimulationResult, Simulator
+from .compiler import LoweredWorkload, lower_trace
+from .os.process import Process
+from .workloads import generate_trace, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOSRuntime",
+    "Process",
+    "Simulator",
+    "SimulationResult",
+    "LoweredWorkload",
+    "lower_trace",
+    "generate_trace",
+    "get_profile",
+    "default_config",
+    "SystemConfig",
+    "CoreConfig",
+    "CacheConfig",
+    "MemoryHierarchyConfig",
+    "PAConfig",
+    "HBTConfig",
+    "BWBConfig",
+    "AOSOptions",
+    "AOSException",
+    "BoundsCheckFault",
+    "BoundsClearFault",
+    "BoundsStoreFault",
+    "AuthenticationFault",
+    "__version__",
+]

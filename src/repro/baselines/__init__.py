@@ -1,0 +1,41 @@
+"""Baseline protection mechanisms the paper compares against.
+
+Functional models used by the security analysis (§VII) and the challenge
+comparison (§III):
+
+- :mod:`~repro.baselines.watchdog` — Watchdog [11]: lock-and-key temporal
+  checking plus bounds, metadata in extended registers / shadow memory;
+- :mod:`~repro.baselines.pa` — PARTS-style Arm PA pointer integrity [21]:
+  detects pointer *corruption* but neither spatial nor temporal errors;
+- :mod:`~repro.baselines.rest` — REST-style redzone blacklisting [8]:
+  catches adjacent overflows, misses non-adjacent ones;
+- :mod:`~repro.baselines.mpx` — Intel MPX-style two-level bounds tables
+  [12]: the Challenge-5 comparator with its multi-instruction metadata
+  addressing.
+
+Their *timing* counterparts live in :mod:`repro.compiler.passes` (the
+Watchdog and PA lowerings used by Figs. 14/18).
+"""
+
+from .watchdog import WatchdogRuntime, WatchdogPointer, WatchdogFault
+from .pa import PARuntime, PAFault
+from .rest import RestRuntime, RedzoneFault
+from .mpx import MPXRuntime, MPXFault, MPX_ADDRESSING_COST, AOS_ADDRESSING_COST
+from .mte import MTERuntime, MTEFault, TaggedPointer
+
+__all__ = [
+    "WatchdogRuntime",
+    "WatchdogPointer",
+    "WatchdogFault",
+    "PARuntime",
+    "PAFault",
+    "RestRuntime",
+    "RedzoneFault",
+    "MPXRuntime",
+    "MPXFault",
+    "MPX_ADDRESSING_COST",
+    "AOS_ADDRESSING_COST",
+    "MTERuntime",
+    "MTEFault",
+    "TaggedPointer",
+]

@@ -1,0 +1,140 @@
+"""A functional Arm-MTE/SPARC-ADI-style memory-tagging model (§X).
+
+Memory tagging assigns a small lock tag (4 bits in MTE/ADI) to each
+16-byte memory granule and places a matching key tag in the pointer's
+upper bits; a dereference traps when the tags disagree.  The paper's
+related-work comparison (§X) highlights the consequence of the tiny tag:
+
+    "Given the probability of bug detection, specifically 94 % with
+     4-bit tags, an attacker may bypass the protection with a
+     sufficient number of attempts."
+
+This model implements tag assignment on allocation, tag checks on every
+access, re-tagging on free (temporal protection, also probabilistic), and
+exposes the detection probability analytically and empirically so the
+tag-size trade-off against AOS's 16-bit PACs can be reproduced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..memory.allocator import HeapAllocator
+from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT
+from ..memory.memory import SparseMemory
+
+#: MTE/ADI granule size.
+GRANULE = 16
+
+
+class MTEFault(Exception):
+    """A tag-check fault (pointer tag != memory tag)."""
+
+
+@dataclass(frozen=True)
+class TaggedPointer:
+    """A pointer with its key tag in the (modelled) upper bits."""
+
+    address: int
+    tag: int
+
+    def offset(self, delta: int) -> "TaggedPointer":
+        return TaggedPointer(address=self.address + delta, tag=self.tag)
+
+    def __int__(self) -> int:
+        return self.address
+
+
+class MTERuntime:
+    """A memory-tagging protected heap with ``tag_bits``-wide lock tags."""
+
+    def __init__(
+        self,
+        tag_bits: int = 4,
+        layout: AddressSpaceLayout = DEFAULT_LAYOUT,
+        seed: int = 0xAD1,
+    ) -> None:
+        if not 1 <= tag_bits <= 16:
+            raise ValueError("tag width must be 1..16 bits")
+        self.tag_bits = tag_bits
+        self.tag_space = 1 << tag_bits
+        self.memory = SparseMemory()
+        self.allocator = HeapAllocator(self.memory, layout)
+        self._rng = random.Random(seed)
+        #: granule index -> lock tag.
+        self._tags: Dict[int, int] = {}
+        self.checks = 0
+        self.tag_faults = 0
+
+    # ------------------------------------------------------------------ tags
+
+    def _granules(self, address: int, size: int):
+        start = address // GRANULE
+        end = (address + max(size, 1) - 1) // GRANULE
+        return range(start, end + 1)
+
+    def _random_tag(self, exclude: int = -1) -> int:
+        """MTE picks a random non-matching tag on (re-)colouring."""
+        while True:
+            tag = self._rng.randrange(self.tag_space)
+            if tag != exclude:
+                return tag
+
+    def tag_of(self, address: int) -> int:
+        return self._tags.get(address // GRANULE, 0)
+
+    # ------------------------------------------------------------------ heap
+
+    def malloc(self, size: int) -> TaggedPointer:
+        address = self.allocator.malloc(size)
+        tag = self._random_tag()
+        for granule in self._granules(address, size):
+            self._tags[granule] = tag
+        return TaggedPointer(address=address, tag=tag)
+
+    def free(self, pointer: TaggedPointer) -> TaggedPointer:
+        """Free and *re-colour* the granules so stale pointers (usually)
+        trap — temporal protection with the same 1-in-2^tag_bits escape."""
+        self.check(pointer)
+        size = self.allocator.allocated_size(pointer.address)
+        self.allocator.free(pointer.address)
+        for granule in self._granules(pointer.address, size):
+            self._tags[granule] = self._random_tag(exclude=pointer.tag)
+        return pointer  # dangling pointer keeps its stale key tag
+
+    # ---------------------------------------------------------------- checks
+
+    def check(self, pointer: TaggedPointer, size: int = 8) -> None:
+        self.checks += 1
+        for granule in self._granules(pointer.address, size):
+            if self._tags.get(granule, 0) != pointer.tag:
+                self.tag_faults += 1
+                raise MTEFault(
+                    f"tag check fault at {pointer.address:#x}: pointer tag "
+                    f"{pointer.tag:#x} != memory tag {self._tags.get(granule, 0):#x}"
+                )
+
+    def load(self, pointer: TaggedPointer, size: int = 8) -> int:
+        self.check(pointer, size)
+        return int.from_bytes(self.memory.read_bytes(pointer.address, size), "little")
+
+    def store(self, pointer: TaggedPointer, value: int, size: int = 8) -> None:
+        self.check(pointer, size)
+        self.memory.write_bytes(
+            pointer.address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        )
+
+    # -------------------------------------------------------------- analysis
+
+    def detection_probability(self) -> float:
+        """P(an adjacent-object violation is caught) = 1 - 2^-tag_bits.
+
+        4-bit tags give 93.75 % — the "94 %" of §X.
+        """
+        return 1.0 - 1.0 / self.tag_space
+
+    def expected_attempts_for_bypass(self) -> float:
+        """Expected attack attempts until a tag collision slips through."""
+        return float(self.tag_space)

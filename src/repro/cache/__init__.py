@@ -1,0 +1,13 @@
+"""Cache/DRAM substrate with per-link traffic accounting.
+
+The hierarchy mirrors Table IV: private L1-I/L1-D (plus the optional L1-B
+bounds cache of §V-F1), a shared L2, and DRAM.  Every line transfer between
+adjacent levels is counted in bytes, which is exactly the metric of the
+paper's Fig. 18 ("the number of bytes transferred between caches and
+between the last-level cache and DRAM").
+"""
+
+from .sram import Cache, AccessResult
+from .hierarchy import MemoryHierarchy, TrafficCounters
+
+__all__ = ["Cache", "AccessResult", "MemoryHierarchy", "TrafficCounters"]

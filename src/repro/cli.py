@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <artifact> [options]``.
+
+Regenerates any table or figure from the paper's evaluation without
+writing code::
+
+    python -m repro fig11
+    python -m repro fig14 --workloads gcc hmmer --instructions 40000
+    python -m repro security
+    python -m repro ablations
+    python -m repro all          # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentSuite,
+    RunSettings,
+    run_fig11,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from .experiments.ablations import (
+    ablation_bwb,
+    ablation_entropy,
+    ablation_forwarding,
+    ablation_mcq,
+    ablation_quarantine,
+    ablation_resize,
+)
+from .security import run_security_analysis
+
+#: artifact name -> (description, needs timing suite?)
+ARTIFACTS = {
+    "fig11": "PAC distribution by QARMA (§VI)",
+    "fig14": "normalized execution time (Fig. 14)",
+    "fig15": "L1-B / compression ablation (Fig. 15)",
+    "fig16": "instruction mix (Fig. 16)",
+    "fig17": "bounds accesses + BWB hit rate (Fig. 17)",
+    "fig18": "normalized network traffic (Fig. 18)",
+    "table1": "hardware overhead (Table I) + parameters (Table IV)",
+    "table2": "SPEC memory profiles (Table II)",
+    "table3": "real-world profiles (Table III)",
+    "security": "attack detection matrix (§VII)",
+    "ablations": "design-choice ablations (BWB, MCQ, resize, entropy)",
+    "mte": "extended comparison vs memory tagging (§X)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the AOS paper's evaluation artifacts.",
+        epilog="artifacts: " + ", ".join(f"{k} ({v})" for k, v in ARTIFACTS.items()),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=list(ARTIFACTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None,
+        help="restrict the SPEC workload list (timing figures only)",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=40_000,
+        help="window length per workload (default 40000)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=8,
+        help="live-set / cache scale divisor, power of two (default 8)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--pac-samples", type=int, default=1 << 20,
+        help="malloc count for fig11 (default 2^20, the paper's 'million')",
+    )
+    return parser
+
+
+def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
+    if name == "fig11":
+        return run_fig11(n=args.pac_samples).format()
+    if name == "fig14":
+        return run_fig14(suite, workloads=args.workloads).format()
+    if name == "fig15":
+        return run_fig15(suite, workloads=args.workloads).format()
+    if name == "fig16":
+        return run_fig16(suite, workloads=args.workloads).format()
+    if name == "fig17":
+        return run_fig17(suite, workloads=args.workloads).format()
+    if name == "fig18":
+        return run_fig18(suite, workloads=args.workloads).format()
+    if name == "table1":
+        return run_table1().format() + "\n\n" + run_table4().format()
+    if name == "table2":
+        return run_table2().format()
+    if name == "table3":
+        return run_table3().format()
+    if name == "security":
+        return run_security_analysis().format_table()
+    if name == "mte":
+        from .experiments.extended import run_extended_comparison
+
+        return run_extended_comparison(suite, workloads=args.workloads).format()
+    if name == "ablations":
+        parts = [
+            ablation_bwb(suite).format(),
+            ablation_mcq(suite).format(),
+            ablation_resize(suite).format(),
+            ablation_forwarding(suite).format(),
+            ablation_quarantine(suite).format(),
+            ablation_entropy().format(),
+        ]
+        return "\n\n".join(parts)
+    raise ValueError(f"unknown artifact {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    suite = ExperimentSuite(
+        RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale)
+    )
+    names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        start = time.time()
+        print(run_artifact(name, suite, args))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""Simulation parameters (paper Table IV) and mechanism configuration.
+
+Every knob that the paper's evaluation varies — the core width, cache
+geometry, Arm PA latencies, HBT/BWB sizing, and which AOS optimisations are
+enabled — is collected here in frozen dataclasses so an experiment is fully
+described by one :class:`SystemConfig` value.
+
+The defaults reproduce Table IV of the paper:
+
+======================  ======================================================
+Core                    2 GHz, 8-wide, out-of-order, 32-entry load and store
+                        queues, 192 ROB entries, 48 MCQ entries
+L1-I cache              32 KB, 4-way, 1-cycle, 64 B line
+L1-D cache              64 KB, 8-way, 1-cycle, 64 B line
+L1-B cache              32 KB, 4-way, 1-cycle, 8 B bounds
+L2 cache                8 MB, 16-way, 8-cycle, 64 B line
+DRAM                    50 ns access latency from L2, 12.8 GB/s
+Arm PA                  16-bit PAC, sign/authenticate 4 cycles, strip 1 cycle
+HBT                     initial 1 way, 4 MB size
+BWB                     64 entries, 1-cycle, LRU eviction
+======================  ======================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table IV, "Core" row)."""
+
+    frequency_ghz: float = 2.0
+    width: int = 8
+    rob_entries: int = 192
+    load_queue_entries: int = 32
+    store_queue_entries: int = 32
+    mcq_entries: int = 48
+    #: Branch misprediction penalty (pipeline refill), in cycles.  The paper
+    #: uses L-TAGE; we model a TAGE-like predictor whose accuracy is
+    #: workload-dependent, with this flush penalty.
+    branch_mispredict_penalty: int = 14
+    #: Integer ALU latency in cycles.
+    alu_latency: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.width > 0, "core width must be positive")
+        _require(self.rob_entries >= self.width, "ROB must hold at least one fetch group")
+        _require(self.mcq_entries > 0, "MCQ must have at least one entry")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One set-associative cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, f"{self.name}: size must be positive")
+        _require(self.assoc > 0, f"{self.name}: associativity must be positive")
+        _require(
+            self.size_bytes % (self.assoc * self.line_bytes) == 0,
+            f"{self.name}: size must be a multiple of assoc * line",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """The full cache/DRAM stack (Table IV)."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1-I", 32 * 1024, 4, 64, 1)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1-D", 64 * 1024, 8, 64, 1)
+    )
+    #: Optional bounds cache (§V-F1).  8-byte bounds per "line".
+    l1b: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1-B", 32 * 1024, 4, 64, 1)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 8 * 1024 * 1024, 16, 64, 8)
+    )
+    #: DRAM access latency from the L2, in cycles (50 ns at 2 GHz).
+    dram_latency: int = 100
+    dram_bandwidth_gbs: float = 12.8
+
+
+@dataclass(frozen=True)
+class PAConfig:
+    """Arm Pointer Authentication primitive parameters (Table IV)."""
+
+    pac_bits: int = 16
+    sign_latency: int = 4
+    auth_latency: int = 4
+    strip_latency: int = 1
+    #: 128-bit QARMA key used for data-pointer PACs.  The default is the
+    #: published value from §VI of the paper (the QARMA-64 test-vector key).
+    key: int = 0x84BE85CE9804E94BEC2802D4E0A488E9
+    #: 64-bit context/modifier used for the Fig. 11 microbenchmark.
+    context: int = 0x477D469DEC0B8762
+
+    def __post_init__(self) -> None:
+        _require(11 <= self.pac_bits <= 32, "PAC size must be 11..32 bits (§II-B)")
+
+
+@dataclass(frozen=True)
+class HBTConfig:
+    """Hashed bounds table parameters (§V-B, Table IV)."""
+
+    #: Initial number of ways (Table IV: "Initial 1 way, 4MB size").
+    initial_ways: int = 1
+    #: Bytes per bounds entry after compression (§V-D).
+    bounds_bytes: int = 8
+    #: Bounds entries per way access (one 64 B cache line = 8 bounds, §V-A).
+    bounds_per_line: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.initial_ways >= 1, "HBT needs at least one way")
+        _require(
+            self.initial_ways & (self.initial_ways - 1) == 0,
+            "HBT associativity must be a power of two (§V-B footnote)",
+        )
+
+
+@dataclass(frozen=True)
+class BWBConfig:
+    """Bounds way buffer parameters (§V-C, Table IV)."""
+
+    entries: int = 64
+    hit_latency: int = 1
+    eviction: str = "lru"
+
+    def __post_init__(self) -> None:
+        _require(self.entries >= 1, "BWB needs at least one entry")
+        _require(self.eviction in ("lru", "fifo", "random"), "unknown BWB eviction policy")
+
+
+@dataclass(frozen=True)
+class AOSOptions:
+    """Which AOS features are enabled — the Fig. 15 ablation axes."""
+
+    #: Store bounds in a dedicated L1 B-cache instead of the L1-D (§V-F1).
+    l1b_cache: bool = True
+    #: 8-byte compressed bounds instead of 16-byte raw bounds (§V-D).
+    bounds_compression: bool = True
+    #: MCQ store→load bounds forwarding (§V-F2).
+    bounds_forwarding: bool = True
+    #: Track last-hit ways in the BWB (§V-C).
+    bwb_enabled: bool = True
+    #: Non-blocking HBT accesses during resizing (§V-F3).
+    nonblocking_resize: bool = True
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete simulated system: core + memory + PA + AOS options.
+
+    ``mechanism`` selects the protection configuration evaluated in Fig. 14:
+
+    - ``"baseline"``  — no security features.
+    - ``"watchdog"``  — Watchdog-style lock-and-key + bounds checking.
+    - ``"pa"``        — PARTS-style return-address/pointer integrity only.
+    - ``"aos"``       — the AOS bounds-checking mechanism.
+    - ``"pa+aos"``    — AOS integrated with PA pointer integrity (§VII-B).
+    - ``"mte"``       — Arm-MTE/ADI-style memory tagging (§X comparison;
+      an extension beyond the paper's Fig. 14 set).
+    - ``"rest"``      — REST-style trip-wires with a quarantine pool
+      (§IV-C's comparison point; extension).
+    """
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    pa: PAConfig = field(default_factory=PAConfig)
+    hbt: HBTConfig = field(default_factory=HBTConfig)
+    bwb: BWBConfig = field(default_factory=BWBConfig)
+    aos: AOSOptions = field(default_factory=AOSOptions)
+    mechanism: str = "aos"
+
+    MECHANISMS = ("baseline", "watchdog", "pa", "aos", "pa+aos", "mte", "rest")
+
+    def __post_init__(self) -> None:
+        _require(self.mechanism in self.MECHANISMS, f"unknown mechanism {self.mechanism!r}")
+
+    def with_mechanism(self, mechanism: str) -> "SystemConfig":
+        """Return a copy of this config running a different mechanism."""
+        return dataclasses.replace(self, mechanism=mechanism)
+
+    def with_aos_options(self, **kwargs: bool) -> "SystemConfig":
+        """Return a copy with AOS feature flags replaced (Fig. 15 ablations)."""
+        return dataclasses.replace(self, aos=dataclasses.replace(self.aos, **kwargs))
+
+
+def default_config(mechanism: str = "aos") -> SystemConfig:
+    """The paper's Table IV configuration, running ``mechanism``."""
+    return SystemConfig(mechanism=mechanism)

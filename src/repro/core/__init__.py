@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the AOS bounds-checking mechanism.
+
+Submodules map one-to-one onto the paper's design:
+
+==================  =========================================================
+``ahc``             Address hashing code computation (Alg. 1)
+``bounds``          8-byte bounds compression / decompression (§V-D, Fig. 9)
+``hbt``             Hashed bounds table with gradual resizing (§V-B, §V-F3)
+``bwb``             Bounds way buffer (§V-C, Alg. 2)
+``mcq``             Memory check queue entries and FSMs (§V-A, Fig. 8)
+``mcu``             Memory check unit (§V-A) with forwarding and replay
+``signing``         pacma / xpacm / autm semantics (§IV-A)
+``exceptions``      The AOS exception class handled by the OS (§IV-D)
+``aos``             A functional runtime facade tying it all together
+==================  =========================================================
+"""
+
+from .ahc import compute_ahc, invariant_bits
+from .bounds import CompressedBounds, compress_bounds, decompress_bounds, truncate_address
+from .bwb import BoundsWayBuffer, bwb_tag
+from .exceptions import (
+    AOSException,
+    BoundsCheckFault,
+    BoundsClearFault,
+    BoundsStoreFault,
+    AuthenticationFault,
+)
+from .hbt import HashedBoundsTable
+from .mcq import MCQEntry, MCQState, MemoryCheckQueue
+from .mcu import MemoryCheckUnit, ValidationResult
+from .signing import PointerSigner
+from .aos import AOSRuntime
+
+__all__ = [
+    "compute_ahc",
+    "invariant_bits",
+    "CompressedBounds",
+    "compress_bounds",
+    "decompress_bounds",
+    "truncate_address",
+    "BoundsWayBuffer",
+    "bwb_tag",
+    "AOSException",
+    "BoundsCheckFault",
+    "BoundsClearFault",
+    "BoundsStoreFault",
+    "AuthenticationFault",
+    "HashedBoundsTable",
+    "MCQEntry",
+    "MCQState",
+    "MemoryCheckQueue",
+    "MemoryCheckUnit",
+    "ValidationResult",
+    "PointerSigner",
+    "AOSRuntime",
+]

@@ -1,0 +1,48 @@
+"""Address hashing code (AHC) computation — Algorithm 1 of the paper.
+
+The 2-bit AHC embedded by ``pacma`` serves two purposes (§IV-A):
+
+1. a nonzero value marks the pointer as signed/protected, and
+2. it encodes which upper bits of a pointer are *invariant* across the
+   memory object, so the BWB can build stable tags (Alg. 2) even though
+   pointer arithmetic changes low-order bits.
+
+The size classes follow typical allocator bins: AHC 1 for objects whose
+addresses share everything above bit 6 (~64-byte chunks), AHC 2 above
+bit 9 (~256-byte chunks), AHC 3 otherwise.
+"""
+
+from __future__ import annotations
+
+
+def compute_ahc(address: int, size: int, va_bits: int = 46) -> int:
+    """Algorithm 1: derive the 2-bit AHC from an object's base and size.
+
+    ``tAddr = Addr xor (Addr + Size - 1)`` has zeros in every bit position
+    that is identical between the first and last byte of the object; the
+    AHC classifies where the lowest varying bit can appear.
+    """
+    if size <= 0:
+        raise ValueError("AHC is defined for positive object sizes")
+    t_addr = address ^ (address + size - 1)
+    if t_addr >> 7 == 0:
+        return 1  # ~64-byte chunk: bits [va-1:7] invariant
+    if t_addr >> 10 == 0:
+        return 2  # ~256-byte chunk: bits [va-1:10] invariant
+    return 3      # larger object
+
+
+def invariant_bits(ahc: int) -> int:
+    """The lowest pointer bit guaranteed invariant for a given AHC.
+
+    Used by the BWB tag derivation (Alg. 2): tags take pointer bits from
+    this position upward so all addresses inside one object map to the
+    same tag.
+    """
+    if ahc == 1:
+        return 7
+    if ahc == 2:
+        return 10
+    if ahc == 3:
+        return 12
+    raise ValueError(f"AHC must be 1..3 for signed pointers, got {ahc}")

@@ -1,0 +1,165 @@
+"""The AOS functional runtime: the library's main user-facing facade.
+
+Ties the heap allocator, pointer signing, HBT and MCU together into a
+protected heap, executing exactly the instrumentation sequences of Fig. 7:
+
+``aos_malloc`` (Fig. 7a)::
+
+    ptr = malloc(size)
+    pacma  ptr, sp, size      # sign: embed PAC + AHC
+    bndstr ptr, size          # store bounds in the HBT
+
+``aos_free`` (Fig. 7b)::
+
+    bndclr ptr                # clear bounds (fails on double free)
+    xpacm  ptr                # strip so free() may touch chunk headers
+    free(ptr)
+    pacma  ptr, sp, xzr       # re-sign: lock the dangling pointer
+
+Every :meth:`load` / :meth:`store` through a signed pointer is bounds
+checked by the MCU; a failed check raises :class:`BoundsCheckFault`
+*before* any memory state changes (the paper's precise-exception
+guarantee, §III-C.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SystemConfig, default_config
+from ..crypto.pac import PACGenerator, PAKeys
+from ..isa.encoding import PointerLayout
+from ..memory.allocator import HeapAllocator
+from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT
+from ..memory.memory import SparseMemory
+from .hbt import HashedBoundsTable
+from .mcu import MemoryCheckUnit, ValidationResult
+from .signing import PointerSigner
+
+
+@dataclass
+class AOSRuntimeStats:
+    """Convenience roll-up of the runtime's component statistics."""
+
+    mallocs: int = 0
+    frees: int = 0
+    loads: int = 0
+    stores: int = 0
+    faults_raised: int = 0
+
+
+class AOSRuntime:
+    """A functional AOS-protected process: heap + signed pointers + HBT."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        address_layout: AddressSpaceLayout = DEFAULT_LAYOUT,
+        pac_mode: str = "qarma",
+    ) -> None:
+        self.config = config or default_config("aos")
+        self.address_layout = address_layout
+        self.memory = SparseMemory()
+        self.allocator = HeapAllocator(self.memory, address_layout)
+        pointer_layout = PointerLayout(pac_bits=self.config.pa.pac_bits)
+        generator = PACGenerator(
+            keys=PAKeys(apma=self.config.pa.key),
+            pac_bits=self.config.pa.pac_bits,
+            mode=pac_mode,
+        )
+        self.signer = PointerSigner(generator=generator, layout=pointer_layout)
+        self.hbt = HashedBoundsTable(
+            pac_bits=self.config.pa.pac_bits,
+            initial_ways=self.config.hbt.initial_ways,
+            layout=address_layout,
+            compression=self.config.aos.bounds_compression,
+        )
+        self.mcu = MemoryCheckUnit(
+            hbt=self.hbt,
+            layout=pointer_layout,
+            options=self.config.aos,
+            bwb_config=self.config.bwb,
+            mcq_capacity=self.config.core.mcq_entries,
+        )
+        self.stats = AOSRuntimeStats()
+        #: The stack-pointer modifier used by pacma at malloc sites (§IV-C).
+        #: Real programs sign at different stack depths; we model a small
+        #: set of frame depths so a re-signed (locked) dangling pointer does
+        #: not share its PAC with a later allocation reusing the address.
+        self.sp = address_layout.stack_top - 0x100
+        self._frame = 0
+
+    # ------------------------------------------------------------- heap API
+
+    def _call_site_sp(self) -> int:
+        """The SP modifier at the current (rotating) call site."""
+        self._frame = (self._frame + 1) % 64
+        return self.sp - 16 * self._frame
+
+    def malloc(self, size: int) -> int:
+        """Allocate and protect ``size`` bytes; returns a *signed* pointer."""
+        raw = self.allocator.malloc(size)
+        signed = self.signer.pacma(raw, self._call_site_sp(), size)
+        result = self.mcu.bounds_store(signed, size)
+        self._raise_on_fault(result)
+        self.stats.mallocs += 1
+        return signed
+
+    def free(self, pointer: int) -> int:
+        """Free a signed pointer; returns the re-signed (locked) pointer.
+
+        Raises :class:`BoundsClearFault` on double free or a crafted
+        address — the check that stops House of Spirit (§VII-A).
+        """
+        result = self.mcu.bounds_clear(pointer)
+        self._raise_on_fault(result)
+        stripped = self.signer.xpacm(pointer)
+        self.allocator.free(stripped)
+        self.stats.frees += 1
+        # Re-sign with xzr as the size operand: locks the dangling pointer.
+        return self.signer.pacma(stripped, self._call_site_sp(), 0)
+
+    # ----------------------------------------------------------- memory API
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        """Bounds-checked load; raises BoundsCheckFault on violation."""
+        self._validate(pointer, is_store=False)
+        self.stats.loads += 1
+        address = self.signer.xpacm(pointer)
+        return int.from_bytes(self.memory.read_bytes(address, size), "little")
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        """Bounds-checked store.  The check completes before memory is
+        updated (precise exceptions): a faulting store writes nothing."""
+        self._validate(pointer, is_store=True)
+        self.stats.stores += 1
+        address = self.signer.xpacm(pointer)
+        self.memory.write_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def load_bytes(self, pointer: int, size: int) -> bytes:
+        self._validate(pointer, is_store=False)
+        self.stats.loads += 1
+        return self.memory.read_bytes(self.signer.xpacm(pointer), size)
+
+    def store_bytes(self, pointer: int, data: bytes) -> None:
+        self._validate(pointer, is_store=True)
+        self.stats.stores += 1
+        self.memory.write_bytes(self.signer.xpacm(pointer), data)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _validate(self, pointer: int, is_store: bool) -> ValidationResult:
+        result = self.mcu.check_access(pointer, is_store=is_store)
+        self._raise_on_fault(result)
+        return result
+
+    def _raise_on_fault(self, result: ValidationResult) -> None:
+        if not result.ok and result.fault is not None:
+            self.stats.faults_raised += 1
+            raise result.fault
+
+    def offset(self, pointer: int, delta: int) -> int:
+        """Pointer arithmetic: the PAC/AHC ride along with the address,
+        exactly the no-extra-instructions propagation of §III-B."""
+        return pointer + delta

@@ -1,0 +1,109 @@
+"""Bounds compression and checking — §V-D, Fig. 9.
+
+AOS compresses each bounds record to 8 bytes by exploiting two malloc
+properties: payloads are 16-byte aligned (so the low 4 bits of the lower
+bound are zero) and sizes fit 32 bits.  The format (Fig. 9a) is::
+
+    63  61 60                    29 28                         0
+    +-----+------------------------+-----------------------------+
+    |  R  |       Size[31:0]       |        LowBnd[32:4]         |
+    +-----+------------------------+-----------------------------+
+
+Checking decompresses to a 34-bit lower/upper pair and compares against a
+*truncated* 34-bit address (Fig. 9b), whose carry-compensation bit ``C``
+handles the partial-address encoding.  Addresses more than 8 GB apart can
+alias (§VII-E); the simulated layout keeps the heap below 2**33 so live
+objects never alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+
+SIZE_BITS = 32
+LOWBND_BITS = 29  # bits [32:4] of the lower bound
+LOWBND_SHIFT = 4
+
+
+@dataclass(frozen=True)
+class CompressedBounds:
+    """A decoded 8-byte bounds record."""
+
+    raw: int
+
+    @property
+    def low_field(self) -> int:
+        """LowBnd[32:4] (29 bits)."""
+        return self.raw & ((1 << LOWBND_BITS) - 1)
+
+    @property
+    def size(self) -> int:
+        return (self.raw >> LOWBND_BITS) & ((1 << SIZE_BITS) - 1)
+
+    @property
+    def lower(self) -> int:
+        """dLowBnd: the 33-bit decompressed lower bound."""
+        return self.low_field << LOWBND_SHIFT
+
+    @property
+    def upper(self) -> int:
+        """dUppBnd: lower + size (34-bit, exclusive)."""
+        return self.lower + self.size
+
+    @property
+    def is_empty(self) -> bool:
+        """All-zero records mark free HBT slots (§IV-A, ``bndclr``)."""
+        return self.raw == 0
+
+    def contains(self, address: int) -> bool:
+        """Bounds check: does ``address`` fall within [lower, upper)?"""
+        t = truncate_address(address, self.low_field)
+        return self.lower <= t < self.upper
+
+
+def compress_bounds(lower: int, size: int) -> int:
+    """Encode (base address, size) into the 8-byte format of Fig. 9a."""
+    if lower % 16 != 0:
+        raise EncodingError(
+            f"lower bound {lower:#x} is not 16-byte aligned (malloc invariant, §V-D)"
+        )
+    if not 0 < size < (1 << SIZE_BITS):
+        raise EncodingError(f"size {size} does not fit the 32-bit size field")
+    low_field = (lower >> LOWBND_SHIFT) & ((1 << LOWBND_BITS) - 1)
+    return (size << LOWBND_BITS) | low_field
+
+
+def decompress_bounds(raw: int) -> CompressedBounds:
+    """Decode an 8-byte bounds record."""
+    if not 0 <= raw < (1 << 64):
+        raise EncodingError("compressed bounds must be a 64-bit value")
+    return CompressedBounds(raw=raw)
+
+
+def truncate_address(address: int, low_field: int) -> int:
+    """tAddr of Fig. 9b: Addr[32:0] with the carry-compensation bit C.
+
+    ``C = LowBnd[32] & !Addr[32]`` restores the carry lost when the lower
+    bound's bits above 32 were dropped: if the stored lower bound has bit 32
+    set but the address being checked has it clear, the address must have
+    carried past bit 32 and is re-based by setting bit 33.
+    """
+    addr33 = address & ((1 << 33) - 1)
+    lowbnd_bit32 = (low_field >> (LOWBND_BITS - 1)) & 1
+    addr_bit32 = (address >> 32) & 1
+    c = lowbnd_bit32 & (1 - addr_bit32)
+    return (c << 33) | addr33
+
+
+@dataclass(frozen=True)
+class RawBounds:
+    """Uncompressed 16-byte (lower, upper) bounds — the Fig. 15 'no
+    compression' ablation, where each record costs two HBT slots."""
+
+    lower: int
+    upper: int
+
+    def contains(self, address: int) -> bool:
+        return self.lower <= address < self.upper

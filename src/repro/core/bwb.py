@@ -1,0 +1,92 @@
+"""The bounds way buffer (BWB) — §V-C, Algorithm 2.
+
+A small tag buffer that remembers which HBT way held the valid bounds for
+recently checked pointers, so subsequent checks start at the right way
+instead of iterating from way 0.  Tags concatenate the PAC, a window of
+pointer bits chosen by the AHC (so every address inside one object maps to
+the same tag), and the AHC itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+def bwb_tag(address: int, ahc: int, pac: int) -> int:
+    """Algorithm 2: the 32-bit BWB tag for a pointer.
+
+    ====  =======================================
+    AHC   pointer bits concatenated into the tag
+    ====  =======================================
+    1     Addr[20:7]   (~64-byte objects)
+    2     Addr[23:10]  (~256-byte objects)
+    3     Addr[25:12]  (larger objects)
+    ====  =======================================
+    """
+    if ahc == 1:
+        window = (address >> 7) & 0x3FFF
+    elif ahc == 2:
+        window = (address >> 10) & 0x3FFF
+    elif ahc == 3:
+        window = (address >> 12) & 0x3FFF
+    else:
+        raise ValueError(f"AHC must be 1..3 for signed pointers, got {ahc}")
+    return ((pac & 0xFFFF) << 16) | (window << 2) | (ahc & 0x3)
+
+
+@dataclass
+class BWBStats:
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BoundsWayBuffer:
+    """64-entry (default) LRU tag buffer mapping tags to last-used HBT ways."""
+
+    def __init__(self, entries: int = 64, eviction: str = "lru") -> None:
+        if entries < 1:
+            raise ValueError("BWB needs at least one entry")
+        if eviction not in ("lru", "fifo"):
+            raise ValueError("BWB eviction must be 'lru' or 'fifo'")
+        self.entries = entries
+        self.eviction = eviction
+        self.stats = BWBStats()
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+
+    def lookup(self, tag: int) -> Optional[int]:
+        """Return the way hint for ``tag``, or None on a BWB miss."""
+        self.stats.lookups += 1
+        way = self._table.get(tag)
+        if way is None:
+            return None
+        self.stats.hits += 1
+        if self.eviction == "lru":
+            self._table.move_to_end(tag)
+        return way
+
+    def update(self, tag: int, way: int) -> None:
+        """Record the last accessed HBT way for ``tag`` (on MCQ retirement)."""
+        if tag in self._table:
+            self._table[tag] = way
+            if self.eviction == "lru":
+                self._table.move_to_end(tag)
+            return
+        if len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[tag] = way
+
+    def invalidate(self, tag: int) -> None:
+        self._table.pop(tag, None)
+
+    def flush(self) -> None:
+        """Drop all entries (e.g. after an HBT resize changes way geometry)."""
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,58 @@
+"""The AOS exception class (§IV-D).
+
+A core that detects a faulting bounds operation raises an *AOS exception*;
+the OS handler inspects the faulting instruction type:
+
+- ``bndstr``   → bounds-store failure: the HBT row is full, the OS resizes
+  the table (these are recoverable and usually invisible to the program);
+- ``bndclr``   → bounds-clear failure: double free or ``free()`` of an
+  invalid address;
+- load/store  → bounds-checking failure: a spatial or temporal memory
+  safety violation.
+
+These are *simulated architectural* events, deliberately separate from the
+host-level errors in :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultInfo:
+    """What the OS handler receives (§IV-D: 'the information will be
+    signaled to a user')."""
+
+    pointer: int = 0
+    pac: int = 0
+    ahc: int = 0
+    detail: str = ""
+
+
+class AOSException(Exception):
+    """Base class for faults raised by AOS bounds operations."""
+
+    def __init__(self, info: FaultInfo) -> None:
+        super().__init__(info.detail or self.__class__.__name__)
+        self.info = info
+
+
+class BoundsCheckFault(AOSException):
+    """A signed load/store failed bounds checking — a spatial violation
+    (out-of-bounds) or temporal violation (use of a freed pointer)."""
+
+
+class BoundsStoreFault(AOSException):
+    """``bndstr`` found no empty slot in the row: HBT capacity exhausted.
+    Handled by the OS by resizing the table (§IV-D)."""
+
+
+class BoundsClearFault(AOSException):
+    """``bndclr`` found no bounds matching the pointer: double free or
+    ``free()`` with an invalid/crafted address."""
+
+
+class AuthenticationFault(AOSException):
+    """``autm`` (or a stock PA ``aut*``) failed: the pointer was corrupted
+    (AHC forged to zero, or PAC mismatch on PA authentication)."""

@@ -1,0 +1,273 @@
+"""The hashed bounds table (HBT) — §V-B, with gradual resizing (§V-F3).
+
+The HBT is a per-process, PAC-indexed, multi-way table of bounds records.
+It has a *fixed* number of rows (2**pac_bits) and a power-of-two
+associativity that doubles whenever an insertion fails for lack of space
+(gradual resizing).  Each way of a row holds eight bounds (§V-A): one
+64-byte cache line when the §V-D compression is on, or two lines of
+16-byte raw bounds when it is disabled (the Fig. 15 ablation) — doubling
+both the table footprint and the loads per way visit.
+
+Resizing is non-blocking (Fig. 10): a table manager migrates rows from the
+old table to a twice-as-wide new one while accesses are steered by the
+``(PAC, way)`` rule::
+
+    W >= T1 or PAC < RowPtr  ->  new table
+    otherwise                ->  old table
+
+Record *contents* are kept in a Python-side mirror (the logical table);
+the address computation below is what feeds the cache model, since bounds
+lines live in the normal cache hierarchy (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import SimulationError
+from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT
+from .bounds import CompressedBounds, RawBounds, compress_bounds
+
+BoundsRecord = Union[CompressedBounds, RawBounds]
+
+LINE_BYTES = 64
+
+
+@dataclass
+class HBTStats:
+    """Counters for the Fig. 17 / §IX-A.1 analyses."""
+
+    inserts: int = 0
+    clears: int = 0
+    checks: int = 0
+    lines_loaded: int = 0
+    insert_failures: int = 0
+    resizes: int = 0
+    migrated_rows: int = 0
+
+
+class HashedBoundsTable:
+    """The functional HBT: slot storage plus Fig. 10 addressing."""
+
+    def __init__(
+        self,
+        pac_bits: int = 16,
+        initial_ways: int = 1,
+        layout: AddressSpaceLayout = DEFAULT_LAYOUT,
+        compression: bool = True,
+        max_ways: int = 64,
+    ) -> None:
+        if initial_ways < 1 or initial_ways & (initial_ways - 1):
+            raise SimulationError("HBT associativity must be a power of two")
+        self.pac_bits = pac_bits
+        self.num_rows = 1 << pac_bits
+        self.ways = initial_ways
+        self.compression = compression
+        #: Eight bounds per way (§V-A).  Compressed bounds fit one 64-byte
+        #: line; raw 16-byte bounds span two lines per way (§V-D), doubling
+        #: both the table footprint and the loads per way visit.
+        self.slots_per_way = 8
+        self.lines_per_way = 1 if compression else 2
+        self.layout = layout
+        self.max_ways = max_ways
+        self.stats = HBTStats()
+
+        #: Logical storage: pac -> flat slot list of length ways*slots_per_way.
+        #: Rows materialise lazily; missing rows are all-empty.
+        self._rows: Dict[int, List[Optional[BoundsRecord]]] = {}
+
+        # Resize state (Fig. 10).
+        self._base = layout.hbt_base
+        self._old_base: Optional[int] = None
+        self._old_ways = initial_ways
+        self._row_ptr = 0
+        self._resizing = False
+
+    # ------------------------------------------------------------ addressing
+
+    @property
+    def way_bytes(self) -> int:
+        """Bytes per way: one line compressed, two uncompressed (§V-D)."""
+        return LINE_BYTES * self.lines_per_way
+
+    @property
+    def table_bytes(self) -> int:
+        """Current table footprint (Table IV: 64K rows x 1 way x 64 B = 4 MB)."""
+        return self.num_rows * self.ways * self.way_bytes
+
+    def line_address(self, pac: int, way: int) -> int:
+        """BndAddr of Eq. 1/2, honouring the Fig. 10 steering rule."""
+        if not 0 <= pac < self.num_rows:
+            raise SimulationError(f"PAC {pac:#x} out of range")
+        if not 0 <= way < self.ways:
+            raise SimulationError(f"way {way} out of range (assoc {self.ways})")
+        if self._resizing:
+            if way >= self._old_ways or pac < self._row_ptr:
+                base, assoc = self._base, self.ways
+            else:
+                base, assoc = self._old_base, self._old_ways
+        else:
+            base, assoc = self._base, self.ways
+        shift = 6 + self.lines_per_way - 1  # 64B or 128B ways
+        row_offset = pac << (assoc.bit_length() - 1 + shift)
+        return base + row_offset + (way << shift)
+
+    def way_line_addresses(self, pac: int, way: int) -> List[int]:
+        """The cache-line addresses one way visit must load (1 or 2)."""
+        first = self.line_address(pac, way)
+        return [first + LINE_BYTES * i for i in range(self.lines_per_way)]
+
+    # ----------------------------------------------------------- slot access
+
+    def _row(self, pac: int) -> List[Optional[BoundsRecord]]:
+        row = self._rows.get(pac)
+        capacity = self.ways * self.slots_per_way
+        if row is None:
+            row = [None] * capacity
+            self._rows[pac] = row
+        elif len(row) < capacity:
+            row.extend([None] * (capacity - len(row)))
+        return row
+
+    def read_way(self, pac: int, way: int) -> List[Optional[BoundsRecord]]:
+        """The records in one way (one 64-byte load; two if uncompressed)."""
+        self.stats.lines_loaded += self.lines_per_way
+        row = self._row(pac)
+        start = way * self.slots_per_way
+        return row[start : start + self.slots_per_way]
+
+    def _store_slot(self, pac: int, way: int, slot: int, record: Optional[BoundsRecord]) -> None:
+        self._row(pac)[way * self.slots_per_way + slot] = record
+
+    # ------------------------------------------------------------ operations
+
+    def make_record(self, lower: int, size: int) -> BoundsRecord:
+        """Encode a bounds record in the table's configured format."""
+        if self.compression:
+            return CompressedBounds(raw=compress_bounds(lower, size))
+        return RawBounds(lower=lower, upper=lower + size)
+
+    def insert(self, pac: int, lower: int, size: int) -> Tuple[int, int, int]:
+        """``bndstr``'s occupancy walk: returns (way, slot, ways_searched).
+
+        Raises :class:`SimulationError` if every way is full — the caller
+        (MCU) converts that into a :class:`BoundsStoreFault` for the OS.
+        """
+        self.stats.inserts += 1
+        record = self.make_record(lower, size)
+        for way in range(self.ways):
+            slots = self.read_way(pac, way)
+            for slot, existing in enumerate(slots):
+                if existing is None:
+                    self._store_slot(pac, way, slot, record)
+                    return way, slot, way + 1
+        self.stats.insert_failures += 1
+        raise SimulationError(f"HBT row {pac:#x} full at associativity {self.ways}")
+
+    def clear_matching(self, pac: int, address: int) -> Tuple[Optional[int], int]:
+        """``bndclr``'s walk: zero the record whose lower bound == address.
+
+        Returns (way or None, ways_searched).  ``None`` signals a
+        bounds-clear failure: double free or an invalid/crafted pointer.
+        """
+        self.stats.clears += 1
+        for way in range(self.ways):
+            slots = self.read_way(pac, way)
+            for slot, record in enumerate(slots):
+                if record is None:
+                    continue
+                if record.lower == self._comparable_lower(address):
+                    self._store_slot(pac, way, slot, None)
+                    return way, way + 1
+        return None, self.ways
+
+    def find_valid(
+        self, pac: int, address: int, start_way: int = 0
+    ) -> Tuple[Optional[int], int]:
+        """Bounds checking: find a record containing ``address``.
+
+        Starts from ``start_way`` (the BWB hint, §V-C) and wraps.  Returns
+        (way or None, number of way lines loaded).
+        """
+        self.stats.checks += 1
+        searched = 0
+        for step in range(self.ways):
+            way = (start_way + step) % self.ways
+            slots = self.read_way(pac, way)
+            searched += 1
+            for record in slots:
+                if record is not None and record.contains(address):
+                    return way, searched
+        return None, searched
+
+    def _comparable_lower(self, address: int) -> int:
+        """Addresses compare against compressed lower bounds in 33-bit space."""
+        if self.compression:
+            return address & ((1 << 33) - 1) & ~0xF
+        return address
+
+    # -------------------------------------------------------------- resizing
+
+    @property
+    def resizing(self) -> bool:
+        return self._resizing
+
+    @property
+    def row_ptr(self) -> int:
+        return self._row_ptr
+
+    def begin_resize(self) -> None:
+        """Start a gradual resize: double the associativity (§V-B)."""
+        if self._resizing:
+            raise SimulationError("resize already in progress")
+        if self.ways * 2 > self.max_ways:
+            raise SimulationError("HBT reached the maximum supported associativity")
+        self.stats.resizes += 1
+        self._old_base = self._base
+        self._old_ways = self.ways
+        # Place the new table in the unused half of the HBT region; the old
+        # region is recycled on the following resize.
+        region_half = self.layout.hbt_size // 2
+        offset = region_half if self._base == self.layout.hbt_base else 0
+        self._base = self.layout.hbt_base + offset
+        self.ways *= 2
+        self._row_ptr = 0
+        self._resizing = True
+
+    def advance_migration(self, rows: int) -> int:
+        """Migrate up to ``rows`` rows old->new; returns rows actually moved.
+
+        The logical contents are shared, so migration here is pure
+        progress-tracking; the table manager charges its memory traffic.
+        """
+        if not self._resizing:
+            return 0
+        moved = min(rows, self.num_rows - self._row_ptr)
+        self._row_ptr += moved
+        self.stats.migrated_rows += moved
+        if self._row_ptr >= self.num_rows:
+            self._resizing = False
+            self._old_base = None
+            self._old_ways = self.ways
+        return moved
+
+    def finish_resize(self) -> None:
+        """Complete any in-flight migration immediately (blocking ablation)."""
+        self.advance_migration(self.num_rows)
+
+    # ------------------------------------------------------------ inspection
+
+    def row_occupancy(self, pac: int) -> int:
+        row = self._rows.get(pac)
+        if row is None:
+            return 0
+        return sum(1 for record in row if record is not None)
+
+    def total_records(self) -> int:
+        return sum(
+            1 for row in self._rows.values() for record in row if record is not None
+        )
+
+    def max_row_occupancy(self) -> int:
+        return max((self.row_occupancy(pac) for pac in self._rows), default=0)

@@ -1,0 +1,73 @@
+"""Functional semantics of the AOS signing instructions — §IV-A.
+
+``pacma``   sign a data pointer: PAC from QARMA(base address, modifier),
+            AHC from Algorithm 1.  A nonzero AHC marks the pointer as
+            protected; the PAC indexes the HBT.
+``xpacm``   strip PAC and AHC (used around ``free()``, §IV-C).
+``autm``    authenticate that the pointer carries a nonzero AHC — the
+            on-load authentication of Fig. 13 (§VII-B).  Unlike ``autda``
+            it does not recompute a PAC, because AOS PACs are bound to the
+            *base* address of the object, not the current pointer value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.pac import PACGenerator
+from ..isa.encoding import PointerLayout
+from .ahc import compute_ahc
+from .exceptions import AuthenticationFault, FaultInfo
+
+
+@dataclass
+class PointerSigner:
+    """Implements pacma/pacmb, xpacm and autm over a pointer layout."""
+
+    generator: PACGenerator = field(default_factory=PACGenerator)
+    layout: PointerLayout = field(default_factory=PointerLayout)
+
+    def __post_init__(self) -> None:
+        if self.generator.pac_bits != self.layout.pac_bits:
+            raise ValueError("PAC generator and pointer layout disagree on PAC size")
+
+    def pacma(self, pointer: int, modifier: int, size: int, key: str = "ma") -> int:
+        """Sign ``pointer``: embed PAC and AHC (the third operand is the
+        allocation size; ``xzr`` i.e. 0 is used when re-signing on free)."""
+        address = self.layout.address(pointer)
+        ahc = compute_ahc(address, size if size > 0 else 1, self.layout.va_bits)
+        pac = self.generator.compute(address, modifier, key_name=key)
+        return self.layout.sign(address, pac, ahc)
+
+    def pacmb(self, pointer: int, modifier: int, size: int) -> int:
+        return self.pacma(pointer, modifier, size, key="mb")
+
+    def xpacm(self, pointer: int) -> int:
+        """Strip both PAC and AHC from the pointer."""
+        return self.layout.strip(pointer)
+
+    def autm(self, pointer: int) -> int:
+        """Authenticate an AOS pointer: fault if the AHC is zero (Fig. 13).
+
+        Returns the pointer unchanged (autm does not strip the AHC, §IV-A).
+        """
+        decoded = self.layout.decode(pointer)
+        if decoded.ahc == 0:
+            raise AuthenticationFault(
+                FaultInfo(
+                    pointer=pointer,
+                    pac=decoded.pac,
+                    ahc=decoded.ahc,
+                    detail="autm: pointer is not AOS-signed (corrupted AHC)",
+                )
+            )
+        return pointer
+
+    def pac_of(self, pointer: int) -> int:
+        return self.layout.pac(pointer)
+
+    def ahc_of(self, pointer: int) -> int:
+        return self.layout.ahc(pointer)
+
+    def is_signed(self, pointer: int) -> bool:
+        return self.layout.is_signed(pointer)

@@ -1,0 +1,21 @@
+"""Out-of-order core timing model (the gem5 substitute).
+
+A cycle-approximate scoreboard model of the Table IV core: 8-wide fetch,
+192-entry ROB, 32-entry load/store queues, a 48-entry MCQ with issue
+back-pressure, branch-misprediction refills, and delayed retirement while
+bounds validation is outstanding.  It is O(1) per instruction, which keeps
+multi-hundred-thousand-instruction traces tractable in pure Python while
+preserving the first-order effects the paper's evaluation hinges on.
+"""
+
+from .branch import GShareBranchPredictor
+from .pipeline import PipelineModel, PipelineResult
+from .core import Simulator, SimulationResult
+
+__all__ = [
+    "GShareBranchPredictor",
+    "PipelineModel",
+    "PipelineResult",
+    "Simulator",
+    "SimulationResult",
+]

@@ -1,0 +1,56 @@
+"""Branch prediction for the trace generator.
+
+The paper's core uses L-TAGE (Table IV).  Full TAGE is overkill for a
+synthetic-trace study; a gshare predictor with per-site biased outcome
+streams gives workload-dependent misprediction rates of the right
+magnitude, which is the property the evaluation depends on (the MCQ
+back-pressure / misprediction interaction of §IX-A).  The predictor runs
+at *trace-generation* time: every branch event carries its resolved
+``mispredicted`` flag, so all mechanism variants of one workload see the
+identical speculation behaviour.
+"""
+
+from __future__ import annotations
+
+
+class GShareBranchPredictor:
+    """A classic gshare: global history XOR PC indexing 2-bit counters."""
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12) -> None:
+        if table_bits < 2 or history_bits < 1:
+            raise ValueError("degenerate predictor geometry")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._table = bytearray([1] * (1 << table_bits))  # weakly not-taken
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & ((1 << self.table_bits) - 1)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``, train on the outcome; returns
+        True when the prediction was wrong (a misprediction)."""
+        self.predictions += 1
+        index = self._index(pc)
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            (1 << self.history_bits) - 1
+        )
+
+        mispredicted = predicted_taken != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0

@@ -1,0 +1,116 @@
+"""The simulator facade: wires config, hierarchy, MCU and pipeline together.
+
+:class:`Simulator` takes a :class:`~repro.config.SystemConfig` and a lowered
+workload (a :class:`~repro.compiler.passes.LoweredWorkload`) and produces a
+:class:`SimulationResult` with all the measurements the paper's evaluation
+section reports: execution cycles, network traffic, bounds-table access
+statistics, BWB hit rate, and HBT resize counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..cache.hierarchy import MemoryHierarchy
+from ..core.mcu import MemoryCheckUnit
+from ..isa.program import Program
+from .pipeline import PipelineModel, PipelineResult
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produces."""
+
+    name: str
+    mechanism: str
+    cycles: float
+    instructions: int
+    pipeline: PipelineResult
+    #: Bytes on the L1<->L2 and L2<->DRAM links (Fig. 18 metric).
+    l1_l2_bytes: int = 0
+    l2_dram_bytes: int = 0
+    cache_summary: Dict[str, float] = field(default_factory=dict)
+    #: MCU statistics (Fig. 17: accesses per check, BWB hit rate).
+    bounds_accesses_per_check: float = 0.0
+    bwb_hit_rate: float = 0.0
+    hbt_resizes: int = 0
+    bounds_forwards: int = 0
+    validation_faults: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def network_traffic_bytes(self) -> int:
+        return self.l1_l2_bytes + self.l2_dram_bytes
+
+
+class Simulator:
+    """Runs lowered workloads on the Table IV machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def run(self, lowered) -> SimulationResult:
+        """Simulate one lowered workload; returns the full measurement set.
+
+        ``lowered`` is a :class:`~repro.compiler.passes.LoweredWorkload`
+        (program + pre-warmed HBT + layout) or a bare
+        :class:`~repro.isa.program.Program` for unprotected runs.
+        """
+        if isinstance(lowered, Program):
+            program = lowered
+            hbt = None
+            pointer_layout = None
+            name = lowered.name
+        else:
+            program = lowered.program
+            hbt = lowered.hbt  # fresh, pre-warmed copy per run
+            pointer_layout = lowered.pointer_layout
+            name = lowered.name
+
+        uses_aos = hbt is not None and pointer_layout is not None
+        hierarchy = MemoryHierarchy(
+            self.config.memory,
+            use_l1b=uses_aos and self.config.aos.l1b_cache,
+        )
+
+        mcu: Optional[MemoryCheckUnit] = None
+        va_mask = (1 << 46) - 1
+        if uses_aos:
+            va_mask = pointer_layout.va_mask
+            mcu = MemoryCheckUnit(
+                hbt=hbt,
+                layout=pointer_layout,
+                options=self.config.aos,
+                bwb_config=self.config.bwb,
+                mcq_capacity=self.config.core.mcq_entries,
+                bounds_access=hierarchy.access_bounds,
+            )
+
+        pipeline = PipelineModel(self.config, hierarchy, mcu=mcu, va_mask=va_mask)
+        result = pipeline.run(program)
+
+        sim = SimulationResult(
+            name=name,
+            mechanism=self.config.mechanism,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            pipeline=result,
+            l1_l2_bytes=hierarchy.traffic.l1_l2_bytes,
+            l2_dram_bytes=hierarchy.traffic.l2_dram_bytes,
+            cache_summary=hierarchy.summary(),
+            validation_faults=result.validation_faults,
+        )
+        if mcu is not None:
+            sim.bounds_accesses_per_check = mcu.stats.accesses_per_check
+            if mcu.bwb is not None:
+                sim.bwb_hit_rate = mcu.bwb.stats.hit_rate
+            # hbt.stats counts both preamble (pre-window program history)
+            # and in-window resizes — matching the paper's whole-run count.
+            sim.hbt_resizes = hbt.stats.resizes
+            sim.bounds_forwards = mcu.stats.forwards
+        return sim

@@ -1,0 +1,18 @@
+"""Cryptographic substrate: the QARMA-64 tweakable block cipher and PACs.
+
+Arm PA computes pointer authentication codes with QARMA (Avanzi, ToSC 2017).
+:mod:`repro.crypto.qarma` is a from-scratch reference implementation of
+QARMA-64; :mod:`repro.crypto.pac` layers the Arm-PA-style truncation and key
+handling on top of it.
+"""
+
+from .qarma import Qarma64, qarma64_encrypt, qarma64_decrypt
+from .pac import PACGenerator, PAKeys
+
+__all__ = [
+    "Qarma64",
+    "qarma64_encrypt",
+    "qarma64_decrypt",
+    "PACGenerator",
+    "PAKeys",
+]

@@ -1,0 +1,146 @@
+"""Vectorised QARMA-64 for bulk PAC studies (Fig. 11's 1M-malloc run).
+
+Encrypts N 64-bit blocks under one key and one tweak simultaneously using
+NumPy nibble arrays.  Bit-for-bit identical to :class:`~.qarma.Qarma64`
+(property-tested against the scalar path), but ~two orders of magnitude
+faster for large batches, which makes the paper's million-allocation PAC
+distribution experiment practical in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qarma import (
+    ALPHA,
+    H_PERM,
+    LFSR_CELLS,
+    MASK64,
+    ROUND_CONSTANTS,
+    SBOXES,
+    TAU,
+    TAU_INV,
+    _lfsr_fwd,
+    _mix_columns,
+    _omega_key,
+    _update_tweak_bwd,
+    _update_tweak_fwd,
+    to_cells,
+)
+
+#: Column source indices for the circ(0, rho, rho^2, rho) MixColumns:
+#: out[row] = rot1(a[row+1]) ^ rot2(a[row+2]) ^ rot1(a[row+3]).
+_COL = np.arange(4)
+
+
+def _to_cells_np(x: np.ndarray) -> np.ndarray:
+    """(N,) uint64 -> (N, 16) uint8 nibbles, cell 0 most significant."""
+    shifts = np.arange(60, -4, -4, dtype=np.uint64)
+    return ((x[:, None] >> shifts[None, :]) & np.uint64(0xF)).astype(np.uint8)
+
+
+def _from_cells_np(cells: np.ndarray) -> np.ndarray:
+    """(N, 16) uint8 -> (N,) uint64."""
+    shifts = np.arange(60, -4, -4, dtype=np.uint64)
+    return (cells.astype(np.uint64) << shifts[None, :]).sum(
+        axis=1, dtype=np.uint64
+    )
+
+
+def _rot4_np(x: np.ndarray, r: int) -> np.ndarray:
+    r &= 3
+    if r == 0:
+        return x
+    return ((x << r) | (x >> (4 - r))) & np.uint8(0xF)
+
+
+def _mix_np(cells: np.ndarray) -> np.ndarray:
+    """Vectorised involutory MixColumns over the (N, 16) state."""
+    out = np.empty_like(cells)
+    matrix = cells.reshape(-1, 4, 4)  # (N, row, col)
+    out_m = out.reshape(-1, 4, 4)
+    for row in range(4):
+        out_m[:, row, :] = (
+            _rot4_np(matrix[:, (row + 1) % 4, :], 1)
+            ^ _rot4_np(matrix[:, (row + 2) % 4, :], 2)
+            ^ _rot4_np(matrix[:, (row + 3) % 4, :], 1)
+        )
+    return out
+
+
+class Qarma64Batch:
+    """Batched QARMA-64 encryption under a fixed 128-bit key."""
+
+    def __init__(self, key: int, rounds: int = 7, sbox: int = 1) -> None:
+        if not 0 <= key < (1 << 128):
+            raise ValueError("QARMA-64 key must be a 128-bit integer")
+        self.rounds = rounds
+        sbox_table = SBOXES[sbox]
+        self._sbox = np.array(sbox_table, dtype=np.uint8)
+        self.w0 = (key >> 64) & MASK64
+        self.k0 = key & MASK64
+        self.w1 = _omega_key(self.w0)
+        self.k1 = self.k0
+        self._tau = np.array(TAU, dtype=np.intp)
+        self._tau_inv = np.array(TAU_INV, dtype=np.intp)
+
+    def _tweakey_cells(self, value: int) -> np.ndarray:
+        return np.array(to_cells(value), dtype=np.uint8)
+
+    def encrypt(self, plaintexts: np.ndarray, tweak: int) -> np.ndarray:
+        """Encrypt a (N,) uint64 array under one tweak."""
+        plaintexts = np.asarray(plaintexts, dtype=np.uint64)
+        state = _to_cells_np(plaintexts ^ np.uint64(self.w0))
+        sbox = self._sbox
+
+        # Precompute the tweak schedule (scalar — shared by all blocks).
+        tweaks_fwd = []
+        t = tweak
+        for _ in range(self.rounds):
+            tweaks_fwd.append(t)
+            t = _update_tweak_fwd(t)
+        center_tweak = t
+
+        for i in range(self.rounds):
+            tk = self._tweakey_cells(self.k0 ^ tweaks_fwd[i] ^ ROUND_CONSTANTS[i])
+            state ^= tk[None, :]
+            if i != 0:
+                state = state[:, self._tau]
+                state = _mix_np(state)
+            state = sbox[state]
+
+        # Centre: forward round with w1, reflector, backward round with w0.
+        tk = self._tweakey_cells(self.w1 ^ center_tweak)
+        state ^= tk[None, :]
+        state = state[:, self._tau]
+        state = _mix_np(state)
+        state = sbox[state]
+
+        state = state[:, self._tau]
+        state = _mix_np(state)
+        state ^= self._tweakey_cells(self.k1)[None, :]
+        state = state[:, self._tau_inv]
+
+        sbox_inv = np.zeros(16, dtype=np.uint8)
+        sbox_inv[sbox] = np.arange(16, dtype=np.uint8)
+
+        state = sbox_inv[state]
+        state = _mix_np(state)
+        state = state[:, self._tau_inv]
+        state ^= self._tweakey_cells(self.w0 ^ center_tweak)[None, :]
+
+        t = center_tweak
+        for i in range(self.rounds - 1, -1, -1):
+            t = _update_tweak_bwd(t)
+            state = sbox_inv[state]
+            if i != 0:
+                state = _mix_np(state)
+                state = state[:, self._tau_inv]
+            state ^= self._tweakey_cells(self.k0 ^ t ^ ROUND_CONSTANTS[i] ^ ALPHA)[None, :]
+
+        return _from_cells_np(state) ^ np.uint64(self.w1)
+
+    def pacs(self, pointers: np.ndarray, modifier: int, pac_bits: int = 16) -> np.ndarray:
+        """Truncated PACs for a pointer batch (the Arm PA truncation)."""
+        full = self.encrypt(pointers, modifier)
+        return (full & np.uint64((1 << pac_bits) - 1)).astype(np.uint64)

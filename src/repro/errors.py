@@ -1,0 +1,43 @@
+"""Exception hierarchy for the AOS reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+downstream users can catch package failures with a single ``except`` clause.
+Simulated *architectural* faults (the events a real AOS machine would raise
+as hardware exceptions and hand to the OS) live in
+:mod:`repro.core.exceptions`; the classes here represent *host-level* misuse
+of the library itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A simulation parameter is out of range or inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """Illegal use of the simulated memory model (bad address, overlap...).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class AllocatorError(ReproError):
+    """The simulated heap allocator was driven into an invalid state."""
+
+
+class EncodingError(ReproError):
+    """A pointer/bounds encoding operation received an unencodable value."""
+
+
+class SimulationError(ReproError):
+    """The timing simulation reached an inconsistent internal state."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or trace generator was mis-parameterised."""

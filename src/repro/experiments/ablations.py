@@ -1,0 +1,241 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Beyond the paper's own Fig. 15 ablation (L1-B cache, bounds compression),
+these sweeps quantify the remaining §V design decisions:
+
+- **BWB geometry** (§V-C): way-prediction accuracy and checking cost as
+  the buffer shrinks/grows or is disabled;
+- **MCQ depth** (§V-A): issue back-pressure vs the 48-entry Table IV pick;
+- **Non-blocking resize** (§V-F3): gradual migration vs stop-the-world;
+- **Bounds forwarding** (§V-F2): store-to-load forwarding on malloc-heavy
+  workloads;
+- **Tag/PAC entropy** (§VII-E vs §X): detection probability and bypass
+  effort across metadata widths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cpu.core import Simulator
+from ..security.entropy import EntropyRow, entropy_sweep
+from ..stats.report import TableFormatter
+from .common import ExperimentSuite
+
+
+@dataclass
+class AblationResult:
+    """One sweep: setting name -> metric dict."""
+
+    title: str
+    rows: Dict[str, Dict[str, float]]
+    columns: List[str]
+
+    def format(self) -> str:
+        table = TableFormatter(self.columns, col_width=14)
+        for name, values in self.rows.items():
+            table.add_row(name, values)
+        return f"{self.title}\n" + table.render()
+
+
+def _run_variant(suite: ExperimentSuite, workload: str, config) -> tuple:
+    """Simulate an AOS variant against the cached lowering; returns
+    (normalized time, SimulationResult)."""
+    lowered = suite.lowered(workload, "aos", config=suite.config_for("aos"))
+    base = suite.result(workload, "baseline")
+    run = Simulator(config).run(lowered)
+    return run.cycles / base.cycles, run
+
+
+def ablation_bwb(
+    suite: Optional[ExperimentSuite] = None, workload: str = "omnetpp"
+) -> AblationResult:
+    """BWB size sweep (§V-C): disabled vs 16/64/256 entries."""
+    suite = suite or ExperimentSuite()
+    base_config = suite.config_for("aos")
+    rows: Dict[str, Dict[str, float]] = {}
+    for entries in (0, 16, 64, 256):
+        if entries == 0:
+            config = base_config.with_aos_options(bwb_enabled=False)
+            name = "disabled"
+        else:
+            config = dataclasses.replace(
+                base_config,
+                bwb=dataclasses.replace(base_config.bwb, entries=entries),
+            )
+            name = f"{entries} entries"
+        time, run = _run_variant(suite, workload, config)
+        rows[name] = {
+            "norm.time": time,
+            "acc/check": run.bounds_accesses_per_check,
+            "hit rate": run.bwb_hit_rate,
+        }
+    return AblationResult(
+        title=f"BWB geometry ablation ({workload}, §V-C)",
+        rows=rows,
+        columns=["norm.time", "acc/check", "hit rate"],
+    )
+
+
+def ablation_mcq(
+    suite: Optional[ExperimentSuite] = None, workload: str = "hmmer"
+) -> AblationResult:
+    """MCQ depth sweep (§V-A): back-pressure around the 48-entry pick."""
+    suite = suite or ExperimentSuite()
+    base_config = suite.config_for("aos")
+    rows: Dict[str, Dict[str, float]] = {}
+    for entries in (12, 24, 48, 96, 192):
+        config = dataclasses.replace(
+            base_config,
+            core=dataclasses.replace(base_config.core, mcq_entries=entries),
+        )
+        time, run = _run_variant(suite, workload, config)
+        rows[f"{entries} entries"] = {
+            "norm.time": time,
+            "mcq stalls": run.pipeline.mcq_stall_cycles,
+        }
+    return AblationResult(
+        title=f"MCQ depth ablation ({workload}, §V-A)",
+        rows=rows,
+        columns=["norm.time", "mcq stalls"],
+    )
+
+
+def ablation_resize(
+    suite: Optional[ExperimentSuite] = None, workload: str = "omnetpp"
+) -> AblationResult:
+    """Non-blocking (Fig. 10) vs stop-the-world HBT resizing (§V-F3).
+
+    Uses a *growing-live-set* variant of the workload so the capacity
+    overflow (and therefore the resize) happens inside the measured
+    window, where the policy difference is visible — steady-state windows
+    absorb their resizes in the untimed preamble.
+    """
+    suite = suite or ExperimentSuite()
+    from ..compiler import lower_trace
+    from ..workloads import generate_trace, get_profile
+
+    settings = suite.settings
+    # An allocation *phase*: a small starting heap, a malloc storm, and a
+    # live set that grows through the window — so HBT rows overflow while
+    # the clock is running.  A coarse scale shrinks the PAC space so the
+    # storm reaches overflow within a simulable window.
+    profile = dataclasses.replace(
+        get_profile(workload),
+        mallocs_per_kinst=200.0,
+        initial_live=64,
+    )
+    trace = generate_trace(
+        profile,
+        instructions=settings.instructions,
+        seed=settings.seed,
+        scale=64,
+        grow_live_by=10 * settings.instructions,  # never free: pure growth
+    )
+    base_config = suite.config_for("baseline")
+    baseline = Simulator(base_config).run(
+        lower_trace(trace, "baseline", config=base_config)
+    )
+    rows: Dict[str, Dict[str, float]] = {}
+    for nonblocking in (True, False):
+        config = suite.config_for("aos").with_aos_options(
+            nonblocking_resize=nonblocking
+        )
+        lowered = lower_trace(trace, "aos", config=config)
+        run = Simulator(config).run(lowered)
+        name = "non-blocking" if nonblocking else "stop-the-world"
+        rows[name] = {
+            "norm.time": run.cycles / baseline.cycles,
+            "resizes": float(run.hbt_resizes),
+        }
+    return AblationResult(
+        title=f"HBT resize policy ablation ({workload} growing phase, §V-F3)",
+        rows=rows,
+        columns=["norm.time", "resizes"],
+    )
+
+
+def ablation_forwarding(
+    suite: Optional[ExperimentSuite] = None, workload: str = "omnetpp"
+) -> AblationResult:
+    """Bounds forwarding on/off (§V-F2) on a malloc-heavy workload."""
+    suite = suite or ExperimentSuite()
+    base_config = suite.config_for("aos")
+    rows: Dict[str, Dict[str, float]] = {}
+    for forwarding in (True, False):
+        config = base_config.with_aos_options(bounds_forwarding=forwarding)
+        time, run = _run_variant(suite, workload, config)
+        rows["forwarding" if forwarding else "no forwarding"] = {
+            "norm.time": time,
+            "forwards": float(run.bounds_forwards),
+        }
+    return AblationResult(
+        title=f"Bounds forwarding ablation ({workload}, §V-F2)",
+        rows=rows,
+        columns=["norm.time", "forwards"],
+    )
+
+
+def ablation_quarantine(
+    suite: Optional[ExperimentSuite] = None, workload: str = "omnetpp"
+) -> AblationResult:
+    """Quantify §IV-C: REST's quarantine pool vs AOS's re-sign-on-free.
+
+    "Given that the REST software framework's use of a quarantine pool
+    mostly contributed to its performance overhead, avoiding the use of a
+    quarantine pool will be beneficial in terms of performance."
+    """
+    suite = suite or ExperimentSuite()
+    from ..compiler.passes import RESTLowering
+
+    trace = suite.trace(workload)
+    base = suite.result(workload, "baseline")
+    rows: Dict[str, Dict[str, float]] = {}
+
+    for quarantine in (True, False):
+        config = suite.config_for("rest")
+        lowered = RESTLowering(trace, config, quarantine=quarantine).lower()
+        run = Simulator(config).run(lowered)
+        name = "rest (quarantine)" if quarantine else "rest (no temporal)"
+        rows[name] = {
+            "norm.time": run.cycles / base.cycles,
+            "instr.ovh": len(lowered.program) / len(
+                suite.lowered(workload, "baseline").program
+            ) - 1.0,
+        }
+
+    aos = suite.result(workload, "aos")
+    rows["aos (re-sign)"] = {
+        "norm.time": aos.cycles / base.cycles,
+        "instr.ovh": len(suite.lowered(workload, "aos").program) / len(
+            suite.lowered(workload, "baseline").program
+        ) - 1.0,
+    }
+    return AblationResult(
+        title=f"Temporal-safety cost: quarantine vs re-sign ({workload}, §IV-C)",
+        rows=rows,
+        columns=["norm.time", "instr.ovh"],
+    )
+
+
+def ablation_entropy() -> AblationResult:
+    """Metadata-width trade-off: MTE-style tags vs AOS PACs (§VII-E/§X)."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for row in entropy_sweep([4, 8, 11, 16, 24, 32]):
+        label = f"{row.bits}-bit"
+        if row.bits == 4:
+            label += " (MTE)"
+        elif row.bits == 16:
+            label += " (AOS)"
+        rows[label] = {
+            "detection": row.detection,
+            "tries@50%": float(row.attempts_50),
+            "tries@90%": float(row.attempts_90),
+        }
+    return AblationResult(
+        title="Metadata entropy: single-shot detection and bypass effort",
+        rows=rows,
+        columns=["detection", "tries@50%", "tries@90%"],
+    )

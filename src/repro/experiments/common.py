@@ -1,0 +1,139 @@
+"""Shared experiment infrastructure: cached trace -> lowering -> simulation.
+
+The paper runs each SPEC workload once per system configuration; here one
+:class:`ExperimentSuite` instance memoises traces, lowered programs and
+simulation results so Figs. 14/15/17/18 can share work within a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import dataclasses
+
+from ..config import CacheConfig, MemoryHierarchyConfig, SystemConfig, default_config
+from ..compiler import LoweredWorkload, lower_trace
+from ..cpu.core import SimulationResult, Simulator
+from ..workloads import WorkloadTrace, generate_trace, get_profile
+
+#: The 16 SPEC CPU 2006 workloads, in the paper's presentation order.
+SPEC_WORKLOADS: List[str] = [
+    "bzip2", "gcc", "mcf", "milc", "namd", "gobmk", "soplex", "povray",
+    "hmmer", "sjeng", "libquantum", "h264ref", "lbm", "omnetpp", "astar",
+    "sphinx3",
+]
+
+#: The Fig. 14 mechanisms, baseline first.
+MECHANISMS: List[str] = ["baseline", "watchdog", "pa", "aos", "pa+aos"]
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Simulation scale knobs shared by one experiment session.
+
+    ``instructions`` is the window length per workload; ``scale`` divides
+    the preamble live set (and the PAC space with it).  The defaults keep
+    a full 16-workload x 5-mechanism sweep to a few minutes in pure
+    Python; larger values sharpen the statistics.
+    """
+
+    instructions: int = 60_000
+    seed: int = 7
+    scale: int = 8
+
+
+def scaled_config(mechanism: str, scale: int) -> SystemConfig:
+    """Table IV with cache capacities divided by the workload scale.
+
+    The trace generator divides live sets (and so data footprints *and*
+    the HBT) by ``scale``; shrinking the caches by the same factor
+    preserves the footprint-to-capacity ratios that drive the paper's
+    cache-pollution results (gcc, omnetpp).  Core/ROB/MCQ geometry is
+    per-window ILP and stays at full size.
+    """
+    config = default_config(mechanism)
+    if scale <= 1:
+        return config
+
+    def shrink(cache: CacheConfig) -> CacheConfig:
+        size = max(cache.size_bytes // scale, cache.assoc * cache.line_bytes * 4)
+        return dataclasses.replace(cache, size_bytes=size)
+
+    memory = MemoryHierarchyConfig(
+        l1i=shrink(config.memory.l1i),
+        l1d=shrink(config.memory.l1d),
+        l1b=shrink(config.memory.l1b),
+        l2=shrink(config.memory.l2),
+        dram_latency=config.memory.dram_latency,
+        dram_bandwidth_gbs=config.memory.dram_bandwidth_gbs,
+    )
+    return dataclasses.replace(config, memory=memory)
+
+
+class ExperimentSuite:
+    """Memoising runner for the timing experiments."""
+
+    def __init__(self, settings: RunSettings = RunSettings()) -> None:
+        self.settings = settings
+        self._traces: Dict[str, WorkloadTrace] = {}
+        self._lowered: Dict[Tuple[str, str], LoweredWorkload] = {}
+        self._results: Dict[Tuple[str, str], SimulationResult] = {}
+
+    def config_for(self, mechanism: str) -> SystemConfig:
+        """The scale-matched Table IV configuration for this suite."""
+        return scaled_config(mechanism, self.settings.scale)
+
+    # ------------------------------------------------------------- building
+
+    def trace(self, workload: str) -> WorkloadTrace:
+        if workload not in self._traces:
+            self._traces[workload] = generate_trace(
+                get_profile(workload),
+                instructions=self.settings.instructions,
+                seed=self.settings.seed,
+                scale=self.settings.scale,
+            )
+        return self._traces[workload]
+
+    def lowered(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig] = None,
+        key: Optional[str] = None,
+    ) -> LoweredWorkload:
+        cache_key = (workload, key or mechanism)
+        if cache_key not in self._lowered:
+            self._lowered[cache_key] = lower_trace(
+                self.trace(workload), mechanism, config=config
+            )
+        return self._lowered[cache_key]
+
+    def result(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig] = None,
+        key: Optional[str] = None,
+    ) -> SimulationResult:
+        cache_key = (workload, key or mechanism)
+        if cache_key not in self._results:
+            config = config or self.config_for(mechanism)
+            lowered = self.lowered(workload, mechanism, config=config, key=key)
+            self._results[cache_key] = Simulator(config).run(lowered)
+        return self._results[cache_key]
+
+    # ------------------------------------------------------------ measures
+
+    def normalized_time(self, workload: str, mechanism: str, **kwargs) -> float:
+        base = self.result(workload, "baseline")
+        run = self.result(workload, mechanism, **kwargs)
+        return run.cycles / base.cycles
+
+    def normalized_traffic(self, workload: str, mechanism: str, **kwargs) -> float:
+        base = self.result(workload, "baseline")
+        run = self.result(workload, mechanism, **kwargs)
+        if base.network_traffic_bytes == 0:
+            return 1.0
+        return run.network_traffic_bytes / base.network_traffic_bytes

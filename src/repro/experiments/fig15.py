@@ -1,0 +1,63 @@
+"""Fig. 15: the AOS optimisation ablation (§IX-A "Cache pollution").
+
+Four AOS variants over the SPEC suite, all normalized to the unprotected
+baseline: no optimisation, L1-B cache only (§V-F1), bounds compression
+only (§V-D), and both (the default AOS configuration).  The paper finds
+the L1-B cache cuts ~10 % of overhead, compression another ~3 % on
+average, with gcc and omnetpp improving by 60 % / 68 % with both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..stats.report import TableFormatter, geomean
+from .common import SPEC_WORKLOADS, ExperimentSuite
+
+#: Variant name -> (l1b_cache, bounds_compression).
+VARIANTS = {
+    "no-opt": (False, False),
+    "l1b": (True, False),
+    "compression": (False, True),
+    "l1b+compression": (True, True),
+}
+
+
+@dataclass
+class Fig15Result:
+    #: workload -> variant -> normalized execution time.
+    rows: Dict[str, Dict[str, float]]
+    geomeans: Dict[str, float]
+
+    def format(self) -> str:
+        table = TableFormatter(list(VARIANTS), col_width=16)
+        for workload, values in self.rows.items():
+            table.add_row(workload, values)
+        table.add_row("Geomean", self.geomeans)
+        return "Fig. 15 — L1-B cache and bounds-compression ablation\n" + table.render()
+
+
+def run_fig15(
+    suite: Optional[ExperimentSuite] = None,
+    workloads: Optional[List[str]] = None,
+) -> Fig15Result:
+    suite = suite or ExperimentSuite()
+    workloads = workloads or SPEC_WORKLOADS
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        rows[workload] = {}
+        for variant, (l1b, compression) in VARIANTS.items():
+            config = suite.config_for("aos").with_aos_options(
+                l1b_cache=l1b, bounds_compression=compression
+            )
+            rows[workload][variant] = suite.normalized_time(
+                workload, "aos", config=config, key=f"aos-{variant}"
+            )
+
+    geomeans = {
+        variant: geomean([rows[w][variant] for w in workloads])
+        for variant in VARIANTS
+    }
+    return Fig15Result(rows=rows, geomeans=geomeans)

@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's evaluated scope — its declared future work.
+
+- :mod:`~repro.ext.stack`: AOS-style protection for stack objects.  §III-D:
+  "We believe that our approach can be applied to other data-pointer types
+  (e.g., stack pointers) in a similar manner but leave this as future
+  work."
+- :mod:`~repro.ext.narrowing`: sub-object bounds narrowing for intra-object
+  overflow detection.  §VII-F: "The current AOS implementation does not
+  support the bounds narrowing.  We leave this for future work."
+
+Both reuse the unchanged AOS machinery (pacma signing, HBT, MCU checks),
+demonstrating that the paper's mechanism generalises as claimed.
+"""
+
+from .stack import ProtectedStack, StackFrame
+from .narrowing import narrow, release_narrowed, NARROW_GRANULE
+
+__all__ = [
+    "ProtectedStack",
+    "StackFrame",
+    "narrow",
+    "release_narrowed",
+    "NARROW_GRANULE",
+]

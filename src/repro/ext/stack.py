@@ -1,0 +1,113 @@
+"""AOS stack-object protection — the §III-D future-work extension.
+
+Stack objects get the same treatment heap objects do: on ``alloca`` the
+frame pointer is signed with ``pacma`` and its bounds stored with
+``bndstr``; on function return the frame's bounds are cleared with
+``bndclr`` and the pointers re-signed (locked).  This yields:
+
+- spatial safety for stack buffers (the classic stack smash), and
+- temporal safety for **use-after-return** — the stack analogue of UAF,
+  which the re-sign-on-release trick catches exactly like a dangling heap
+  pointer.
+
+The HBT, MCU and exception machinery are the unchanged heap components;
+only the allocation discipline (LIFO frames instead of malloc/free)
+differs, supporting the paper's claim that the approach generalises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.aos import AOSRuntime
+from ..errors import MemoryError_
+
+#: Stack slots are 16-byte aligned, like AArch64 SP.
+STACK_ALIGN = 16
+
+
+@dataclass
+class StackFrame:
+    """One function activation's protected locals."""
+
+    base_sp: int
+    #: (signed pointer, size) for every alloca in this frame.
+    objects: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class ProtectedStack:
+    """A downward-growing stack with AOS-protected local objects."""
+
+    def __init__(self, runtime: AOSRuntime, reserve: int = 1 << 20) -> None:
+        self.runtime = runtime
+        layout = runtime.address_layout
+        self._top = layout.stack_top - 0x1000
+        self._limit = self._top - reserve
+        self._sp = self._top
+        self._frames: List[StackFrame] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def sp(self) -> int:
+        return self._sp
+
+    # ---------------------------------------------------------------- frames
+
+    def push_frame(self) -> StackFrame:
+        """Function prologue: open a new activation frame."""
+        frame = StackFrame(base_sp=self._sp)
+        self._frames.append(frame)
+        return frame
+
+    def alloca(self, size: int) -> int:
+        """Allocate a protected local; returns a *signed* pointer.
+
+        Signs with the current SP as the pacma modifier — exactly the
+        Fig. 7a discipline, with the stack slot standing in for the
+        malloc'd chunk.
+        """
+        if not self._frames:
+            raise MemoryError_("alloca outside any frame")
+        aligned = (size + STACK_ALIGN - 1) & ~(STACK_ALIGN - 1)
+        new_sp = self._sp - aligned
+        if new_sp < self._limit:
+            raise MemoryError_("protected stack overflow")
+        self._sp = new_sp
+        signed = self.runtime.signer.pacma(new_sp, self._sp, size)
+        result = self.runtime.mcu.bounds_store(signed, size)
+        if not result.ok and result.fault is not None:
+            raise result.fault
+        self._frames[-1].objects.append((signed, size))
+        return signed
+
+    def pop_frame(self) -> List[int]:
+        """Function epilogue: release the frame's locals.
+
+        Clears every local's bounds and re-signs the pointers — any
+        escaped pointer to a local becomes a locked dangling pointer, so
+        use-after-return faults on the next dereference.
+        """
+        if not self._frames:
+            raise MemoryError_("pop_frame on an empty stack")
+        frame = self._frames.pop()
+        dangling: List[int] = []
+        for signed, _size in frame.objects:
+            result = self.runtime.mcu.bounds_clear(signed)
+            if not result.ok and result.fault is not None:
+                raise result.fault
+            stripped = self.runtime.signer.xpacm(signed)
+            dangling.append(self.runtime.signer.pacma(stripped, self._sp, 0))
+        self._sp = frame.base_sp
+        return dangling
+
+    # ---------------------------------------------------------------- access
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return self.runtime.load(pointer, size)
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        self.runtime.store(pointer, value, size)

@@ -1,0 +1,5 @@
+"""Hardware cost modelling for Table I (§V-G)."""
+
+from .cacti import SRAMCostModel, StructureSpec, table1_structures, estimate_table1
+
+__all__ = ["SRAMCostModel", "StructureSpec", "table1_structures", "estimate_table1"]

@@ -1,0 +1,28 @@
+"""ISA model: pointer bit layout, registers, and the instruction set.
+
+This package defines the AArch64-like instruction vocabulary the simulator
+executes, including the five new AOS instructions (§IV-A): ``pacma``/
+``pacmb``, ``xpacm``, ``autm``, ``bndstr`` and ``bndclr``, alongside the
+stock Arm PA instructions (``pacia``/``autia``/...) used by the PA baseline.
+"""
+
+from .encoding import PointerLayout, SignedPointer
+from .instructions import Op, Instruction, is_memory_op, is_alu_op
+from .registers import Register, RegisterFile
+from .program import Program, ProgramBuilder
+from .binenc import encode as encode_instruction, decode as decode_instruction
+
+__all__ = [
+    "PointerLayout",
+    "SignedPointer",
+    "Op",
+    "Instruction",
+    "is_memory_op",
+    "is_alu_op",
+    "Register",
+    "RegisterFile",
+    "Program",
+    "ProgramBuilder",
+    "encode_instruction",
+    "decode_instruction",
+]

@@ -1,0 +1,140 @@
+"""Binary encodings for the AOS instruction-set extension (§IV-A).
+
+AOS adds five instructions as variants of the Armv8.3-A PAuth group:
+
+=========================  =============================================
+``pacma  <Xd>, <Xn|SP>, <Xm>``  sign with PAC+AHC, size operand ``Xm``
+``pacmb  <Xd>, <Xn|SP>, <Xm>``  same, key B
+``xpacm  <Xd>``                 strip PAC and AHC
+``autm   <Xd>``                 authenticate AHC != 0 (no strip)
+``bndstr <Xn>, <Xm>``           compute + store bounds into the HBT
+``bndclr <Xn>``                 clear bounds for pointer ``Xn``
+=========================  =============================================
+
+We encode them in a 32-bit A64-style format within the unallocated
+``0xDAC2xxxx`` region adjacent to the real PAuth encodings (``PACDA`` et
+al. live at ``0xDAC1xxxx``).  The exact opcode values are our own — Arm
+has not allocated encodings for AOS — but the field discipline (5-bit
+register specifiers, three-operand data-processing format) matches the
+architecture, so instruction *size* and decode structure are realistic.
+
+Layout::
+
+    31       21 20   16 15      10 9     5 4     0
+    +-----------+-------+----------+--------+-------+
+    | 11011010110 |  Xm  |  opcode  |   Xn   |  Xd   |
+    +-----------+-------+----------+--------+-------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import EncodingError
+
+#: Fixed top-11-bit group tag (the 0xDAC2 region).
+GROUP_TAG = 0b11011010110
+
+#: 6-bit opcodes within the group.
+OPCODES: Dict[str, int] = {
+    "pacma": 0b000001,
+    "pacmb": 0b000010,
+    "xpacm": 0b000011,
+    "autm": 0b000100,
+    "bndstr": 0b000101,
+    "bndclr": 0b000110,
+}
+
+_MNEMONICS = {v: k for k, v in OPCODES.items()}
+
+#: Register specifier for SP/XZR (encoding 31, context dependent, as in A64).
+REG_SP = 31
+
+#: Which operands each mnemonic uses: (uses_xd, uses_xn, uses_xm).
+_OPERANDS: Dict[str, Tuple[bool, bool, bool]] = {
+    "pacma": (True, True, True),
+    "pacmb": (True, True, True),
+    "xpacm": (True, False, False),
+    "autm": (True, False, False),
+    "bndstr": (False, True, True),
+    "bndclr": (False, True, False),
+}
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """A decoded AOS-extension instruction word."""
+
+    mnemonic: str
+    xd: int
+    xn: int
+    xm: int
+
+    def assembly(self) -> str:
+        uses_xd, uses_xn, uses_xm = _OPERANDS[self.mnemonic]
+        regs = []
+        if uses_xd:
+            regs.append(_reg_name(self.xd))
+        if uses_xn:
+            regs.append(_reg_name(self.xn, sp=True))
+        if uses_xm:
+            regs.append(_reg_name(self.xm))
+        return f"{self.mnemonic} " + ", ".join(regs)
+
+
+def _reg_name(index: int, sp: bool = False) -> str:
+    if index == REG_SP:
+        return "sp" if sp else "xzr"
+    return f"x{index}"
+
+
+def _check_reg(value: int, name: str) -> None:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{name} must be a 5-bit register specifier, got {value}")
+
+
+def encode(mnemonic: str, xd: int = 0, xn: int = 0, xm: int = 0) -> int:
+    """Encode one AOS instruction to its 32-bit word."""
+    opcode = OPCODES.get(mnemonic)
+    if opcode is None:
+        raise EncodingError(f"unknown AOS mnemonic {mnemonic!r}")
+    for value, name in ((xd, "Xd"), (xn, "Xn"), (xm, "Xm")):
+        _check_reg(value, name)
+    return (GROUP_TAG << 21) | (xm << 16) | (opcode << 10) | (xn << 5) | xd
+
+
+def decode(word: int) -> Optional[DecodedInstruction]:
+    """Decode a 32-bit word; None if it is not an AOS-extension encoding."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError("instruction word must be 32 bits")
+    if (word >> 21) != GROUP_TAG:
+        return None
+    opcode = (word >> 10) & 0x3F
+    mnemonic = _MNEMONICS.get(opcode)
+    if mnemonic is None:
+        return None
+    return DecodedInstruction(
+        mnemonic=mnemonic,
+        xd=word & 0x1F,
+        xn=(word >> 5) & 0x1F,
+        xm=(word >> 16) & 0x1F,
+    )
+
+
+def assemble_aos_malloc(ptr_reg: int = 0, size_reg: int = 1) -> Tuple[int, int]:
+    """The Fig. 7a post-malloc pair: ``pacma ptr, sp, size ; bndstr ptr, size``."""
+    return (
+        encode("pacma", xd=ptr_reg, xn=REG_SP, xm=size_reg),
+        encode("bndstr", xn=ptr_reg, xm=size_reg),
+    )
+
+
+def assemble_aos_free(ptr_reg: int = 0) -> Tuple[int, int, int]:
+    """The Fig. 7b free sequence around the ``free()`` call:
+    ``bndclr ptr ; xpacm ptr ; ... ; pacma ptr, sp, xzr``."""
+    return (
+        encode("bndclr", xn=ptr_reg),
+        encode("xpacm", xd=ptr_reg),
+        encode("pacma", xd=ptr_reg, xn=REG_SP, xm=REG_SP),  # xm=31 reads XZR
+    )

@@ -1,0 +1,142 @@
+"""The instruction vocabulary executed by the trace-driven core model.
+
+The simulator is trace-driven: workload generators emit *events* (compute,
+memory access, malloc, call...) and the compiler passes (:mod:`repro.compiler`)
+lower them into concrete :class:`Instruction` streams per mechanism.  Each
+instruction carries everything the timing model and the functional AOS
+machinery need:
+
+- ``op``            — the opcode (:class:`Op`);
+- ``address``       — the (possibly signed) pointer value for memory and
+  pointer ops;
+- ``size``          — access size in bytes / allocation size for ``bndstr``;
+- ``deps``          — relative distances to earlier producing instructions,
+  used by the out-of-order timing model for dependency stalls;
+- ``latency``       — fixed execution latency override (0 = per-op default);
+- ``meta``          — opcode-specific payload (e.g. taken/mispredicted for
+  branches, object id for accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+
+class Op(Enum):
+    """Opcodes understood by the core model."""
+
+    # Ordinary computation.
+    ALU = auto()          # integer arithmetic / logic
+    FALU = auto()         # floating point
+    NOP = auto()
+
+    # Control flow.
+    BRANCH = auto()       # conditional branch (meta: mispredicted bool)
+    CALL = auto()
+    RET = auto()
+
+    # Memory.
+    LOAD = auto()
+    STORE = auto()
+
+    # Stock Arm PA (used by the PA/PARTS baseline and PA+AOS, §II-B).
+    PACIA = auto()        # sign return address / code pointer
+    AUTIA = auto()        # authenticate return address / code pointer
+    PACDA = auto()        # sign data pointer (PARTS data-pointer integrity)
+    AUTDA = auto()        # authenticate data pointer
+    XPAC = auto()         # strip PAC
+
+    # AOS ISA extension (§IV-A).
+    PACMA = auto()        # sign data pointer with PAC + AHC
+    XPACM = auto()        # strip PAC and AHC
+    AUTM = auto()         # authenticate AHC != 0 (on-load authentication)
+    BNDSTR = auto()       # compute + store bounds into the HBT
+    BNDCLR = auto()       # clear bounds in the HBT
+
+    # Watchdog baseline micro-ops (Fig. 5a).
+    WCHK = auto()         # lock-and-key + bounds check µop
+    WMETA = auto()        # metadata propagation instruction
+
+    # Trace markers (zero-latency, not real instructions).
+    MALLOC_MARK = auto()  # records an allocation site boundary
+    FREE_MARK = auto()
+
+
+#: Ops that access data memory through the LSU.
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE})
+
+#: Ops the MCU also receives when issued (loads/stores and bounds ops, §V-A).
+MCU_OPS = frozenset({Op.LOAD, Op.STORE, Op.BNDSTR, Op.BNDCLR})
+
+#: Simple single-cycle integer ops.
+ALU_OPS = frozenset({Op.ALU, Op.NOP, Op.XPAC, Op.XPACM, Op.WMETA})
+
+#: PA crypto ops (4-cycle QARMA latency, Table IV).
+CRYPTO_OPS = frozenset({Op.PACIA, Op.AUTIA, Op.PACDA, Op.AUTDA, Op.PACMA, Op.AUTM})
+
+
+def is_memory_op(op: Op) -> bool:
+    return op in MEMORY_OPS
+
+
+def is_alu_op(op: Op) -> bool:
+    return op in ALU_OPS
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction in a lowered trace."""
+
+    op: Op
+    #: Pointer value for memory/pointer ops (may carry PAC+AHC upper bits).
+    address: int = 0
+    #: Access size (bytes) for loads/stores; object size for bndstr/pacma.
+    size: int = 8
+    #: Relative distances (>=1) to earlier instructions this one depends on.
+    deps: Tuple[int, ...] = ()
+    #: Fixed latency override in cycles; 0 means "use the per-op default".
+    latency: int = 0
+    #: Branch outcome: True if the branch mispredicts (resolved by the
+    #: workload's modelled predictor accuracy).
+    mispredicted: bool = False
+    #: Free-form opcode-specific payload (object ids, markers).
+    meta: Optional[object] = None
+
+    def with_address(self, address: int) -> "Instruction":
+        return Instruction(
+            op=self.op,
+            address=address,
+            size=self.size,
+            deps=self.deps,
+            latency=self.latency,
+            mispredicted=self.mispredicted,
+            meta=self.meta,
+        )
+
+
+#: Per-op default execution latencies (cycles).  Loads/stores get their
+#: latency from the cache hierarchy instead.
+DEFAULT_LATENCY = {
+    Op.ALU: 1,
+    Op.FALU: 3,
+    Op.NOP: 1,
+    Op.BRANCH: 1,
+    Op.CALL: 1,
+    Op.RET: 1,
+    Op.PACIA: 4,
+    Op.AUTIA: 4,
+    Op.PACDA: 4,
+    Op.AUTDA: 4,
+    Op.PACMA: 4,
+    Op.AUTM: 1,   # AHC != 0 comparison only, no QARMA (§VII-B)
+    Op.XPAC: 1,
+    Op.XPACM: 1,
+    Op.BNDSTR: 1,  # occupies MCU; latency modelled there
+    Op.BNDCLR: 1,
+    Op.WCHK: 1,    # check µop; metadata access latency modelled separately
+    Op.WMETA: 1,
+    Op.MALLOC_MARK: 0,
+    Op.FREE_MARK: 0,
+}

@@ -1,0 +1,282 @@
+"""A functional interpreter for encoded AOS programs.
+
+Executes real 32-bit instruction words — the §IV-A extension encodings
+from :mod:`repro.isa.binenc` plus a handful of base ops — against a
+register file, simulated memory, the pointer-signing unit and the MCU.
+This is the assembly-level view of AOS: the Fig. 7 instrumentation
+sequences can be assembled, executed, and shown to enforce exactly the
+Fig. 12 detection behaviour.
+
+The interpreter is deliberately small (it exists to validate the ISA
+semantics, not to run large programs — the trace-driven pipeline does
+that), but it is complete for the AOS extension: every new instruction's
+architectural side effects, including AOS exceptions surfacing at the
+faulting instruction with no architectural state change (precise
+exceptions, §III-C.4).
+
+Base operations (loads, stores, moves, adds, calls into the allocator)
+use a simple word format of our own, tagged disjointly from the AOS
+group so both kinds can be mixed in one program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..core.mcu import MemoryCheckUnit
+from ..core.signing import PointerSigner
+from ..errors import EncodingError, SimulationError
+from ..memory.allocator import HeapAllocator
+from ..memory.memory import SparseMemory
+from .binenc import decode as decode_aos
+from .binenc import encode as encode_aos
+from .registers import Register, RegisterFile
+
+MASK64 = (1 << 64) - 1
+
+#: Base-op group tag (disjoint from binenc.GROUP_TAG).
+BASE_TAG = 0b11010100101
+
+
+class BaseOp(Enum):
+    """Base (non-AOS) operations the interpreter supports."""
+
+    MOVZ = 0b000001    # xd = imm16
+    ADD = 0b000010     # xd = xn + xm
+    ADDI = 0b000011    # xd = xn + imm16 (imm in the Xm field x 8... no: imm16)
+    LDR = 0b000100     # xd = mem[xn]  (MCU-checked)
+    STR = 0b000101     # mem[xn] = xd  (MCU-checked)
+    MALLOC = 0b000110  # xd = malloc(xn)   (runtime call)
+    FREE = 0b000111    # free(xn)          (runtime call)
+    HALT = 0b111111
+
+
+_X = [
+    Register.X0, Register.X1, Register.X2, Register.X3, Register.X4,
+    Register.X5, Register.X6, Register.X7, Register.X8, Register.X9,
+]
+
+
+def _reg(index: int) -> Register:
+    if index == 31:
+        return Register.XZR
+    if index < len(_X):
+        return _X[index]
+    raise EncodingError(f"interpreter register file has x0..x9 (got x{index})")
+
+
+@dataclass
+class Assembler:
+    """Tiny two-section assembler: instruction words plus an immediate pool.
+
+    Base-op layout: ``| BASE_TAG:11 | opcode:6 | xd:5 | xn:5 | imm_idx:5 |``
+    where ``imm_idx`` indexes a 64-bit immediate pool (index 31 = none).
+    """
+
+    words: List[int] = field(default_factory=list)
+    immediates: List[int] = field(default_factory=list)
+
+    def _emit_base(self, op: BaseOp, xd: int = 0, xn: int = 0, imm_index: int = 31) -> None:
+        word = (BASE_TAG << 21) | (op.value << 15) | (xd << 10) | (xn << 5) | imm_index
+        self.words.append(word)
+
+    def _imm(self, value: int) -> int:
+        if len(self.immediates) >= 31:
+            raise EncodingError("immediate pool full (max 31 entries)")
+        self.immediates.append(value & MASK64)
+        return len(self.immediates) - 1
+
+    # ------------------------------------------------------------- base ops
+
+    def movz(self, xd: int, value: int) -> "Assembler":
+        self._emit_base(BaseOp.MOVZ, xd=xd, imm_index=self._imm(value))
+        return self
+
+    def add(self, xd: int, xn: int, value: int = 0) -> "Assembler":
+        self._emit_base(BaseOp.ADD, xd=xd, xn=xn, imm_index=self._imm(value))
+        return self
+
+    def ldr(self, xd: int, xn: int) -> "Assembler":
+        self._emit_base(BaseOp.LDR, xd=xd, xn=xn)
+        return self
+
+    def str_(self, xd: int, xn: int) -> "Assembler":
+        self._emit_base(BaseOp.STR, xd=xd, xn=xn)
+        return self
+
+    def malloc(self, xd: int, xn: int) -> "Assembler":
+        self._emit_base(BaseOp.MALLOC, xd=xd, xn=xn)
+        return self
+
+    def free(self, xn: int) -> "Assembler":
+        self._emit_base(BaseOp.FREE, xn=xn)
+        return self
+
+    def halt(self) -> "Assembler":
+        self._emit_base(BaseOp.HALT)
+        return self
+
+    # -------------------------------------------------------------- AOS ops
+
+    def aos(self, mnemonic: str, xd: int = 0, xn: int = 0, xm: int = 0) -> "Assembler":
+        self.words.append(encode_aos(mnemonic, xd=xd, xn=xn, xm=xm))
+        return self
+
+
+@dataclass
+class TrapInfo:
+    """An architectural trap raised mid-program."""
+
+    pc: int
+    word: int
+    exception: Exception
+
+
+class Interpreter:
+    """Executes assembled programs against the AOS machine state."""
+
+    def __init__(
+        self,
+        memory: SparseMemory,
+        allocator: HeapAllocator,
+        signer: PointerSigner,
+        mcu: MemoryCheckUnit,
+    ) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.signer = signer
+        self.mcu = mcu
+        self.registers = RegisterFile()
+        self.registers[Register.SP] = allocator.layout.stack_top - 0x100
+        self.instructions_retired = 0
+        self.trap: Optional[TrapInfo] = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def _read(self, index: int) -> int:
+        return self.registers[_reg(index)]
+
+    def _write(self, index: int, value: int) -> None:
+        self.registers[_reg(index)] = value & MASK64
+
+    def _checked_access(self, pointer: int, is_store: bool) -> int:
+        result = self.mcu.check_access(pointer, is_store=is_store)
+        if not result.ok and result.fault is not None:
+            raise result.fault
+        return self.signer.xpacm(pointer)
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, assembler: Assembler, max_steps: int = 100_000) -> Optional[TrapInfo]:
+        """Execute until HALT, the end of the program, or a trap.
+
+        Returns the trap (also stored on :attr:`trap`), or None on clean
+        completion.  Architectural state is NOT updated by a faulting
+        instruction — precise exceptions.
+        """
+        words = assembler.words
+        imms = assembler.immediates
+        pc = 0
+        for _ in range(max_steps):
+            if pc >= len(words):
+                return None
+            word = words[pc]
+            try:
+                if not self._step(word, imms):
+                    return None  # HALT
+            except Exception as exc:  # noqa: BLE001 — traps are the contract
+                self.trap = TrapInfo(pc=pc, word=word, exception=exc)
+                return self.trap
+            self.instructions_retired += 1
+            pc += 1
+        raise SimulationError("interpreter step budget exhausted")
+
+    def _step(self, word: int, imms: List[int]) -> bool:
+        aos = decode_aos(word)
+        if aos is not None:
+            self._step_aos(aos)
+            return True
+
+        if (word >> 21) != BASE_TAG:
+            raise EncodingError(f"undecodable instruction word {word:#010x}")
+        opcode = BaseOp((word >> 15) & 0x3F)
+        xd = (word >> 10) & 0x1F
+        xn = (word >> 5) & 0x1F
+        imm_index = word & 0x1F
+        imm = imms[imm_index] if imm_index < len(imms) else 0
+
+        if opcode is BaseOp.MOVZ:
+            self._write(xd, imm)
+        elif opcode is BaseOp.ADD:
+            self._write(xd, self._read(xn) + imm)
+        elif opcode is BaseOp.LDR:
+            address = self._checked_access(self._read(xn), is_store=False)
+            self._write(xd, self.memory.read_u64(address))
+        elif opcode is BaseOp.STR:
+            address = self._checked_access(self._read(xn), is_store=True)
+            self.memory.write_u64(address, self._read(xd))
+        elif opcode is BaseOp.MALLOC:
+            self._write(xd, self.allocator.malloc(self._read(xn)))
+        elif opcode is BaseOp.FREE:
+            self.allocator.free(self.signer.xpacm(self._read(xn)))
+        elif opcode is BaseOp.HALT:
+            return False
+        else:  # pragma: no cover — enum is exhaustive
+            raise EncodingError(f"unhandled base opcode {opcode}")
+        return True
+
+    def _step_aos(self, decoded) -> None:
+        name = decoded.mnemonic
+        if name in ("pacma", "pacmb"):
+            pointer = self._read(decoded.xd)
+            modifier = (
+                self.registers[Register.SP]
+                if decoded.xn == 31
+                else self._read(decoded.xn)
+            )
+            size = self._read(decoded.xm)  # XZR (31) reads 0: the free() case
+            sign = self.signer.pacma if name == "pacma" else self.signer.pacmb
+            self._write(decoded.xd, sign(pointer, modifier, size))
+        elif name == "xpacm":
+            self._write(decoded.xd, self.signer.xpacm(self._read(decoded.xd)))
+        elif name == "autm":
+            self.signer.autm(self._read(decoded.xd))
+        elif name == "bndstr":
+            pointer = self._read(decoded.xn)
+            size = self._read(decoded.xm)
+            result = self.mcu.bounds_store(pointer, size)
+            if not result.ok and result.fault is not None:
+                raise result.fault
+        elif name == "bndclr":
+            result = self.mcu.bounds_clear(self._read(decoded.xn))
+            if not result.ok and result.fault is not None:
+                raise result.fault
+        else:  # pragma: no cover — binenc's table is exhaustive
+            raise EncodingError(f"unhandled AOS mnemonic {name}")
+
+
+def make_interpreter(pac_mode: str = "fast") -> Interpreter:
+    """A ready-to-run machine: memory + allocator + signer + MCU."""
+    from ..config import default_config
+    from ..core.hbt import HashedBoundsTable
+    from ..crypto.pac import PACGenerator, PAKeys
+    from ..isa.encoding import PointerLayout
+    from ..memory.layout import DEFAULT_LAYOUT
+
+    config = default_config("aos")
+    memory = SparseMemory()
+    allocator = HeapAllocator(memory, DEFAULT_LAYOUT)
+    layout = PointerLayout(pac_bits=config.pa.pac_bits)
+    signer = PointerSigner(
+        generator=PACGenerator(
+            keys=PAKeys(apma=config.pa.key),
+            pac_bits=config.pa.pac_bits,
+            mode=pac_mode,
+        ),
+        layout=layout,
+    )
+    hbt = HashedBoundsTable(pac_bits=config.pa.pac_bits, initial_ways=1)
+    mcu = MemoryCheckUnit(hbt=hbt, layout=layout, options=config.aos)
+    return Interpreter(memory=memory, allocator=allocator, signer=signer, mcu=mcu)

@@ -1,0 +1,71 @@
+"""Program containers: ordered instruction streams with summary statistics.
+
+A :class:`Program` is an immutable, lowered dynamic instruction trace ready
+for the timing model.  :class:`ProgramBuilder` is the mutable construction
+interface used by the compiler passes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .instructions import Instruction, Op, MEMORY_OPS
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable dynamic instruction trace."""
+
+    instructions: Tuple[Instruction, ...]
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def op_histogram(self) -> Dict[Op, int]:
+        """Dynamic instruction counts per opcode."""
+        return dict(Counter(inst.op for inst in self.instructions))
+
+    def memory_op_count(self) -> int:
+        return sum(1 for inst in self.instructions if inst.op in MEMORY_OPS)
+
+    def instruction_overhead_vs(self, other: "Program") -> float:
+        """Fractional dynamic-instruction overhead of ``self`` over ``other``.
+
+        This is the metric behind the paper's "Watchdog showed 44 % more
+        dynamic instruction counts" observation (§I).
+        """
+        if len(other) == 0:
+            raise ValueError("cannot compare against an empty program")
+        return len(self) / len(other) - 1.0
+
+
+class ProgramBuilder:
+    """Accumulates instructions and produces a :class:`Program`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def emit_all(self, instructions: Iterable[Instruction]) -> None:
+        self._instructions.extend(instructions)
+
+    def emit_op(self, op: Op, **kwargs: object) -> None:
+        self._instructions.append(Instruction(op=op, **kwargs))  # type: ignore[arg-type]
+
+    def build(self) -> Program:
+        return Program(instructions=tuple(self._instructions), name=self.name)

@@ -1,0 +1,57 @@
+"""A minimal AArch64-flavoured register file.
+
+The timing model tracks dependencies through relative distances rather than
+register names (traces are pre-renamed), but the *functional* layer — the
+allocator-driven examples and the security analysis — manipulates pointers
+in named registers, so a small register file is provided for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+MASK64 = (1 << 64) - 1
+
+
+class Register(str, Enum):
+    """General-purpose and special registers used by the functional layer."""
+
+    X0 = "x0"
+    X1 = "x1"
+    X2 = "x2"
+    X3 = "x3"
+    X4 = "x4"
+    X5 = "x5"
+    X6 = "x6"
+    X7 = "x7"
+    X8 = "x8"
+    X9 = "x9"
+    SP = "sp"     # stack pointer (the pacma modifier, §IV-C)
+    FP = "fp"     # frame pointer
+    LR = "lr"     # link register (return address)
+    XZR = "xzr"   # zero register (always reads 0; writes discarded)
+
+
+@dataclass
+class RegisterFile:
+    """A named 64-bit register file with an architectural zero register."""
+
+    _values: Dict[Register, int] = field(default_factory=dict)
+
+    def read(self, reg: Register) -> int:
+        if reg is Register.XZR:
+            return 0
+        return self._values.get(reg, 0)
+
+    def write(self, reg: Register, value: int) -> None:
+        if reg is Register.XZR:
+            return  # architecturally discarded
+        self._values[reg] = value & MASK64
+
+    def __getitem__(self, reg: Register) -> int:
+        return self.read(reg)
+
+    def __setitem__(self, reg: Register, value: int) -> None:
+        self.write(reg, value)

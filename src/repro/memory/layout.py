@@ -1,0 +1,76 @@
+"""Virtual address-space layout of a simulated process.
+
+The heap is deliberately placed low enough that every heap address fits in
+33 bits — the AOS bounds-compression format (§V-D, Fig. 9) keeps only bits
+[32:4] of the lower bound, so a well-formed simulated process must keep its
+heap below 8 GB for compressed bounds to be exact (the paper makes the same
+assumption and discusses the >=8 GB aliasing case under false positives,
+§VII-E).  The HBT itself lives *above* that limit: bounds-table rows are
+not heap objects and are never bounds-compressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Base addresses and extents of each region (all in one 46-bit VA)."""
+
+    text_base: int = 0x0000_0040_0000
+    text_size: int = 0x0000_0020_0000
+    globals_base: int = 0x0000_0060_0000
+    globals_size: int = 0x0000_0040_0000
+    #: Heap kept under 2**33 so compressed bounds are exact (§V-D).
+    heap_base: int = 0x0000_2000_0000
+    heap_size: int = 0x0000_C000_0000
+    #: Hashed bounds table region (outside the compressible heap range).
+    hbt_base: int = 0x0070_0000_0000
+    hbt_size: int = 0x0010_0000_0000
+    #: Shadow-metadata region used by the Watchdog/ASan-style baselines.
+    shadow_base: int = 0x0100_0000_0000
+    shadow_size: int = 0x0100_0000_0000
+    #: Stack grows down from the top of the 46-bit VA.
+    stack_top: int = 0x3FFF_FFFF_0000
+    stack_size: int = 0x0000_0080_0000
+
+    def __post_init__(self) -> None:
+        heap_end = self.heap_base + self.heap_size
+        if heap_end > (1 << 33):
+            raise ValueError(
+                "heap must stay below 2**33 for exact bounds compression (§V-D)"
+            )
+
+    @property
+    def heap_end(self) -> int:
+        return self.heap_base + self.heap_size
+
+    @property
+    def stack_base(self) -> int:
+        return self.stack_top - self.stack_size
+
+    def in_heap(self, address: int) -> bool:
+        return self.heap_base <= address < self.heap_end
+
+    def in_stack(self, address: int) -> bool:
+        return self.stack_base <= address < self.stack_top
+
+    def region_of(self, address: int) -> str:
+        """Classify an address ('heap', 'stack', 'text', 'globals', 'hbt'...)."""
+        if self.in_heap(address):
+            return "heap"
+        if self.in_stack(address):
+            return "stack"
+        if self.text_base <= address < self.text_base + self.text_size:
+            return "text"
+        if self.globals_base <= address < self.globals_base + self.globals_size:
+            return "globals"
+        if self.hbt_base <= address < self.hbt_base + self.hbt_size:
+            return "hbt"
+        if self.shadow_base <= address < self.shadow_base + self.shadow_size:
+            return "shadow"
+        return "unmapped"
+
+
+DEFAULT_LAYOUT = AddressSpaceLayout()

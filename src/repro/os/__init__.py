@@ -1,0 +1,20 @@
+"""OS support (§IV-D): bounds-table management and AOS exception handling.
+
+The OS creates a process's HBT at startup, services bounds-store failures
+by allocating a twice-as-large table (gradual resizing with the Fig. 10
+non-blocking migration), and dispatches AOS exceptions to a configurable
+handler — terminate, or report and resume, exactly the two developer
+policies the paper describes.
+"""
+
+from .handler import AOSExceptionHandler, HandlerPolicy, FaultRecord
+from .table_manager import BoundsTableManager
+from .process import Process
+
+__all__ = [
+    "AOSExceptionHandler",
+    "HandlerPolicy",
+    "FaultRecord",
+    "BoundsTableManager",
+    "Process",
+]

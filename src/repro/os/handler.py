@@ -1,0 +1,84 @@
+"""The AOS exception handler (§IV-D).
+
+    "Upon a failure, the information will be signaled to a user.
+     Developers can implement the exception handler to either
+     1) terminate the process or 2) report an error and resume."
+
+:class:`AOSExceptionHandler` implements both policies and keeps a fault
+log so the security analysis can assert exactly which violations each
+mechanism surfaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..core.exceptions import (
+    AOSException,
+    BoundsCheckFault,
+    BoundsClearFault,
+    BoundsStoreFault,
+)
+
+
+class HandlerPolicy(Enum):
+    """What the handler does with a non-recoverable fault."""
+
+    TERMINATE = "terminate"
+    REPORT_AND_RESUME = "report-and-resume"
+
+
+@dataclass
+class FaultRecord:
+    """One logged AOS exception."""
+
+    kind: str
+    pointer: int
+    pac: int
+    detail: str
+
+
+class ProcessTerminated(Exception):
+    """Raised when the TERMINATE policy kills the simulated process."""
+
+    def __init__(self, record: FaultRecord) -> None:
+        super().__init__(f"process terminated: {record.detail}")
+        self.record = record
+
+
+@dataclass
+class AOSExceptionHandler:
+    """Dispatches AOS exceptions according to the configured policy."""
+
+    policy: HandlerPolicy = HandlerPolicy.TERMINATE
+    log: List[FaultRecord] = field(default_factory=list)
+
+    def handle(self, exc: AOSException) -> FaultRecord:
+        """Handle one AOS exception.
+
+        Bounds-*store* failures are always recoverable (the OS resizes the
+        table); check/clear failures are memory-safety violations and follow
+        the policy.
+        """
+        record = FaultRecord(
+            kind=type(exc).__name__,
+            pointer=exc.info.pointer,
+            pac=exc.info.pac,
+            detail=exc.info.detail,
+        )
+        self.log.append(record)
+        if isinstance(exc, BoundsStoreFault):
+            return record  # recoverable: resize path, not a violation
+        if self.policy is HandlerPolicy.TERMINATE:
+            raise ProcessTerminated(record)
+        return record
+
+    @property
+    def violations(self) -> List[FaultRecord]:
+        """Faults that represent memory-safety violations (not resizes)."""
+        return [r for r in self.log if r.kind != "BoundsStoreFault"]
+
+    def clear(self) -> None:
+        self.log.clear()

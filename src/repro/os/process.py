@@ -1,0 +1,74 @@
+"""A simulated AOS-protected process: runtime + OS services in one handle.
+
+This is the highest-level functional API: a :class:`Process` owns an
+:class:`~repro.core.aos.AOSRuntime` (heap, signing, HBT, MCU), a
+:class:`~repro.os.table_manager.BoundsTableManager`, and an
+:class:`~repro.os.handler.AOSExceptionHandler`, and exposes guarded
+``malloc``/``free``/``load``/``store`` that route AOS exceptions through
+the OS handler the way hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SystemConfig, default_config
+from ..core.aos import AOSRuntime
+from ..core.exceptions import AOSException
+from .handler import AOSExceptionHandler, HandlerPolicy
+from .table_manager import BoundsTableManager
+
+
+class Process:
+    """A protected process with OS-managed exception handling."""
+
+    _next_pid = 1000
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        policy: HandlerPolicy = HandlerPolicy.TERMINATE,
+        pac_mode: str = "qarma",
+    ) -> None:
+        self.config = config or default_config("aos")
+        self.runtime = AOSRuntime(self.config, pac_mode=pac_mode)
+        self.handler = AOSExceptionHandler(policy=policy)
+        self.table_manager = BoundsTableManager(
+            self.runtime.hbt, nonblocking=self.config.aos.nonblocking_resize
+        )
+        self.pid = Process._next_pid
+        Process._next_pid += 1
+
+    # Guarded operations: AOS exceptions go through the OS handler, which
+    # either terminates the process (raising ProcessTerminated) or logs
+    # the fault and resumes.
+
+    def malloc(self, size: int) -> int:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer: int) -> Optional[int]:
+        try:
+            return self.runtime.free(pointer)
+        except AOSException as exc:
+            self.handler.handle(exc)
+            return None
+
+    def load(self, pointer: int, size: int = 8) -> Optional[int]:
+        try:
+            return self.runtime.load(pointer, size)
+        except AOSException as exc:
+            self.handler.handle(exc)
+            return None
+
+    def store(self, pointer: int, value: int, size: int = 8) -> bool:
+        try:
+            self.runtime.store(pointer, value, size)
+            return True
+        except AOSException as exc:
+            self.handler.handle(exc)
+            return False
+
+    @property
+    def violations(self):
+        return self.handler.violations

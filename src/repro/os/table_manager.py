@@ -1,0 +1,68 @@
+"""OS-side bounds-table management (§IV-D, §V-F3).
+
+The OS allocates the HBT when a process starts and services ``bndstr``
+capacity failures by allocating a table of twice the associativity.  The
+micro-architectural table manager then migrates bounds row by row while
+the process keeps running (Fig. 10); this class models the OS policy side
+and accounts for the migration's memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.hbt import HashedBoundsTable, LINE_BYTES
+from ..errors import SimulationError
+
+
+@dataclass
+class ResizeEvent:
+    """One completed resize, for the §IX-A.1 report."""
+
+    old_ways: int
+    new_ways: int
+    rows: int
+    #: Bytes moved by row migration (read old + write new, per way line).
+    migration_bytes: int
+
+
+class BoundsTableManager:
+    """Creates and resizes a process's HBT."""
+
+    def __init__(self, hbt: HashedBoundsTable, nonblocking: bool = True) -> None:
+        self.hbt = hbt
+        self.nonblocking = nonblocking
+        self.events: List[ResizeEvent] = []
+
+    @property
+    def resize_count(self) -> int:
+        return len(self.events)
+
+    def on_bounds_store_failure(self) -> ResizeEvent:
+        """Service a BoundsStoreFault: allocate a twice-as-wide table.
+
+        With non-blocking resizing the process resumes immediately and
+        migration proceeds in the background; the blocking ablation copies
+        the whole table before returning.
+        """
+        old_ways = self.hbt.ways
+        self.hbt.begin_resize()
+        migration_bytes = self.hbt.num_rows * old_ways * LINE_BYTES * 2
+        if not self.nonblocking:
+            self.hbt.finish_resize()
+        event = ResizeEvent(
+            old_ways=old_ways,
+            new_ways=self.hbt.ways,
+            rows=self.hbt.num_rows,
+            migration_bytes=migration_bytes,
+        )
+        self.events.append(event)
+        return event
+
+    def tick(self, rows: int = 1024) -> int:
+        """Advance background migration (the hardware manager's heartbeat)."""
+        return self.hbt.advance_migration(rows)
+
+    def total_migration_bytes(self) -> int:
+        return sum(e.migration_bytes for e in self.events)

@@ -1,0 +1,25 @@
+"""Security analysis (§VII): attacks, mechanism adapters, detection matrix.
+
+:mod:`~repro.security.attacks` implements the violation scenarios of
+Fig. 12 (heap OOB read/write, dangling pointer / UAF, double free) plus the
+House-of-Spirit data-oriented attack of Fig. 1, a non-adjacent overflow
+(the REST blind spot), and PAC/AHC forging (§VII-C).
+
+:mod:`~repro.security.adapters` wraps each protection mechanism in a
+uniform interface so :mod:`~repro.security.analysis` can run every attack
+against every mechanism and tabulate who detects what.
+"""
+
+from .attacks import ATTACKS, AttackOutcome, AttackResult
+from .adapters import MECHANISM_ADAPTERS, make_adapter
+from .analysis import SecurityMatrix, run_security_analysis
+
+__all__ = [
+    "ATTACKS",
+    "AttackOutcome",
+    "AttackResult",
+    "MECHANISM_ADAPTERS",
+    "make_adapter",
+    "SecurityMatrix",
+    "run_security_analysis",
+]

@@ -1,0 +1,309 @@
+"""Uniform mechanism adapters for the security matrix.
+
+Each adapter exposes the same small surface — ``malloc``, ``free``,
+``load``, ``store``, ``offset`` and capability flags — so the attacks in
+:mod:`~repro.security.attacks` are written once.  ``DETECTION_EXCEPTIONS``
+is the set of exception types that count as "the mechanism detected the
+violation"; anything else propagates as a harness bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..baselines.cheri import Capability, CheriFault, CheriRuntime, Perm
+from ..baselines.mpx import MPXFault, MPXRuntime
+from ..baselines.mte import MTEFault, MTERuntime, TaggedPointer
+from ..baselines.pa import PAFault, PARuntime
+from ..baselines.rest import RedzoneFault, RestRuntime
+from ..baselines.watchdog import WatchdogFault, WatchdogPointer, WatchdogRuntime
+from ..core.aos import AOSRuntime
+from ..core.exceptions import AOSException
+from ..errors import AllocatorError
+from ..memory.allocator import HeapAllocator
+from ..memory.layout import DEFAULT_LAYOUT
+from ..memory.memory import SparseMemory
+
+#: Exception types that count as a successful detection.
+DETECTION_EXCEPTIONS: Tuple[type, ...] = (
+    AOSException,
+    WatchdogFault,
+    RedzoneFault,
+    PAFault,
+    MPXFault,
+    MTEFault,
+    CheriFault,
+    AllocatorError,
+)
+
+
+class BaselineAdapter:
+    """An unprotected glibc-style heap: every attack should succeed."""
+
+    name = "baseline"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.memory = SparseMemory()
+        self.allocator = HeapAllocator(self.memory, DEFAULT_LAYOUT)
+
+    def malloc(self, size: int) -> int:
+        return self.allocator.malloc(size)
+
+    def free(self, pointer: int):
+        self.allocator.free(pointer)
+        return pointer  # dangling pointer remains usable
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return int.from_bytes(self.memory.read_bytes(pointer, size), "little")
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        self.memory.write_bytes(
+            pointer, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        )
+
+    def offset(self, pointer: int, delta: int) -> int:
+        return pointer + delta
+
+    def raw_write(self, address: int, value: int) -> None:
+        """Attacker primitive: arbitrary memory write (threat model §III-D)."""
+        self.memory.write_u64(address, value)
+
+
+class AOSAdapter(BaselineAdapter):
+    """AOS-protected heap (Fig. 7 instrumentation via AOSRuntime)."""
+
+    name = "aos"
+    signs_pointers = True
+
+    def __init__(self, pac_mode: str = "fast") -> None:
+        self.runtime = AOSRuntime(pac_mode=pac_mode)
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    def malloc(self, size: int) -> int:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer: int):
+        return self.runtime.free(pointer)
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return self.runtime.load(pointer, size)
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        self.runtime.store(pointer, value, size)
+
+    def offset(self, pointer: int, delta: int) -> int:
+        return self.runtime.offset(pointer, delta)
+
+    def strip(self, pointer: int) -> int:
+        return self.runtime.signer.xpacm(pointer)
+
+    def forge_ahc_zero(self, pointer: int) -> int:
+        """Attacker clears the AHC field to dodge bounds checking (§VII-C)."""
+        layout = self.runtime.signer.layout
+        return pointer & ~layout.ahc_mask
+
+    def forge_pac(self, pointer: int, new_pac: int) -> int:
+        layout = self.runtime.signer.layout
+        return (pointer & ~layout.pac_mask) | (new_pac << layout.pac_shift)
+
+    def autm(self, pointer: int) -> int:
+        """The PA+AOS on-load authentication (Fig. 13)."""
+        return self.runtime.signer.autm(pointer)
+
+
+class WatchdogAdapter:
+    """Watchdog lock-and-key + bounds."""
+
+    name = "watchdog"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = WatchdogRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    def malloc(self, size: int) -> WatchdogPointer:
+        return self.runtime.malloc(size)
+
+    @staticmethod
+    def _require_fat(pointer) -> WatchdogPointer:
+        if not isinstance(pointer, WatchdogPointer):
+            # An attacker-crafted integer has no register metadata: every
+            # Watchdog check µop on it fails by construction.
+            raise WatchdogFault("crafted pointer carries no lock/key metadata")
+        return pointer
+
+    def free(self, pointer):
+        self.runtime.free(self._require_fat(pointer))
+        return pointer
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._require_fat(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._require_fat(pointer), value, size)
+
+    def offset(self, pointer: WatchdogPointer, delta: int) -> WatchdogPointer:
+        return pointer.offset(delta)
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+class RestAdapter:
+    """REST-style redzones with a quarantine pool."""
+
+    name = "rest"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = RestRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    def malloc(self, size: int) -> int:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer: int):
+        self.runtime.free(pointer)
+        return pointer
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return self.runtime.load(pointer, size)
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        self.runtime.store(pointer, value, size)
+
+    def offset(self, pointer: int, delta: int) -> int:
+        return pointer + delta
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+class PAAdapter(BaselineAdapter):
+    """PA-only pointer integrity: no spatial/temporal protection."""
+
+    name = "pa"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = PARuntime(pac_mode="fast")
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    def malloc(self, size: int) -> int:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer: int):
+        self.runtime.free(pointer)
+        return pointer
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return self.runtime.load(pointer, size)
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        self.runtime.store(pointer, value, size)
+
+
+class MTEAdapter:
+    """Arm-MTE/ADI-style 4-bit memory tagging (§X)."""
+
+    name = "mte"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = MTERuntime(tag_bits=4)
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    @staticmethod
+    def _as_tagged(pointer) -> TaggedPointer:
+        if isinstance(pointer, TaggedPointer):
+            return pointer
+        # An attacker-crafted integer pointer carries whatever key tag the
+        # attacker picked; untagged memory reads as tag 0, so the best
+        # strategy is tag 0 (MTE does not tag non-heap regions).
+        return TaggedPointer(address=int(pointer), tag=0)
+
+    def malloc(self, size: int) -> TaggedPointer:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer):
+        return self.runtime.free(self._as_tagged(pointer))
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._as_tagged(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._as_tagged(pointer), value, size)
+
+    def offset(self, pointer, delta: int):
+        return self._as_tagged(pointer).offset(delta)
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+class CheriAdapter:
+    """CHERI-style capabilities (§X): spatial safety by construction,
+    temporal safety deferred to revocation sweeps."""
+
+    name = "cheri"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = CheriRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    @staticmethod
+    def _as_cap(pointer):
+        if isinstance(pointer, Capability):
+            return pointer
+        # A crafted integer is not a tagged capability; every check traps.
+        return Capability(
+            address=int(pointer), base=int(pointer), length=8,
+            perms=Perm.rw(), tag=False,
+        )
+
+    def malloc(self, size: int) -> Capability:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer):
+        return self.runtime.free(self._as_cap(pointer))
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._as_cap(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._as_cap(pointer), value, size)
+
+    def offset(self, pointer, delta: int):
+        return self._as_cap(pointer).offset(delta)
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+MECHANISM_ADAPTERS: Dict[str, Callable[[], object]] = {
+    "baseline": BaselineAdapter,
+    "rest": RestAdapter,
+    "pa": PAAdapter,
+    "mte": MTEAdapter,
+    "cheri": CheriAdapter,
+    "watchdog": WatchdogAdapter,
+    "aos": AOSAdapter,
+}
+
+
+def make_adapter(mechanism: str):
+    """Instantiate a fresh adapter for ``mechanism``."""
+    factory = MECHANISM_ADAPTERS.get(mechanism)
+    if factory is None:
+        raise KeyError(
+            f"unknown mechanism {mechanism!r}; known: {', '.join(MECHANISM_ADAPTERS)}"
+        )
+    return factory()

@@ -1,0 +1,87 @@
+"""The mechanism-vs-attack detection matrix (§VII's security analysis).
+
+Runs every attack scenario against every mechanism adapter (each attack on
+a *fresh* adapter, so earlier corruption cannot mask later results) and
+tabulates the outcomes.  ``expected_aos()`` encodes the paper's claims so
+the test suite can assert the reproduction matches §VII exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .adapters import MECHANISM_ADAPTERS, make_adapter
+from .attacks import ATTACKS, AttackOutcome, AttackResult
+
+
+@dataclass
+class SecurityMatrix:
+    """attack name -> mechanism -> AttackResult."""
+
+    results: Dict[str, Dict[str, AttackResult]] = field(default_factory=dict)
+
+    def outcome(self, attack: str, mechanism: str) -> AttackOutcome:
+        return self.results[attack][mechanism].outcome
+
+    def detected(self, attack: str, mechanism: str) -> bool:
+        return self.results[attack][mechanism].detected
+
+    def mechanisms(self) -> List[str]:
+        first = next(iter(self.results.values()))
+        return list(first)
+
+    def rows(self) -> Iterable[tuple]:
+        """(attack, {mechanism: outcome string}) rows for reports."""
+        for attack, per_mech in self.results.items():
+            yield attack, {m: r.outcome.value for m, r in per_mech.items()}
+
+    def format_table(self) -> str:
+        mechanisms = self.mechanisms()
+        header = f"{'attack':24s}" + "".join(f"{m:>12s}" for m in mechanisms)
+        lines = [header, "-" * len(header)]
+        symbol = {
+            AttackOutcome.DETECTED: "DETECT",
+            AttackOutcome.UNDETECTED: "-",
+            AttackOutcome.NOT_APPLICABLE: "n/a",
+        }
+        for attack, per_mech in self.results.items():
+            row = f"{attack:24s}" + "".join(
+                f"{symbol[per_mech[m].outcome]:>12s}" for m in mechanisms
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_security_analysis(
+    mechanisms: Optional[List[str]] = None,
+    attacks: Optional[List[str]] = None,
+) -> SecurityMatrix:
+    """Run the full (or a selected) attack suite against each mechanism."""
+    mechanisms = mechanisms or list(MECHANISM_ADAPTERS)
+    attacks = attacks or list(ATTACKS)
+    matrix = SecurityMatrix()
+    for attack_name in attacks:
+        attack = ATTACKS[attack_name]
+        matrix.results[attack_name] = {}
+        for mechanism in mechanisms:
+            adapter = make_adapter(mechanism)  # fresh heap per scenario
+            matrix.results[attack_name][mechanism] = attack(adapter)
+    return matrix
+
+
+def expected_aos() -> Dict[str, AttackOutcome]:
+    """The paper's §VII claims for AOS, asserted by the test suite."""
+    return {
+        "adjacent-oob-read": AttackOutcome.DETECTED,
+        "adjacent-oob-write": AttackOutcome.DETECTED,
+        "nonadjacent-oob-read": AttackOutcome.DETECTED,
+        "use-after-free": AttackOutcome.DETECTED,
+        "uaf-after-reuse": AttackOutcome.DETECTED,
+        "double-free": AttackOutcome.DETECTED,
+        "invalid-free": AttackOutcome.DETECTED,
+        "house-of-spirit": AttackOutcome.DETECTED,
+        "pac-forgery": AttackOutcome.DETECTED,     # w.h.p. given PAC entropy
+        "ahc-forgery": AttackOutcome.DETECTED,     # via autm (PA+AOS, Fig. 13)
+        "metadata-brute-force": AttackOutcome.DETECTED,  # 16-bit PAC entropy
+    }

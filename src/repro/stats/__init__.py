@@ -1,0 +1,5 @@
+"""Reporting helpers: tables, geometric means, normalisation."""
+
+from .report import TableFormatter, geomean, normalize
+
+__all__ = ["TableFormatter", "geomean", "normalize"]

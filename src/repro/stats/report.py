@@ -1,0 +1,55 @@
+"""Small presentation utilities shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean — the paper's summary statistic for Figs. 14/18."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every entry by the baseline entry."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+class TableFormatter:
+    """Fixed-width text tables for experiment reports."""
+
+    def __init__(self, columns: Sequence[str], col_width: int = 12, name_width: int = 14):
+        self.columns = list(columns)
+        self.col_width = col_width
+        self.name_width = name_width
+        self._rows: List[str] = []
+
+    def header(self) -> str:
+        head = f"{'':{self.name_width}s}" + "".join(
+            f"{c:>{self.col_width}s}" for c in self.columns
+        )
+        return head + "\n" + "-" * len(head)
+
+    def add_row(self, name: str, values: Dict[str, object], fmt: str = "{:.3f}") -> None:
+        cells = []
+        for column in self.columns:
+            value = values.get(column)
+            if value is None:
+                cells.append(f"{'-':>{self.col_width}s}")
+            elif isinstance(value, float):
+                cells.append(f"{fmt.format(value):>{self.col_width}s}")
+            else:
+                cells.append(f"{str(value):>{self.col_width}s}")
+        self._rows.append(f"{name:{self.name_width}s}" + "".join(cells))
+
+    def render(self) -> str:
+        return "\n".join([self.header()] + self._rows)

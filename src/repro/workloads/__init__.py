@@ -1,0 +1,36 @@
+"""Workload substrate: profiles, trace generation, microbenchmarks, attacks.
+
+The paper evaluates SPEC CPU 2006 with reference inputs on gem5.  We cannot
+run SPEC binaries here, so each workload is modelled by a
+:class:`~repro.workloads.profiles.WorkloadProfile` that combines
+
+- the paper's own published memory-usage profile (Table II/III: allocation
+  and deallocation counts, maximum active chunks),
+- the paper's instruction-mix evidence (Fig. 16: signed/unsigned load and
+  store fractions, bndstr/bndclr and pac* rates), and
+- qualitative behaviour the paper calls out per workload (gcc's large
+  memory footprint, hmmer's >99 % signed accesses and call-heavy code,
+  lbm's low memory intensity, pointer-chasing in mcf/omnetpp ...).
+
+:mod:`~repro.workloads.generator` turns a profile into a deterministic
+event trace that the compiler passes lower per mechanism.
+"""
+
+from .profiles import (
+    WorkloadProfile,
+    SPEC2006_PROFILES,
+    REALWORLD_PROFILES,
+    get_profile,
+)
+from .generator import WorkloadTrace, generate_trace
+from .microbench import pac_distribution
+
+__all__ = [
+    "WorkloadProfile",
+    "SPEC2006_PROFILES",
+    "REALWORLD_PROFILES",
+    "get_profile",
+    "WorkloadTrace",
+    "generate_trace",
+    "pac_distribution",
+]

@@ -1,0 +1,81 @@
+"""The §VI PAC-collision microbenchmark (Fig. 11).
+
+"We run a microbenchmark that continuously calls malloc() 1 million times
+and generates 16-bit PAC values" using the published 64-bit context
+``0x477d469dec0b8762`` and 128-bit key
+``0x84be85ce9804e94bec2802d4e0a488e9`` (the QARMA-64 test-vector values).
+The paper reports the PAC histogram: Avg 16.0, Max 36, Min 3, Stdev 3.99.
+
+We reproduce it with the real QARMA-64 cipher over the address stream a
+real allocator would produce for a tight malloc loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..crypto.qarma_batch import Qarma64Batch
+from ..memory.layout import DEFAULT_LAYOUT
+
+PAPER_KEY = 0x84BE85CE9804E94BEC2802D4E0A488E9
+PAPER_CONTEXT = 0x477D469DEC0B8762
+
+
+@dataclass
+class PACDistribution:
+    """Summary of a PAC histogram (the Fig. 11 caption statistics)."""
+
+    counts: np.ndarray
+    n_pointers: int
+    pac_bits: int
+
+    @property
+    def mean(self) -> float:
+        return float(self.counts.mean())
+
+    @property
+    def max(self) -> int:
+        return int(self.counts.max())
+
+    @property
+    def min(self) -> int:
+        return int(self.counts.min())
+
+    @property
+    def stdev(self) -> float:
+        return float(self.counts.std())
+
+    def summary(self) -> str:
+        return (
+            f"Avg:{self.mean:.1f}, Max:{self.max}, Min:{self.min}, "
+            f"Stdev: {self.stdev:.2f}"
+        )
+
+
+def malloc_address_stream(n: int, chunk_stride: int = 48) -> np.ndarray:
+    """Addresses a tight ``malloc`` loop returns: 16-byte-aligned payloads
+    marching up the heap at one chunk per call (header + payload)."""
+    base = DEFAULT_LAYOUT.heap_base + 16
+    return (base + chunk_stride * np.arange(n, dtype=np.uint64)).astype(np.uint64)
+
+
+def pac_distribution(
+    n: int = 1_000_000,
+    pac_bits: int = 16,
+    key: int = PAPER_KEY,
+    context: int = PAPER_CONTEXT,
+    addresses: Optional[np.ndarray] = None,
+    batch: int = 1 << 16,
+) -> PACDistribution:
+    """Reproduce Fig. 11: the PAC histogram of ``n`` malloc'd pointers."""
+    cipher = Qarma64Batch(key)
+    if addresses is None:
+        addresses = malloc_address_stream(n)
+    counts = np.zeros(1 << pac_bits, dtype=np.int64)
+    for start in range(0, len(addresses), batch):
+        pacs = cipher.pacs(addresses[start : start + batch], context, pac_bits)
+        counts += np.bincount(pacs.astype(np.int64), minlength=1 << pac_bits)
+    return PACDistribution(counts=counts, n_pointers=len(addresses), pac_bits=pac_bits)

@@ -1,0 +1,376 @@
+"""Workload profiles for the 16 SPEC CPU 2006 and 6 real-world benchmarks.
+
+``table_*`` fields carry the paper's published full-program memory-usage
+profiles verbatim (Tables II and III) — they are what the Table II/III
+experiments report.  The remaining fields parameterise the synthetic
+steady-state window the timing simulator executes; they are calibrated to
+the paper's per-workload evidence:
+
+- **Fig. 16** fixes the signed vs unsigned load/store mix (``mem_frac``,
+  ``store_ratio``, ``heap_frac``): bzip2/gcc/hmmer/lbm above 80 % signed,
+  hmmer above 99 %, sjeng/milc/namd low.
+- **Table II** fixes allocation rates and live-set sizes
+  (``mallocs_per_kinst`` ~ allocations / 3 B instructions,
+  ``initial_live`` ~ max active chunks).
+- §IX-A's discussion fixes the qualitative knobs: gcc is memory-intensive
+  with a large footprint (worst AOS slowdown), lbm is signed-heavy but not
+  memory-intensive, hmmer and omnetpp are call-heavy (PA overhead ~10 %),
+  milc/namd/gobmk/astar are misprediction-prone (the back-pressure
+  speedup), mcf and omnetpp chase pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+
+SizeClasses = Tuple[Tuple[int, float], ...]
+
+#: Default object-size mixture (typical allocator bin pressure).
+DEFAULT_SIZES: SizeClasses = ((32, 0.45), (96, 0.30), (320, 0.17), (2048, 0.08))
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything needed to synthesise one benchmark's behaviour."""
+
+    name: str
+    description: str
+
+    # -- published full-program profile (Table II / Table III) -------------
+    table_max_active: int
+    table_allocations: int
+    table_deallocations: int
+
+    # -- dynamic window behaviour ------------------------------------------
+    #: Fraction of instructions that are loads/stores.
+    mem_frac: float = 0.30
+    #: Of memory ops, fraction that are stores.
+    store_ratio: float = 0.35
+    #: Of memory ops, fraction that target heap objects (signed under AOS).
+    heap_frac: float = 0.60
+    branch_frac: float = 0.12
+    falu_frac: float = 0.05
+    #: Fraction of branch sites with essentially random outcomes.
+    random_branch_frac: float = 0.15
+    #: Function calls per 1000 instructions (drives PA's pacia/autia).
+    call_rate: float = 4.0
+    #: Allocation calls per 1000 instructions in the measured window.
+    mallocs_per_kinst: float = 0.2
+    #: Live heap objects at the start of the window (max-active scaled).
+    initial_live: int = 64
+    #: Object-size mixture sampled at allocation.
+    size_classes: SizeClasses = DEFAULT_SIZES
+    #: Fraction of live objects forming the hot working set, and the
+    #: probability an access lands in it (footprint / locality knobs).
+    hot_fraction: float = 0.10
+    hot_access_prob: float = 0.70
+    #: Probability a heap access stays on the same object as the previous
+    #: one (loop-over-object burstiness — what gives the BWB its >80 % hit
+    #: rates in Fig. 17).
+    burst_prob: float = 0.85
+    #: Lifetime skew of freed objects: 1.0 frees the most recent
+    #: allocations (tcache churn, short-lived event objects), 0.0 frees
+    #: the oldest.  Warm allocator/HBT rows come from high recency.
+    free_recency: float = 0.7
+    #: Fraction of object accesses that stream sequentially (vs random).
+    seq_frac: float = 0.50
+    #: Of heap accesses, fraction that move pointers (PARTS sign/auth and
+    #: Watchdog metadata-propagation targets).
+    ptr_frac: float = 0.08
+    #: Pointer-arithmetic sites per 1000 instructions (Watchdog WMETA).
+    ptr_arith_rate: float = 25.0
+    #: Fraction of heap loads whose address depends on the previous load
+    #: (pointer chasing).
+    chase_frac: float = 0.05
+    #: Probability an instruction depends on a recent producer.
+    dep_prob: float = 0.45
+    #: Mean distance of such dependencies (ILP knob).
+    ilp_distance: int = 12
+
+    def __post_init__(self) -> None:
+        fracs = self.mem_frac + self.branch_frac + self.falu_frac
+        if fracs >= 1.0:
+            raise WorkloadError(f"{self.name}: instruction mix exceeds 100%")
+        total_weight = sum(w for _, w in self.size_classes)
+        if not 0.99 <= total_weight <= 1.01:
+            raise WorkloadError(f"{self.name}: size-class weights must sum to 1")
+
+
+def _p(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+#: The 16 SPEC CPU 2006 workloads of Table II / Figs. 14-18.
+SPEC2006_PROFILES: Dict[str, WorkloadProfile] = {
+    "bzip2": _p(
+        name="bzip2",
+        description="compression; signed-access heavy, modest footprint",
+        table_max_active=10, table_allocations=29, table_deallocations=25,
+        mem_frac=0.34, store_ratio=0.35, heap_frac=0.86,
+        branch_frac=0.13, random_branch_frac=0.22,
+        call_rate=1.0, mallocs_per_kinst=0.0,
+        initial_live=10,
+        size_classes=((262144, 0.5), (1048576, 0.5)),
+        hot_fraction=0.5, hot_access_prob=0.6, seq_frac=0.75,
+        ptr_frac=0.02, chase_frac=0.02, dep_prob=0.5, ilp_distance=10,
+    ),
+    "gcc": _p(
+        name="gcc",
+        description="compiler; large footprint, malloc-heavy, memory-intensive",
+        table_max_active=81825, table_allocations=1846825, table_deallocations=1829255,
+        mem_frac=0.44, store_ratio=0.40, heap_frac=0.84,
+        branch_frac=0.16, random_branch_frac=0.18,
+        call_rate=8.0, mallocs_per_kinst=12.0,
+        initial_live=81825,
+        size_classes=((256, 0.30), (1024, 0.30), (4096, 0.30), (16384, 0.10)),
+        hot_fraction=0.55, hot_access_prob=0.30, seq_frac=0.25,
+        burst_prob=0.68, free_recency=0.2,
+        ptr_frac=0.14, chase_frac=0.12, dep_prob=0.5, ilp_distance=10,
+    ),
+    "mcf": _p(
+        name="mcf",
+        description="network simplex; pointer chasing over a huge static graph",
+        table_max_active=6, table_allocations=8, table_deallocations=8,
+        mem_frac=0.42, store_ratio=0.25, heap_frac=0.55,
+        branch_frac=0.17, random_branch_frac=0.30,
+        call_rate=2.0, mallocs_per_kinst=0.0,
+        initial_live=6,
+        size_classes=((4194304, 1.0),),
+        hot_fraction=1.0, hot_access_prob=0.2, seq_frac=0.15,
+        ptr_frac=0.20, chase_frac=0.35, dep_prob=0.6, ilp_distance=6,
+    ),
+    "milc": _p(
+        name="milc",
+        description="lattice QCD; FP heavy, streaming, misprediction-prone",
+        table_max_active=61, table_allocations=6523, table_deallocations=6474,
+        mem_frac=0.36, store_ratio=0.30, heap_frac=0.42,
+        branch_frac=0.10, falu_frac=0.25, random_branch_frac=0.40,
+        call_rate=2.0, mallocs_per_kinst=0.002,
+        initial_live=61,
+        size_classes=((65536, 0.6), (262144, 0.4)),
+        hot_fraction=0.6, hot_access_prob=0.5, seq_frac=0.85,
+        ptr_frac=0.02, chase_frac=0.01, dep_prob=0.4, ilp_distance=16,
+    ),
+    "namd": _p(
+        name="namd",
+        description="molecular dynamics; FP heavy, cache friendly",
+        table_max_active=1316, table_allocations=1328, table_deallocations=1326,
+        mem_frac=0.32, store_ratio=0.25, heap_frac=0.38,
+        branch_frac=0.09, falu_frac=0.30, random_branch_frac=0.38,
+        call_rate=3.0, mallocs_per_kinst=0.0005,
+        initial_live=1316,
+        size_classes=((1024, 0.6), (8192, 0.4)),
+        hot_fraction=0.3, hot_access_prob=0.8, seq_frac=0.70,
+        ptr_frac=0.03, chase_frac=0.02, dep_prob=0.4, ilp_distance=16,
+    ),
+    "gobmk": _p(
+        name="gobmk",
+        description="game AI; branchy, small heap, misprediction-prone",
+        table_max_active=1021, table_allocations=137369, table_deallocations=137358,
+        mem_frac=0.28, store_ratio=0.35, heap_frac=0.30,
+        branch_frac=0.19, random_branch_frac=0.42,
+        call_rate=9.0, mallocs_per_kinst=0.046,
+        initial_live=1021,
+        size_classes=DEFAULT_SIZES,
+        hot_fraction=0.2, hot_access_prob=0.8, seq_frac=0.45,
+        ptr_frac=0.06, chase_frac=0.04, dep_prob=0.5, ilp_distance=10,
+    ),
+    "soplex": _p(
+        name="soplex",
+        description="LP solver; mixed, moderate footprint",
+        table_max_active=140, table_allocations=98955, table_deallocations=34025,
+        mem_frac=0.38, store_ratio=0.30, heap_frac=0.58,
+        branch_frac=0.14, falu_frac=0.12, random_branch_frac=0.20,
+        call_rate=4.0, mallocs_per_kinst=0.033,
+        initial_live=140,
+        size_classes=((4096, 0.5), (65536, 0.5)),
+        hot_fraction=0.4, hot_access_prob=0.6, seq_frac=0.55,
+        ptr_frac=0.07, chase_frac=0.05, dep_prob=0.45, ilp_distance=12,
+    ),
+    "povray": _p(
+        name="povray",
+        description="ray tracer; malloc-heavy with a small live set",
+        table_max_active=11667, table_allocations=2461247, table_deallocations=2461107,
+        mem_frac=0.33, store_ratio=0.35, heap_frac=0.52,
+        branch_frac=0.13, falu_frac=0.18, random_branch_frac=0.16,
+        call_rate=11.0, mallocs_per_kinst=2.5,
+        initial_live=11667,
+        size_classes=((32, 0.5), (128, 0.35), (512, 0.15)),
+        hot_fraction=0.15, hot_access_prob=0.88, seq_frac=0.40,
+        burst_prob=0.85, free_recency=0.9,
+        ptr_frac=0.10, chase_frac=0.06, dep_prob=0.45, ilp_distance=12,
+    ),
+    "hmmer": _p(
+        name="hmmer",
+        description="HMM search; >99% signed accesses, call-heavy, high IPC",
+        table_max_active=1450, table_allocations=1474128, table_deallocations=1474128,
+        mem_frac=0.42, store_ratio=0.42, heap_frac=0.995,
+        branch_frac=0.08, random_branch_frac=0.06,
+        call_rate=16.0, mallocs_per_kinst=0.49,
+        initial_live=1450,
+        size_classes=((128, 0.4), (512, 0.4), (2048, 0.2)),
+        free_recency=0.9,
+        hot_fraction=0.25, hot_access_prob=0.85, seq_frac=0.80,
+        ptr_frac=0.04, chase_frac=0.02, dep_prob=0.35, ilp_distance=20,
+    ),
+    "sjeng": _p(
+        name="sjeng",
+        description="chess; almost no heap traffic, branchy",
+        table_max_active=6, table_allocations=6, table_deallocations=2,
+        mem_frac=0.26, store_ratio=0.35, heap_frac=0.12,
+        branch_frac=0.18, random_branch_frac=0.35,
+        call_rate=8.0, mallocs_per_kinst=0.0,
+        initial_live=6,
+        size_classes=((1048576, 1.0),),
+        hot_fraction=1.0, hot_access_prob=0.8, seq_frac=0.40,
+        ptr_frac=0.04, chase_frac=0.02, dep_prob=0.5, ilp_distance=10,
+    ),
+    "libquantum": _p(
+        name="libquantum",
+        description="quantum simulation; streaming over one large array",
+        table_max_active=5, table_allocations=180, table_deallocations=180,
+        mem_frac=0.35, store_ratio=0.30, heap_frac=0.72,
+        branch_frac=0.14, random_branch_frac=0.08,
+        call_rate=1.5, mallocs_per_kinst=0.0001,
+        initial_live=5,
+        size_classes=((2097152, 1.0),),
+        hot_fraction=1.0, hot_access_prob=0.5, seq_frac=0.95,
+        ptr_frac=0.01, chase_frac=0.0, dep_prob=0.3, ilp_distance=24,
+    ),
+    "h264ref": _p(
+        name="h264ref",
+        description="video encoder; moderate heap, compute dense",
+        table_max_active=13857, table_allocations=38275, table_deallocations=38273,
+        mem_frac=0.37, store_ratio=0.35, heap_frac=0.62,
+        branch_frac=0.11, random_branch_frac=0.14,
+        call_rate=6.0, mallocs_per_kinst=0.013,
+        initial_live=13857,
+        size_classes=((256, 0.4), (2048, 0.4), (16384, 0.2)),
+        hot_fraction=0.2, hot_access_prob=0.88, seq_frac=0.70,
+        burst_prob=0.92,
+        ptr_frac=0.05, chase_frac=0.03, dep_prob=0.45, ilp_distance=14,
+    ),
+    "lbm": _p(
+        name="lbm",
+        description="fluid dynamics; signed-heavy but compute bound",
+        table_max_active=5, table_allocations=7, table_deallocations=7,
+        mem_frac=0.24, store_ratio=0.45, heap_frac=0.92,
+        branch_frac=0.04, falu_frac=0.35, random_branch_frac=0.05,
+        call_rate=0.5, mallocs_per_kinst=0.0,
+        initial_live=5,
+        size_classes=((8388608, 1.0),),
+        hot_fraction=1.0, hot_access_prob=0.5, seq_frac=0.97,
+        ptr_frac=0.01, chase_frac=0.0, dep_prob=0.3, ilp_distance=28,
+    ),
+    "omnetpp": _p(
+        name="omnetpp",
+        description="discrete-event sim; ~2M live objects, malloc storm",
+        table_max_active=1993737, table_allocations=21244416, table_deallocations=21244416,
+        mem_frac=0.38, store_ratio=0.38, heap_frac=0.62,
+        branch_frac=0.15, random_branch_frac=0.24,
+        call_rate=12.0, mallocs_per_kinst=7.1,
+        # The measured window (first 3B instructions) sees the live set
+        # still growing; Table II's 2M max-active is a full-run figure.
+        initial_live=400000,
+        size_classes=((64, 0.45), (192, 0.35), (512, 0.20)),
+        hot_fraction=0.02, hot_access_prob=0.93, seq_frac=0.30,
+        burst_prob=0.86, free_recency=0.92,
+        ptr_frac=0.16, chase_frac=0.18, dep_prob=0.55, ilp_distance=8,
+    ),
+    "astar": _p(
+        name="astar",
+        description="path finding; branchy, moderate heap, mispredict prone",
+        table_max_active=190984, table_allocations=1116621, table_deallocations=1116621,
+        mem_frac=0.33, store_ratio=0.30, heap_frac=0.45,
+        branch_frac=0.17, random_branch_frac=0.40,
+        call_rate=5.0, mallocs_per_kinst=0.37,
+        # Live set still below its full-run maximum in the measured window.
+        initial_live=100000,
+        size_classes=((48, 0.5), (160, 0.35), (1024, 0.15)),
+        hot_fraction=0.08, hot_access_prob=0.85, seq_frac=0.35,
+        burst_prob=0.90,
+        ptr_frac=0.12, chase_frac=0.14, dep_prob=0.55, ilp_distance=8,
+    ),
+    "sphinx3": _p(
+        name="sphinx3",
+        description="speech recognition; malloc-heavy, large live set",
+        table_max_active=200686, table_allocations=14224690, table_deallocations=14024020,
+        mem_frac=0.40, store_ratio=0.30, heap_frac=0.68,
+        branch_frac=0.12, falu_frac=0.15, random_branch_frac=0.15,
+        call_rate=7.0, mallocs_per_kinst=4.7,
+        initial_live=200686,
+        size_classes=((48, 0.55), (256, 0.35), (2048, 0.10)),
+        free_recency=0.95,
+        hot_fraction=0.02, hot_access_prob=0.96, seq_frac=0.45,
+        ptr_frac=0.08, chase_frac=0.06, dep_prob=0.45, ilp_distance=12,
+    ),
+}
+
+
+#: The 6 real-world benchmarks of Table III.
+REALWORLD_PROFILES: Dict[str, WorkloadProfile] = {
+    "pbzip2": _p(
+        name="pbzip2",
+        description="Compress 1.4GB file, 8 threads",
+        table_max_active=110, table_allocations=12425, table_deallocations=12423,
+        mem_frac=0.34, heap_frac=0.85, initial_live=110,
+        mallocs_per_kinst=0.01,
+        size_classes=((262144, 0.6), (1048576, 0.4)),
+    ),
+    "pigz": _p(
+        name="pigz",
+        description="Compress 1.4GB file, 8 threads",
+        table_max_active=110, table_allocations=24511, table_deallocations=24511,
+        mem_frac=0.33, heap_frac=0.82, initial_live=110,
+        mallocs_per_kinst=0.02,
+        size_classes=((131072, 0.7), (524288, 0.3)),
+    ),
+    "axel": _p(
+        name="axel",
+        description="Download 1.4GB file, 8 threads",
+        table_max_active=172, table_allocations=473, table_deallocations=473,
+        mem_frac=0.28, heap_frac=0.55, initial_live=172,
+        mallocs_per_kinst=0.001,
+        size_classes=((4096, 0.5), (65536, 0.5)),
+    ),
+    "md5sum": _p(
+        name="md5sum",
+        description="Calculate MD5 hash, 1.4GB file",
+        table_max_active=32, table_allocations=34, table_deallocations=34,
+        mem_frac=0.30, heap_frac=0.75, initial_live=32,
+        mallocs_per_kinst=0.0,
+        size_classes=((65536, 1.0),),
+    ),
+    "apache": _p(
+        name="apache",
+        description="Apache bench, 10K requests",
+        table_max_active=7592, table_allocations=13360000, table_deallocations=13360000,
+        mem_frac=0.36, heap_frac=0.60, initial_live=7592,
+        mallocs_per_kinst=4.0, call_rate=14.0,
+        size_classes=((64, 0.4), (512, 0.4), (4096, 0.2)),
+    ),
+    "mysql": _p(
+        name="mysql",
+        description="Sysbench, 100K requests",
+        table_max_active=5380, table_allocations=28622, table_deallocations=28621,
+        mem_frac=0.37, heap_frac=0.58, initial_live=5380,
+        mallocs_per_kinst=0.05, call_rate=12.0,
+        size_classes=((128, 0.4), (1024, 0.4), (16384, 0.2)),
+    ),
+}
+
+
+ALL_PROFILES: Dict[str, WorkloadProfile] = {**SPEC2006_PROFILES, **REALWORLD_PROFILES}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by benchmark name."""
+    profile = ALL_PROFILES.get(name)
+    if profile is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(ALL_PROFILES))}"
+        )
+    return profile

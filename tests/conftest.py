@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.aos import AOSRuntime
+
+
+@pytest.fixture
+def aos_runtime() -> AOSRuntime:
+    """A fast-PAC AOS runtime (behaviourally identical, cheaper to drive)."""
+    return AOSRuntime(pac_mode="fast")
+
+
+@pytest.fixture
+def qarma_runtime() -> AOSRuntime:
+    """An AOS runtime computing real QARMA PACs."""
+    return AOSRuntime(pac_mode="qarma")
+
+
+@pytest.fixture
+def config():
+    return default_config("aos")

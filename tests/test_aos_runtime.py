@@ -1,0 +1,141 @@
+"""AOSRuntime integration tests: the Fig. 7 / Fig. 12 flows end-to-end."""
+
+import pytest
+
+from repro.core.aos import AOSRuntime
+from repro.core.exceptions import (
+    BoundsCheckFault,
+    BoundsClearFault,
+)
+
+
+class TestHappyPath:
+    def test_malloc_returns_signed_pointer(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        assert aos_runtime.signer.is_signed(p)
+
+    def test_store_load_roundtrip(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        aos_runtime.store(p, 0xDEADBEEF)
+        assert aos_runtime.load(p) == 0xDEADBEEF
+
+    def test_interior_access(self, aos_runtime):
+        p = aos_runtime.malloc(128)
+        q = aos_runtime.offset(p, 64)
+        aos_runtime.store(q, 42)
+        assert aos_runtime.load(q) == 42
+
+    def test_last_byte_accessible(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        aos_runtime.store(aos_runtime.offset(p, 63), 7, size=1)
+
+    def test_bytes_roundtrip(self, aos_runtime):
+        p = aos_runtime.malloc(32)
+        aos_runtime.store_bytes(p, b"hello world")
+        assert aos_runtime.load_bytes(p, 11) == b"hello world"
+
+    def test_free_returns_locked_pointer(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        dangling = aos_runtime.free(p)
+        assert aos_runtime.signer.is_signed(dangling)
+
+    def test_many_allocations(self, aos_runtime):
+        ptrs = [aos_runtime.malloc(32) for _ in range(200)]
+        for i, p in enumerate(ptrs):
+            aos_runtime.store(p, i)
+        for i, p in enumerate(ptrs):
+            assert aos_runtime.load(p) == i
+
+    def test_qarma_mode_works_end_to_end(self, qarma_runtime):
+        p = qarma_runtime.malloc(64)
+        qarma_runtime.store(p, 1)
+        assert qarma_runtime.load(p) == 1
+
+
+class TestSpatialSafety:
+    def test_oob_read_detected(self, aos_runtime):
+        """Fig. 12 line 6."""
+        p = aos_runtime.malloc(64)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(aos_runtime.offset(p, 64))
+
+    def test_oob_write_detected(self, aos_runtime):
+        """Fig. 12 line 7."""
+        p = aos_runtime.malloc(64)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.store(aos_runtime.offset(p, 72), 0)
+
+    def test_underflow_detected(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(aos_runtime.offset(p, -8))
+
+    def test_far_oob_detected(self, aos_runtime):
+        """Non-adjacent violations — the redzone blind spot (§I)."""
+        p = aos_runtime.malloc(64)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(aos_runtime.offset(p, 1 << 20))
+
+    def test_precise_exception_store_writes_nothing(self, aos_runtime):
+        """§III-C.4: architectural state must not change on a fault."""
+        p = aos_runtime.malloc(64)
+        victim = aos_runtime.malloc(64)
+        aos_runtime.store(victim, 0x11111111)
+        target = aos_runtime.offset(p, aos_runtime.signer.xpacm(victim) - aos_runtime.signer.xpacm(p))
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.store(target, 0x22222222)
+        assert aos_runtime.load(victim) == 0x11111111
+
+
+class TestTemporalSafety:
+    def test_use_after_free_detected(self, aos_runtime):
+        """Fig. 12 line 14."""
+        p = aos_runtime.malloc(64)
+        dangling = aos_runtime.free(p)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(dangling)
+
+    def test_double_free_detected(self, aos_runtime):
+        """Fig. 12 lines 16-19."""
+        p = aos_runtime.malloc(64)
+        dangling = aos_runtime.free(p)
+        with pytest.raises(BoundsClearFault):
+            aos_runtime.free(dangling)
+
+    def test_dangling_after_reuse_detected(self, aos_runtime):
+        p = aos_runtime.malloc(48)
+        dangling = aos_runtime.free(p)
+        aos_runtime.malloc(48)  # reuses the chunk
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(dangling)
+
+    def test_free_of_crafted_pointer_detected(self, aos_runtime):
+        """Only valid signed pointers can be freed (§VII-A)."""
+        crafted = aos_runtime.signer.pacma(0x00601000, 123, 64)
+        with pytest.raises(BoundsClearFault):
+            aos_runtime.free(crafted)
+
+    def test_realloc_same_address_is_usable(self, aos_runtime):
+        p = aos_runtime.malloc(48)
+        raw = aos_runtime.signer.xpacm(p)
+        aos_runtime.free(p)
+        q = aos_runtime.malloc(48)
+        assert aos_runtime.signer.xpacm(q) == raw  # tcache reuse
+        aos_runtime.store(q, 5)
+        assert aos_runtime.load(q) == 5
+
+
+class TestStats:
+    def test_counters(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        aos_runtime.store(p, 1)
+        aos_runtime.load(p)
+        aos_runtime.free(p)
+        s = aos_runtime.stats
+        assert (s.mallocs, s.frees, s.loads, s.stores) == (1, 1, 1, 1)
+
+    def test_fault_counted(self, aos_runtime):
+        p = aos_runtime.malloc(64)
+        with pytest.raises(BoundsCheckFault):
+            aos_runtime.load(aos_runtime.offset(p, 4096))
+        assert aos_runtime.stats.faults_raised == 1

@@ -1,0 +1,180 @@
+"""Baseline mechanism tests: Watchdog, PA, REST, MPX functional models."""
+
+import pytest
+
+from repro.baselines.mpx import (
+    AOS_ADDRESSING_COST,
+    MPX_ADDRESSING_COST,
+    MPXFault,
+    MPXRuntime,
+)
+from repro.baselines.pa import PAFault, PARuntime
+from repro.baselines.rest import REDZONE_BYTES, RedzoneFault, RestRuntime
+from repro.baselines.watchdog import WatchdogFault, WatchdogRuntime
+
+
+class TestWatchdog:
+    def test_in_bounds_access(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(64)
+        rt.store(p, 99)
+        assert rt.load(p) == 99
+
+    def test_oob_detected(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(64)
+        with pytest.raises(WatchdogFault):
+            rt.load(p.offset(64))
+
+    def test_metadata_propagates_through_arithmetic(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(128)
+        q = p.offset(64)
+        assert q.base == p.base
+        assert q.key == p.key
+        rt.store(q, 1)  # still checkable
+
+    def test_uaf_detected_via_lock(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(64)
+        rt.free(p)
+        with pytest.raises(WatchdogFault):
+            rt.load(p)
+
+    def test_double_free_detected(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(64)
+        rt.free(p)
+        with pytest.raises(WatchdogFault):
+            rt.free(p)
+
+    def test_keys_unique_across_allocations(self):
+        rt = WatchdogRuntime()
+        assert rt.malloc(32).key != rt.malloc(32).key
+
+    def test_check_counters(self):
+        rt = WatchdogRuntime()
+        p = rt.malloc(64)
+        rt.load(p)
+        assert rt.checks == 1
+
+
+class TestPA:
+    def make(self):
+        return PARuntime(pac_mode="fast")
+
+    def test_sign_auth_roundtrip(self):
+        rt = self.make()
+        p = rt.malloc(64)
+        signed = rt.pacda(p, modifier=42)
+        assert rt.autda(signed, modifier=42) == p
+
+    def test_corruption_detected(self):
+        rt = self.make()
+        signed = rt.pacda(rt.malloc(64), modifier=42)
+        corrupted = signed ^ 0x10  # flip an address bit
+        with pytest.raises(PAFault):
+            rt.autda(corrupted, modifier=42)
+
+    def test_wrong_modifier_detected(self):
+        rt = self.make()
+        signed = rt.pacda(rt.malloc(64), modifier=42)
+        with pytest.raises(PAFault):
+            rt.autda(signed, modifier=43)
+
+    def test_return_address_signing(self):
+        rt = self.make()
+        lr = rt.pacia(0x400123, sp=0x7FF0)
+        assert rt.autia(lr, sp=0x7FF0) == 0x400123
+        with pytest.raises(PAFault):
+            rt.autia(lr ^ 0x4, sp=0x7FF0)
+
+    def test_no_spatial_protection(self):
+        """PA's gap (§II-B): OOB through a legit pointer goes unnoticed."""
+        rt = self.make()
+        p = rt.malloc(64)
+        rt.load(p + 4096)  # no exception
+
+    def test_no_temporal_protection(self):
+        rt = self.make()
+        p = rt.malloc(64)
+        rt.free(p)
+        rt.load(p)  # no exception
+
+
+class TestREST:
+    def test_adjacent_overflow_detected(self):
+        rt = RestRuntime()
+        p = rt.malloc(64)
+        with pytest.raises(RedzoneFault):
+            rt.load(p + 64)
+
+    def test_underflow_detected(self):
+        rt = RestRuntime()
+        p = rt.malloc(64)
+        with pytest.raises(RedzoneFault):
+            rt.store(p - 8, 1)
+
+    def test_nonadjacent_jump_missed(self):
+        """The trip-wire blind spot the paper's intro stresses (§I)."""
+        rt = RestRuntime()
+        p = rt.malloc(64)
+        rt.load(p + 64 * 1024)  # sails over the redzone, unnoticed
+
+    def test_quarantined_chunk_detected(self):
+        rt = RestRuntime()
+        p = rt.malloc(64)
+        rt.free(p)
+        with pytest.raises(RedzoneFault):
+            rt.load(p)
+
+    def test_quarantine_eventually_recycles(self):
+        rt = RestRuntime(quarantine_chunks=2)
+        p = rt.malloc(64)
+        rt.free(p)
+        # Push p out of the bounded quarantine with differently-sized
+        # chunks (so p's chunk is not immediately reallocated).
+        for _ in range(4):
+            rt.free(rt.malloc(256))
+        rt.load(p)  # recycled out of quarantine: UAF now silent
+
+    def test_in_bounds_ok(self):
+        rt = RestRuntime()
+        p = rt.malloc(64)
+        rt.store(p + 32, 5)
+        assert rt.load(p + 32) == 5
+
+    def test_free_unknown_pointer(self):
+        rt = RestRuntime()
+        with pytest.raises(RedzoneFault):
+            rt.free(0x20001000)
+
+
+class TestMPX:
+    def test_bounds_check(self):
+        rt = MPXRuntime()
+        p = rt.malloc(64)
+        slot = 0x7FF000
+        rt.bndstx(slot, p, p + 64)
+        rt.store(slot, p + 8, 1)
+        with pytest.raises(MPXFault):
+            rt.load(slot, p + 64)
+
+    def test_missing_bounds_is_unchecked(self):
+        """MPX compatibility gap: no bounds -> access allowed."""
+        rt = MPXRuntime()
+        p = rt.malloc(64)
+        rt.load(0x7FF000, p + 4096)  # no bndstx for this slot: silent
+
+    def test_two_level_walk_counts_loads(self):
+        rt = MPXRuntime()
+        p = rt.malloc(64)
+        rt.bndstx(0x7FF000, p, p + 64)
+        rt.bndldx(0x7FF000)
+        assert rt.table_loads == 2  # BD + BT (Challenge 5)
+
+    def test_addressing_cost_comparison(self):
+        """Challenge 5: MPX's walk costs ~4x AOS's add+load."""
+        assert MPX_ADDRESSING_COST.total_instructions == 8
+        assert AOS_ADDRESSING_COST.total_instructions == 3
+        assert MPX_ADDRESSING_COST.memory_loads > AOS_ADDRESSING_COST.memory_loads

@@ -1,0 +1,78 @@
+"""AOS instruction-encoding tests (§IV-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.binenc import (
+    OPCODES,
+    REG_SP,
+    assemble_aos_free,
+    assemble_aos_malloc,
+    decode,
+    encode,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+mnemonics = st.sampled_from(sorted(OPCODES))
+
+
+class TestEncodeDecode:
+    @given(mnemonics, regs, regs, regs)
+    def test_roundtrip(self, mnemonic, xd, xn, xm):
+        decoded = decode(encode(mnemonic, xd=xd, xn=xn, xm=xm))
+        assert decoded is not None
+        assert decoded.mnemonic == mnemonic
+        assert (decoded.xd, decoded.xn, decoded.xm) == (xd, xn, xm)
+
+    def test_words_are_32_bit(self):
+        for mnemonic in OPCODES:
+            word = encode(mnemonic, xd=5, xn=6, xm=7)
+            assert 0 <= word < (1 << 32)
+
+    def test_distinct_opcodes(self):
+        words = {encode(m, xd=1, xn=2, xm=3) for m in OPCODES}
+        assert len(words) == len(OPCODES)
+
+    def test_non_aos_word_decodes_to_none(self):
+        assert decode(0xD503201F) is None  # A64 NOP
+        assert decode(0x00000000) is None
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(EncodingError):
+            encode("pacma", xd=32)
+
+    def test_rejects_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode("pacga")
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+
+class TestAssembly:
+    def test_pacma_assembly_text(self):
+        decoded = decode(encode("pacma", xd=0, xn=REG_SP, xm=1))
+        assert decoded.assembly() == "pacma x0, sp, x1"
+
+    def test_bndclr_assembly_text(self):
+        decoded = decode(encode("bndclr", xn=3))
+        assert decoded.assembly() == "bndclr x3"
+
+    def test_xzr_rendering(self):
+        decoded = decode(encode("pacma", xd=0, xn=REG_SP, xm=REG_SP))
+        assert decoded.assembly() == "pacma x0, sp, xzr"
+
+    def test_fig7a_malloc_sequence(self):
+        pacma, bndstr = assemble_aos_malloc(ptr_reg=0, size_reg=1)
+        assert decode(pacma).mnemonic == "pacma"
+        assert decode(bndstr).mnemonic == "bndstr"
+        assert decode(bndstr).xn == 0  # checks the signed pointer
+
+    def test_fig7b_free_sequence(self):
+        bndclr, xpacm, pacma = assemble_aos_free(ptr_reg=2)
+        assert decode(bndclr).assembly() == "bndclr x2"
+        assert decode(xpacm).assembly() == "xpacm x2"
+        assert decode(pacma).assembly() == "pacma x2, sp, xzr"

@@ -1,0 +1,99 @@
+"""Bounds compression tests (§V-D, Fig. 9)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    CompressedBounds,
+    RawBounds,
+    compress_bounds,
+    decompress_bounds,
+    truncate_address,
+)
+from repro.errors import EncodingError
+
+aligned_addrs = st.integers(min_value=0, max_value=(1 << 29) - 1).map(lambda x: x * 16)
+sizes = st.integers(min_value=1, max_value=(1 << 32) - 1)
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        raw = compress_bounds(0x20001000, 4096)
+        b = decompress_bounds(raw)
+        assert b.lower == 0x20001000
+        assert b.size == 4096
+        assert b.upper == 0x20002000
+
+    def test_record_is_64_bit(self):
+        raw = compress_bounds(0x1FFFFFFF0, (1 << 32) - 1)
+        assert 0 <= raw < (1 << 64)
+
+    def test_rejects_misaligned_lower(self):
+        with pytest.raises(EncodingError):
+            compress_bounds(0x20001008, 64)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(EncodingError):
+            compress_bounds(0x20001000, 0)
+
+    def test_rejects_oversized_size(self):
+        with pytest.raises(EncodingError):
+            compress_bounds(0x20001000, 1 << 32)
+
+    def test_empty_record(self):
+        assert decompress_bounds(0).is_empty
+        assert not decompress_bounds(compress_bounds(0x1000, 16)).is_empty
+
+    @given(aligned_addrs, sizes)
+    def test_roundtrip_property(self, lower, size):
+        b = decompress_bounds(compress_bounds(lower, size))
+        assert b.lower == lower & ((1 << 33) - 1)
+        assert b.size == size
+
+
+class TestChecking:
+    def test_contains_in_bounds(self):
+        b = decompress_bounds(compress_bounds(0x20001000, 64))
+        assert b.contains(0x20001000)
+        assert b.contains(0x20001000 + 63)
+
+    def test_excludes_out_of_bounds(self):
+        b = decompress_bounds(compress_bounds(0x20001000, 64))
+        assert not b.contains(0x20001000 + 64)
+        assert not b.contains(0x20001000 - 1)
+
+    @given(aligned_addrs, st.integers(min_value=1, max_value=1 << 20))
+    def test_every_interior_byte_in_bounds(self, lower, size):
+        b = decompress_bounds(compress_bounds(lower, size))
+        assert b.contains(lower)
+        assert b.contains(lower + size - 1)
+        assert not b.contains(lower + size)
+
+    def test_carry_compensation_bit(self):
+        """Fig. 9b: a region straddling the 2**32 boundary still checks."""
+        lower = (1 << 32) - 64  # bit 32 clear in lower? no: below 2^32
+        b = decompress_bounds(compress_bounds(lower, 128))
+        # Addresses past the 2**32 boundary have bit 32 set; the bound's
+        # bit 32 is clear, no compensation needed, plain containment:
+        assert b.contains(lower + 100)
+
+    def test_carry_bit_when_lower_has_bit32(self):
+        """Lower bound with bit 32 set, address wraps past 2**33 cut."""
+        lower = (1 << 33) - 128  # bit 32 set in LowBnd[32:4] view
+        b = decompress_bounds(compress_bounds(lower, 256))
+        inside = lower + 200  # crosses 2**33: Addr[32] reads 0 after truncation
+        assert b.contains(inside)
+
+    def test_truncate_address_c_bit(self):
+        low_field = compress_bounds((1 << 33) - 128, 256) & ((1 << 29) - 1)
+        t = truncate_address((1 << 33) + 72, low_field)
+        assert t >> 33 == 1  # C bit set
+
+
+class TestRawBounds:
+    def test_contains(self):
+        b = RawBounds(lower=0x1000, upper=0x1040)
+        assert b.contains(0x1000)
+        assert b.contains(0x103F)
+        assert not b.contains(0x1040)

@@ -1,0 +1,105 @@
+"""Bounds way buffer tests (§V-C, Algorithm 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bwb import BoundsWayBuffer, bwb_tag
+
+
+class TestTag:
+    def test_fields_packed(self):
+        tag = bwb_tag(address=0x20001F80, ahc=1, pac=0xABCD)
+        assert tag & 0x3 == 1                      # AHC in the low bits
+        assert (tag >> 16) & 0xFFFF == 0xABCD      # PAC in the high bits
+
+    def test_window_by_ahc(self):
+        addr = 0x20001F80
+        t1 = bwb_tag(addr, 1, 0)
+        t2 = bwb_tag(addr, 2, 0)
+        t3 = bwb_tag(addr, 3, 0)
+        assert (t1 >> 2) & 0x3FFF == (addr >> 7) & 0x3FFF
+        assert (t2 >> 2) & 0x3FFF == (addr >> 10) & 0x3FFF
+        assert (t3 >> 2) & 0x3FFF == (addr >> 12) & 0x3FFF
+
+    def test_rejects_ahc_zero(self):
+        with pytest.raises(ValueError):
+            bwb_tag(0x1000, 0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 26) - 1).map(lambda a: a & ~0x7F),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_small_object_addresses_share_tag(self, base, offset):
+        """Alg. 2's purpose: all addresses inside one AHC-1 (~64-128B
+        aligned) object map to the same tag."""
+        assert bwb_tag(base, 1, 0x12) == bwb_tag(base + offset, 1, 0x12)
+
+    def test_is_32_bit(self):
+        tag = bwb_tag((1 << 26) - 1, 3, 0xFFFF)
+        assert tag < (1 << 32)
+
+
+class TestBuffer:
+    def test_miss_then_hit(self):
+        bwb = BoundsWayBuffer(entries=4)
+        assert bwb.lookup(0x1234) is None
+        bwb.update(0x1234, 3)
+        assert bwb.lookup(0x1234) == 3
+
+    def test_update_existing(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 1)
+        bwb.update(0x1, 2)
+        assert bwb.lookup(0x1) == 2
+        assert len(bwb) == 1
+
+    def test_lru_eviction(self):
+        bwb = BoundsWayBuffer(entries=2, eviction="lru")
+        bwb.update(0x1, 0)
+        bwb.update(0x2, 0)
+        bwb.lookup(0x1)        # refresh 0x1
+        bwb.update(0x3, 0)     # evicts 0x2
+        assert bwb.lookup(0x1) == 0
+        assert bwb.lookup(0x2) is None
+
+    def test_fifo_eviction(self):
+        bwb = BoundsWayBuffer(entries=2, eviction="fifo")
+        bwb.update(0x1, 0)
+        bwb.update(0x2, 0)
+        bwb.lookup(0x1)        # does not refresh under FIFO
+        bwb.update(0x3, 0)     # evicts 0x1 (oldest insertion)
+        assert bwb.lookup(0x1) is None
+
+    def test_capacity_respected(self):
+        bwb = BoundsWayBuffer(entries=8)
+        for i in range(100):
+            bwb.update(i, 0)
+        assert len(bwb) == 8
+
+    def test_hit_rate_stats(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.lookup(0x1)
+        bwb.update(0x1, 0)
+        bwb.lookup(0x1)
+        assert bwb.stats.lookups == 2
+        assert bwb.stats.hits == 1
+        assert bwb.stats.hit_rate == 0.5
+
+    def test_flush(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 0)
+        bwb.flush()
+        assert bwb.lookup(0x1) is None
+
+    def test_invalidate(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 0)
+        bwb.invalidate(0x1)
+        assert bwb.lookup(0x1) is None
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BoundsWayBuffer(entries=0)
+        with pytest.raises(ValueError):
+            BoundsWayBuffer(entries=4, eviction="mru")

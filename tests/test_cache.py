@@ -1,0 +1,138 @@
+"""Cache and hierarchy tests: LRU, write-back, traffic accounting."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.sram import Cache
+from repro.config import CacheConfig, MemoryHierarchyConfig
+
+
+def tiny_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig("T", size, assoc, line, 1))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert not c.access(0x1000, False).hit
+        assert c.access(0x1000, False).hit
+
+    def test_same_line_hits(self):
+        c = tiny_cache()
+        c.access(0x1000, False)
+        assert c.access(0x103F, False).hit
+
+    def test_next_line_misses(self):
+        c = tiny_cache()
+        c.access(0x1000, False)
+        assert not c.access(0x1040, False).hit
+
+    def test_lru_eviction(self):
+        c = tiny_cache(size=128, assoc=2, line=64)  # one set, two ways
+        c.access(0x0000, False)
+        c.access(0x1000, False)
+        c.access(0x0000, False)      # refresh way A
+        c.access(0x2000, False)      # evicts 0x1000 (LRU)
+        assert c.access(0x0000, False).hit
+        assert not c.access(0x1000, False).hit
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = tiny_cache(size=128, assoc=1, line=64)  # direct-mapped, 2 sets
+        c.access(0x0000, True)                      # dirty
+        result = c.access(0x0000 + 128, False)      # same set, evicts
+        assert result.writeback == 0x0000
+
+    def test_clean_eviction_no_writeback(self):
+        c = tiny_cache(size=128, assoc=1, line=64)
+        c.access(0x0000, False)
+        assert c.access(0x0080, False).writeback is None
+
+    def test_write_marks_dirty_on_hit(self):
+        c = tiny_cache(size=128, assoc=1, line=64)
+        c.access(0x0000, False)
+        c.access(0x0000, True)       # hit, sets dirty
+        result = c.access(0x0080, False)
+        assert result.writeback == 0x0000
+
+    def test_probe_does_not_perturb(self):
+        c = tiny_cache()
+        c.access(0x1000, False)
+        hits_before = c.stats.hits
+        assert c.probe(0x1000)
+        assert not c.probe(0x5000)
+        assert c.stats.hits == hits_before
+
+    def test_stats(self):
+        c = tiny_cache()
+        c.access(0x1000, False)
+        c.access(0x1000, False)
+        assert c.stats.accesses == 2
+        assert c.stats.hit_rate == 0.5
+
+    def test_invalidate_all(self):
+        c = tiny_cache()
+        c.access(0x1000, False)
+        c.invalidate_all()
+        assert not c.access(0x1000, False).hit
+
+
+class TestHierarchy:
+    def make(self, use_l1b=True):
+        return MemoryHierarchy(MemoryHierarchyConfig(), use_l1b=use_l1b)
+
+    def test_l1_hit_latency(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        assert h.access_data(0x1000, False) == 1
+
+    def test_miss_latency_includes_l2_and_dram(self):
+        h = self.make()
+        first = h.access_data(0x1000, False)
+        assert first == 1 + 8 + 100  # L1 + L2 + DRAM
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        # Thrash the L1 set: same index, different tags.
+        l1_sets = h.l1d.num_sets
+        for i in range(1, 12):
+            h.access_data(0x1000 + i * l1_sets * 64, False)
+        latency = h.access_data(0x1000, False)
+        assert latency == 1 + 8  # L1 miss, L2 hit
+
+    def test_traffic_counts_line_refills(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        assert h.traffic.l1_l2_bytes == 64
+        assert h.traffic.l2_dram_bytes == 64
+
+    def test_hit_adds_no_traffic(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        t = h.traffic.total_bytes
+        h.access_data(0x1000, False)
+        assert h.traffic.total_bytes == t
+
+    def test_bounds_route_to_l1b(self):
+        h = self.make(use_l1b=True)
+        h.access_bounds(0x700000000000, False)
+        assert h.l1b.stats.accesses == 1
+        assert h.l1d.stats.accesses == 0
+
+    def test_bounds_pollute_l1d_without_l1b(self):
+        h = self.make(use_l1b=False)
+        h.access_bounds(0x700000000000, False)
+        assert h.l1d.stats.accesses == 1
+
+    def test_summary_keys(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        s = h.summary()
+        assert "l1d_hit_rate" in s
+        assert "l1_l2_bytes" in s
+
+    def test_dram_access_count(self):
+        h = self.make()
+        h.access_data(0x1000, False)
+        h.access_data(0x1000, False)
+        assert h.dram_accesses == 1

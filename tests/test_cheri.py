@@ -1,0 +1,91 @@
+"""CHERI capability baseline tests (§X)."""
+
+import pytest
+
+from repro.baselines.cheri import Capability, CheriFault, CheriRuntime, Perm
+
+
+@pytest.fixture
+def rt():
+    return CheriRuntime()
+
+
+class TestCapabilityChecks:
+    def test_roundtrip(self, rt):
+        cap = rt.malloc(64)
+        rt.store(cap, 0xABCD)
+        assert rt.load(cap) == 0xABCD
+
+    def test_oob_detected(self, rt):
+        cap = rt.malloc(64)
+        with pytest.raises(CheriFault):
+            rt.load(cap.offset(64))
+
+    def test_underflow_detected(self, rt):
+        cap = rt.malloc(64)
+        with pytest.raises(CheriFault):
+            rt.store(cap.offset(-8), 1)
+
+    def test_access_straddling_top_detected(self, rt):
+        cap = rt.malloc(64)
+        with pytest.raises(CheriFault):
+            rt.load(cap.offset(60))  # 8-byte read past the top
+
+    def test_untagged_capability_rejected(self, rt):
+        """The tag clears on data-plane manipulation: forging impossible."""
+        cap = rt.malloc(64)
+        with pytest.raises(CheriFault):
+            rt.load(cap.untagged())
+
+    def test_raw_integer_rejected(self, rt):
+        rt.malloc(64)
+        with pytest.raises(CheriFault):
+            rt.load(0x20000010)
+
+
+class TestMonotonicity:
+    def test_narrowing_shrinks_bounds(self, rt):
+        cap = rt.malloc(128)
+        field = cap.narrow(32, 16)
+        rt.store(field, 7)
+        with pytest.raises(CheriFault):
+            rt.load(field.offset(16))  # outside the narrowed bounds
+
+    def test_cannot_grow_bounds(self, rt):
+        cap = rt.malloc(64)
+        with pytest.raises(CheriFault):
+            cap.narrow(0, 128)
+        with pytest.raises(CheriFault):
+            cap.narrow(-16, 32)
+
+    def test_permission_drop_is_monotonic(self, rt):
+        cap = rt.malloc(64)
+        read_only = cap.drop_perms(Perm.LOAD)
+        rt.load(read_only)
+        with pytest.raises(CheriFault):
+            rt.store(read_only, 1)
+
+    def test_dropped_permission_stays_dropped(self, rt):
+        cap = rt.malloc(64)
+        ro = cap.drop_perms(Perm.LOAD)
+        still_ro = ro.drop_perms(Perm.rw())  # AND: cannot re-grant STORE
+        with pytest.raises(CheriFault):
+            rt.store(still_ro, 1)
+
+
+class TestTemporalGap:
+    def test_uaf_not_detected_without_revocation(self, rt):
+        """Base CHERI's documented gap (§X: CHERIvoke exists to close it):
+        a freed capability still dereferences."""
+        cap = rt.malloc(64)
+        rt.free(cap)
+        rt.load(cap)  # no exception: the capability is still tagged
+
+    def test_fault_counters(self, rt):
+        cap = rt.malloc(64)
+        try:
+            rt.load(cap.offset(64))
+        except CheriFault:
+            pass
+        assert rt.faults == 1
+        assert rt.checks >= 1

@@ -1,0 +1,41 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig14", "--workloads", "gcc", "hmmer"])
+        assert args.artifact == "fig14"
+        assert args.workloads == ["gcc", "hmmer"]
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_every_artifact_documented(self):
+        for name, description in ARTIFACTS.items():
+            assert description
+
+
+class TestMain:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "omnetpp" in out
+
+    def test_security(self, capsys):
+        assert main(["security"]) == 0
+        out = capsys.readouterr().out
+        assert "house-of-spirit" in out
+
+    def test_fig17_small(self, capsys):
+        assert main([
+            "fig17", "--workloads", "gobmk", "--instructions", "8000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Hit Rate" in out

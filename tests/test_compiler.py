@@ -1,0 +1,187 @@
+"""Compiler pass tests: mechanism lowerings and instrumentation sequences."""
+
+import pytest
+
+from repro.compiler import lower_trace
+from repro.isa.instructions import Op
+from repro.workloads import generate_trace, get_profile
+
+MECHANISMS = ["baseline", "watchdog", "pa", "aos", "pa+aos"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(get_profile("povray"), instructions=15_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def lowered(trace):
+    return {m: lower_trace(trace, m) for m in MECHANISMS}
+
+
+class TestCommonProperties:
+    def test_all_mechanisms_lower(self, lowered):
+        for mech, low in lowered.items():
+            assert len(low.program) > 0
+            assert low.mechanism == mech
+
+    def test_baseline_has_no_instrumentation(self, lowered):
+        hist = lowered["baseline"].program.op_histogram()
+        for op in (Op.PACMA, Op.BNDSTR, Op.BNDCLR, Op.WCHK, Op.PACIA, Op.AUTDA):
+            assert op not in hist
+
+    def test_same_trace_same_heap_addresses(self, trace):
+        """Every mechanism must see the identical address stream."""
+        base = lower_trace(trace, "baseline")
+        wd = lower_trace(trace, "watchdog")
+
+        def heap_loads(program):
+            return [
+                i.address for i in program
+                if i.op is Op.LOAD and 0x20000000 <= i.address < (1 << 33)
+            ][:200]
+
+        assert heap_loads(base.program)[:50] == heap_loads(wd.program)[:50]
+
+    def test_instruction_overhead_ordering(self, lowered):
+        """Watchdog must add the most dynamic instructions (§I: +44%)."""
+        base = len(lowered["baseline"].program)
+        overhead = {m: len(low.program) / base for m, low in lowered.items()}
+        assert overhead["watchdog"] > overhead["pa+aos"] >= overhead["aos"]
+        assert overhead["watchdog"] > 1.15
+        assert overhead["aos"] < 1.10
+
+
+class TestAOSLowering:
+    def test_fig7a_malloc_sequence(self, lowered):
+        """malloc is followed by pacma then bndstr."""
+        program = lowered["aos"].program
+        ops = [inst.op for inst in program]
+        pacma_sites = [
+            i for i, op in enumerate(ops[:-1])
+            if op is Op.PACMA and ops[i + 1] is Op.BNDSTR
+        ]
+        assert pacma_sites, "no pacma;bndstr pairs found"
+
+    def test_fig7b_free_sequence(self, lowered):
+        """free is bndclr ; xpacm ; (allocator) ; pacma."""
+        program = lowered["aos"].program
+        ops = [inst.op for inst in program]
+        for i, op in enumerate(ops):
+            if op is Op.BNDCLR:
+                assert ops[i + 1] is Op.XPACM
+                window = ops[i + 2 : i + 8]
+                assert Op.PACMA in window
+                break
+        else:
+            pytest.fail("no bndclr found")
+
+    def test_heap_accesses_signed(self, lowered):
+        low = lowered["aos"]
+        va_mask = low.pointer_layout.va_mask
+        heap_loads = [
+            i for i in low.program
+            if i.op is Op.LOAD and 0x20000000 <= (i.address & va_mask) < (1 << 33)
+        ]
+        signed = [i for i in heap_loads if i.address > va_mask]
+        assert len(signed) / len(heap_loads) > 0.95
+
+    def test_hbt_prewarmed_with_preamble(self, lowered, trace):
+        hbt = lowered["aos"].hbt
+        assert hbt.total_records() >= len(trace.preamble)
+
+    def test_hbt_factory_returns_fresh_copies(self, lowered):
+        a = lowered["aos"].hbt
+        b = lowered["aos"].hbt
+        assert a is not b
+        assert a.total_records() == b.total_records()
+
+    def test_pac_bits_scaled_with_live_set(self, trace):
+        low = lower_trace(trace, "aos")
+        assert low.pointer_layout.pac_bits == 16 - 3  # scale 8
+
+    def test_pa_aos_adds_autm_and_pacia(self, lowered):
+        hist = lowered["pa+aos"].program.op_histogram()
+        assert hist.get(Op.AUTM, 0) > 0
+        assert hist.get(Op.PACIA, 0) > 0
+        aos_hist = lowered["aos"].program.op_histogram()
+        assert Op.AUTM not in aos_hist
+
+
+class TestWatchdogLowering:
+    def test_wchk_before_heap_accesses(self, lowered):
+        program = lowered["watchdog"].program
+        ops = [inst.op for inst in program]
+        wchk = sum(1 for op in ops if op is Op.WCHK)
+        heap_mem = sum(
+            1 for inst in program
+            if inst.op in (Op.LOAD, Op.STORE) and 0x20000000 <= inst.address < (1 << 33)
+        )
+        assert wchk > 0
+        # Every heap access is preceded by a check µop.
+        for i, op in enumerate(ops):
+            if op is Op.WCHK:
+                assert ops[i + 1] in (Op.LOAD, Op.STORE)
+
+    def test_wmeta_propagation_instructions(self, lowered):
+        hist = lowered["watchdog"].program.op_histogram()
+        assert hist.get(Op.WMETA, 0) > 0
+
+
+class TestPALowering:
+    def test_call_ret_signing(self, lowered):
+        hist = lowered["pa"].program.op_histogram()
+        assert hist.get(Op.PACIA, 0) > 0
+        assert hist.get(Op.AUTIA, 0) > 0
+
+    def test_data_pointer_signing(self, lowered):
+        hist = lowered["pa"].program.op_histogram()
+        assert hist.get(Op.AUTDA, 0) > 0
+        assert hist.get(Op.PACDA, 0) > 0
+
+    def test_no_bounds_ops(self, lowered):
+        hist = lowered["pa"].program.op_histogram()
+        assert Op.BNDSTR not in hist
+
+
+class TestMTELowering:
+    def test_colouring_stores_at_malloc(self, trace):
+        low = lower_trace(trace, "mte")
+        base = lower_trace(trace, "baseline")
+        # MTE adds IRG + STG colouring around allocation events only.
+        assert len(low.program) > len(base.program)
+        stg = [i for i in low.program if i.op is Op.STORE and i.meta == "stg"]
+        mallocs = sum(1 for e in trace.events if e[0] == "m")
+        assert len(stg) >= mallocs  # at least one colouring store per malloc
+
+    def test_no_per_access_instrumentation(self, trace):
+        """Tag checks travel with the access: no extra per-access µops."""
+        low = lower_trace(trace, "mte")
+        hist = low.program.op_histogram()
+        assert Op.WCHK not in hist
+        assert Op.BNDSTR not in hist
+
+    def test_colouring_scales_with_object_size(self):
+        from repro.workloads import generate_trace, get_profile
+        import dataclasses
+
+        profile = dataclasses.replace(
+            get_profile("povray"),
+            size_classes=((4096, 1.0),),
+            mallocs_per_kinst=2.0,
+        )
+        big = lower_trace(generate_trace(profile, instructions=10_000, seed=2), "mte")
+        small_profile = dataclasses.replace(profile, size_classes=((32, 1.0),))
+        small = lower_trace(
+            generate_trace(small_profile, instructions=10_000, seed=2), "mte"
+        )
+        big_stg = sum(1 for i in big.program if i.meta == "stg")
+        small_stg = sum(1 for i in small.program if i.meta == "stg")
+        assert big_stg > small_stg * 4
+
+
+def test_unknown_mechanism(trace):
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        lower_trace(trace, "cheri")

@@ -1,0 +1,100 @@
+"""Configuration validation tests (Table IV defaults)."""
+
+import pytest
+
+from repro.config import (
+    AOSOptions,
+    BWBConfig,
+    CacheConfig,
+    CoreConfig,
+    HBTConfig,
+    PAConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_table4_core(self):
+        c = default_config().core
+        assert (c.width, c.rob_entries, c.mcq_entries) == (8, 192, 48)
+        assert c.load_queue_entries == c.store_queue_entries == 32
+
+    def test_table4_caches(self):
+        m = default_config().memory
+        assert m.l1i.size_bytes == 32 * 1024 and m.l1i.assoc == 4
+        assert m.l1d.size_bytes == 64 * 1024 and m.l1d.assoc == 8
+        assert m.l1b.size_bytes == 32 * 1024 and m.l1b.assoc == 4
+        assert m.l2.size_bytes == 8 * 1024 * 1024 and m.l2.assoc == 16
+
+    def test_table4_pa(self):
+        pa = default_config().pa
+        assert pa.pac_bits == 16
+        assert pa.sign_latency == 4
+        assert pa.strip_latency == 1
+
+    def test_table4_hbt_bwb(self):
+        cfg = default_config()
+        assert cfg.hbt.initial_ways == 1
+        assert cfg.bwb.entries == 64
+        assert cfg.bwb.eviction == "lru"
+
+    def test_paper_pac_key_and_context(self):
+        pa = default_config().pa
+        assert pa.key == 0x84BE85CE9804E94BEC2802D4E0A488E9
+        assert pa.context == 0x477D469DEC0B8762
+
+
+class TestValidation:
+    def test_rejects_bad_mechanism(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(mechanism="sgx")
+
+    def test_rejects_bad_cache_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", size_bytes=1000, assoc=3, line_bytes=64)
+
+    def test_rejects_bad_pac_size(self):
+        with pytest.raises(ConfigError):
+            PAConfig(pac_bits=8)
+
+    def test_rejects_non_pow2_hbt(self):
+        with pytest.raises(ConfigError):
+            HBTConfig(initial_ways=3)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(width=0)
+
+    def test_rejects_bad_bwb_eviction(self):
+        with pytest.raises(ConfigError):
+            BWBConfig(eviction="plru")
+
+
+class TestDerivation:
+    def test_with_mechanism(self):
+        cfg = default_config("baseline").with_mechanism("aos")
+        assert cfg.mechanism == "aos"
+
+    def test_with_aos_options(self):
+        cfg = default_config().with_aos_options(l1b_cache=False)
+        assert not cfg.aos.l1b_cache
+        assert cfg.aos.bounds_compression  # untouched
+
+    def test_num_sets(self):
+        cache = CacheConfig("X", 64 * 1024, 8, 64)
+        assert cache.num_sets == 128
+
+    def test_scaled_config(self):
+        from repro.experiments.common import scaled_config
+
+        cfg = scaled_config("aos", 8)
+        assert cfg.memory.l1d.size_bytes == 8 * 1024
+        assert cfg.memory.l2.size_bytes == 1024 * 1024
+        assert cfg.core.rob_entries == 192  # core geometry unscaled
+
+    def test_scaled_config_identity_at_one(self):
+        from repro.experiments.common import scaled_config
+
+        assert scaled_config("aos", 1) == default_config("aos")

@@ -1,0 +1,85 @@
+"""Pointer layout tests: field placement, sign/strip round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import PointerLayout
+
+LAYOUT = PointerLayout()
+
+addresses = st.integers(min_value=0, max_value=(1 << 46) - 1)
+pacs = st.integers(min_value=0, max_value=(1 << 16) - 1)
+ahcs = st.integers(min_value=1, max_value=3)
+
+
+class TestLayout:
+    def test_default_fields_fill_64_bits(self):
+        assert LAYOUT.va_bits + LAYOUT.ahc_bits + LAYOUT.pac_bits == 64
+
+    def test_rejects_oversized_layout(self):
+        with pytest.raises(EncodingError):
+            PointerLayout(va_bits=48, pac_bits=32)
+
+    def test_rejects_wrong_ahc_width(self):
+        with pytest.raises(EncodingError):
+            PointerLayout(ahc_bits=3)
+
+    def test_rejects_tiny_pac(self):
+        with pytest.raises(EncodingError):
+            PointerLayout(va_bits=50, pac_bits=10)
+
+
+class TestSignStrip:
+    def test_sign_places_fields(self):
+        p = LAYOUT.sign(0x20001000, pac=0xBEEF, ahc=2)
+        assert LAYOUT.address(p) == 0x20001000
+        assert LAYOUT.pac(p) == 0xBEEF
+        assert LAYOUT.ahc(p) == 2
+        assert LAYOUT.is_signed(p)
+
+    def test_unsigned_pointer(self):
+        assert not LAYOUT.is_signed(0x20001000)
+        assert LAYOUT.ahc(0x20001000) == 0
+
+    def test_strip_removes_everything(self):
+        p = LAYOUT.sign(0x20001000, pac=0xFFFF, ahc=3)
+        assert LAYOUT.strip(p) == 0x20001000
+
+    @given(addresses, pacs, ahcs)
+    def test_roundtrip_property(self, addr, pac, ahc):
+        p = LAYOUT.sign(addr, pac, ahc)
+        assert LAYOUT.address(p) == addr
+        assert LAYOUT.pac(p) == pac
+        assert LAYOUT.ahc(p) == ahc
+        assert LAYOUT.strip(p) == addr
+
+    def test_rejects_oversized_address(self):
+        with pytest.raises(EncodingError):
+            LAYOUT.sign(1 << 46, 0, 1)
+
+    def test_rejects_oversized_pac(self):
+        with pytest.raises(EncodingError):
+            LAYOUT.sign(0x1000, 1 << 16, 1)
+
+    def test_rejects_oversized_ahc(self):
+        with pytest.raises(EncodingError):
+            LAYOUT.sign(0x1000, 0, 4)
+
+    def test_decode(self):
+        p = LAYOUT.sign(0x20001000, pac=0x1234, ahc=1)
+        d = LAYOUT.decode(p)
+        assert d.address == 0x20001000
+        assert d.pac == 0x1234
+        assert d.ahc == 1
+        assert d.is_signed
+        assert int(d) == p
+
+    def test_pointer_arithmetic_preserves_fields(self):
+        """The core AOS trick: metadata rides along with the address."""
+        p = LAYOUT.sign(0x20001000, pac=0x1234, ahc=1)
+        q = p + 64
+        assert LAYOUT.pac(q) == 0x1234
+        assert LAYOUT.ahc(q) == 1
+        assert LAYOUT.address(q) == 0x20001040

@@ -1,0 +1,33 @@
+"""Error hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigError",
+        "MemoryError_",
+        "AllocatorError",
+        "EncodingError",
+        "SimulationError",
+        "WorkloadError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_single_except_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.AllocatorError("boom")
+
+
+def test_architectural_faults_are_separate():
+    """Simulated AOS exceptions are *not* host errors (§IV-D vs library
+    misuse) — catching ReproError must not swallow them."""
+    from repro.core.exceptions import AOSException, FaultInfo, BoundsCheckFault
+
+    assert not issubclass(AOSException, errors.ReproError)
+    fault = BoundsCheckFault(FaultInfo(pointer=1, detail="x"))
+    assert fault.info.pointer == 1

@@ -1,0 +1,131 @@
+"""Tests for the future-work extensions: stack protection and narrowing."""
+
+import pytest
+
+from repro.core.aos import AOSRuntime
+from repro.core.exceptions import BoundsCheckFault
+from repro.errors import MemoryError_
+from repro.ext import NARROW_GRANULE, ProtectedStack, narrow, release_narrowed
+
+
+@pytest.fixture
+def runtime():
+    return AOSRuntime(pac_mode="fast")
+
+
+@pytest.fixture
+def stack(runtime):
+    return ProtectedStack(runtime)
+
+
+class TestProtectedStack:
+    def test_alloca_returns_signed_pointer(self, runtime, stack):
+        stack.push_frame()
+        p = stack.alloca(64)
+        assert runtime.signer.is_signed(p)
+
+    def test_local_roundtrip(self, runtime, stack):
+        stack.push_frame()
+        p = stack.alloca(64)
+        stack.store(p, 0xFEED)
+        assert stack.load(p) == 0xFEED
+
+    def test_stack_buffer_overflow_detected(self, runtime, stack):
+        """The classic stack smash, caught by bounds."""
+        stack.push_frame()
+        buf = stack.alloca(32)
+        with pytest.raises(BoundsCheckFault):
+            stack.store(runtime.offset(buf, 40), 0x41414141)
+
+    def test_adjacent_locals_isolated(self, runtime, stack):
+        stack.push_frame()
+        a = stack.alloca(32)
+        b = stack.alloca(32)
+        stack.store(b, 1)  # fine
+        with pytest.raises(BoundsCheckFault):
+            stack.load(runtime.offset(a, 32))  # cannot reach b through a
+
+    def test_use_after_return_detected(self, runtime, stack):
+        """The stack analogue of UAF (§III-D)."""
+        stack.push_frame()
+        p = stack.alloca(64)
+        (dangling,) = stack.pop_frame()
+        with pytest.raises(BoundsCheckFault):
+            stack.load(dangling)
+
+    def test_nested_frames(self, runtime, stack):
+        stack.push_frame()
+        outer = stack.alloca(64)
+        stack.push_frame()
+        inner = stack.alloca(64)
+        stack.store(inner, 2)
+        stack.pop_frame()
+        # Outer locals survive the inner return.
+        stack.store(outer, 3)
+        assert stack.load(outer) == 3
+        assert stack.depth == 1
+
+    def test_sp_restored_on_pop(self, stack):
+        stack.push_frame()
+        sp0 = stack.sp
+        stack.push_frame()
+        stack.alloca(256)
+        stack.pop_frame()
+        assert stack.sp == sp0
+
+    def test_alloca_outside_frame_rejected(self, stack):
+        with pytest.raises(MemoryError_):
+            stack.alloca(16)
+
+    def test_pop_empty_rejected(self, stack):
+        with pytest.raises(MemoryError_):
+            stack.pop_frame()
+
+    def test_stack_overflow_guard(self, runtime):
+        small = ProtectedStack(runtime, reserve=256)
+        small.push_frame()
+        with pytest.raises(MemoryError_):
+            for _ in range(64):
+                small.alloca(64)
+
+
+class TestNarrowing:
+    def test_field_access_within_narrowed_bounds(self, runtime):
+        obj = runtime.malloc(128)
+        field = narrow(runtime, obj, offset=32, size=16)
+        runtime.store(field, 7)
+        assert runtime.load(field) == 7
+
+    def test_intra_object_overflow_detected(self, runtime):
+        """The §VII-F scenario: overflowing one field into the next."""
+        obj = runtime.malloc(128)
+        field = narrow(runtime, obj, offset=32, size=16)
+        with pytest.raises(BoundsCheckFault):
+            runtime.load(runtime.offset(field, NARROW_GRANULE + 16))
+
+    def test_granule_snap(self, runtime):
+        """Fields inside one 16-byte granule stay mutually reachable — the
+        documented granularity compromise."""
+        obj = runtime.malloc(64)
+        field = narrow(runtime, obj, offset=4, size=4)
+        runtime.load(runtime.offset(field, -4))  # same granule: allowed
+
+    def test_full_object_still_accessible_via_original(self, runtime):
+        obj = runtime.malloc(128)
+        narrow(runtime, obj, offset=0, size=16)
+        runtime.store(runtime.offset(obj, 96), 5)  # original bounds intact
+        assert runtime.load(runtime.offset(obj, 96)) == 5
+
+    def test_release_locks_field_pointer(self, runtime):
+        obj = runtime.malloc(128)
+        field = narrow(runtime, obj, offset=16, size=16)
+        locked = release_narrowed(runtime, field)
+        with pytest.raises(BoundsCheckFault):
+            runtime.load(locked)
+
+    def test_oob_derivation_rejected_size(self, runtime):
+        obj = runtime.malloc(64)
+        from repro.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            narrow(runtime, obj, offset=0, size=0)

@@ -1,0 +1,75 @@
+"""Tests for the extended comparison and ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_entropy,
+    ablation_forwarding,
+    ablation_quarantine,
+)
+from repro.experiments.common import ExperimentSuite, RunSettings
+from repro.experiments.extended import run_extended_comparison
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(RunSettings(instructions=10_000, seed=21, scale=8))
+
+
+class TestExtendedComparison:
+    def test_mte_runs_next_to_aos(self, suite):
+        result = run_extended_comparison(suite, workloads=["gobmk", "povray"])
+        for row in result.rows.values():
+            assert set(row) == {"mte", "aos", "pa+aos"}
+            for value in row.values():
+                assert 0.5 < value < 5.0
+
+    def test_format_includes_entropy_line(self, suite):
+        result = run_extended_comparison(suite, workloads=["gobmk"])
+        text = result.format()
+        assert "45425" in text
+        assert "93.8%" in text
+
+
+class TestAblationDrivers:
+    def test_quarantine_ablation_runs(self, suite):
+        """Sanity only at this window size — the directional §IV-C claim
+        (quarantine > no-quarantine) is asserted by bench_ablations on a
+        full-size malloc-storm window, where it is above the noise."""
+        result = ablation_quarantine(suite, workload="povray")
+        for row in result.rows.values():
+            assert 0.5 < row["norm.time"] < 3.0
+        assert "aos (re-sign)" in result.rows
+        assert result.rows["rest (quarantine)"]["instr.ovh"] >= 0
+
+    def test_forwarding_counts_events(self, suite):
+        result = ablation_forwarding(suite, workload="povray")
+        assert result.rows["forwarding"]["forwards"] > 0
+        assert result.rows["no forwarding"]["forwards"] == 0
+
+    def test_entropy_rows_are_static(self):
+        result = ablation_entropy()
+        assert result.rows["16-bit (AOS)"]["tries@50%"] == 45425
+        text = result.format()
+        assert "4-bit (MTE)" in text
+
+
+class TestRESTLoweringUnits:
+    def test_token_stores_emitted(self, suite):
+        from repro.compiler.passes import RESTLowering
+        from repro.isa.instructions import Op
+
+        trace = suite.trace("povray")
+        lowered = RESTLowering(trace, suite.config_for("rest")).lower()
+        tokens = [i for i in lowered.program if i.meta == "token"]
+        mallocs = sum(1 for e in trace.events if e[0] == "m")
+        assert len(tokens) >= 2 * mallocs  # two redzones per allocation
+
+    def test_quarantine_defers_frees(self, suite):
+        from repro.compiler.passes import RESTLowering
+
+        trace = suite.trace("povray")
+        with_q = RESTLowering(trace, suite.config_for("rest"), quarantine=True)
+        with_q.lower()
+        # Some chunks must still be parked in the pool at program end.
+        assert len(with_q._pool) > 0

@@ -1,0 +1,115 @@
+"""Property-based end-to-end fuzzing of the AOS runtime.
+
+Random malloc/free/load/store sequences must uphold the two invariants
+the paper establishes by construction:
+
+- **no false negatives**: every out-of-bounds or temporally invalid access
+  through a signed pointer faults;
+- **no false positives**: accesses within a live allocation never fault
+  (PAC collisions could in principle cause cross-object false *negatives*,
+  never false positives on valid accesses — §VII-E).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aos import AOSRuntime
+from repro.core.exceptions import AOSException, BoundsCheckFault, BoundsClearFault
+
+
+class _Op:
+    """Weighted random heap-op schedule."""
+
+    MALLOC, FREE, LOAD_OK, STORE_OK, LOAD_OOB, LOAD_FREED = range(6)
+
+
+schedule = st.lists(
+    st.tuples(
+        st.sampled_from([
+            _Op.MALLOC, _Op.MALLOC, _Op.MALLOC,
+            _Op.FREE,
+            _Op.LOAD_OK, _Op.LOAD_OK, _Op.STORE_OK,
+            _Op.LOAD_OOB, _Op.LOAD_FREED,
+        ]),
+        st.integers(min_value=0, max_value=2**31),
+    ),
+    min_size=5,
+    max_size=80,
+)
+
+
+@given(schedule)
+@settings(max_examples=40, deadline=None)
+def test_no_false_positives_or_negatives(ops):
+    rt = AOSRuntime(pac_mode="fast")
+    live = []    # (pointer, size)
+    freed = []   # dangling (re-signed) pointers
+
+    for op, rand in ops:
+        if op == _Op.MALLOC or not live:
+            size = 16 + (rand % 256)
+            live.append((rt.malloc(size), size))
+            continue
+
+        index = rand % len(live)
+        pointer, size = live[index]
+
+        if op == _Op.FREE:
+            dangling = rt.free(pointer)
+            freed.append(dangling)
+            live.pop(index)
+        elif op == _Op.LOAD_OK:
+            offset = (rand % max(size - 8, 1)) & ~7
+            rt.load(rt.offset(pointer, offset))  # must NOT raise
+        elif op == _Op.STORE_OK:
+            offset = (rand % max(size - 8, 1)) & ~7
+            rt.store(rt.offset(pointer, offset), rand)  # must NOT raise
+        elif op == _Op.LOAD_OOB:
+            # Far beyond any allocation, so a PAC collision cannot make
+            # another live object's bounds legitimately contain it.
+            with pytest.raises(AOSException):
+                rt.load(rt.offset(pointer, 0x4000_0000 + (rand % 4096)))
+        elif op == _Op.LOAD_FREED and freed:
+            with pytest.raises(AOSException):
+                rt.load(freed[rand % len(freed)])
+
+    # Every remaining live pointer still works.
+    for pointer, size in live:
+        rt.store(pointer, 1)
+        assert rt.load(pointer) == 1
+    # Every dangling pointer is still locked.
+    for pointer in freed:
+        with pytest.raises(BoundsCheckFault):
+            rt.load(pointer)
+
+
+@given(st.lists(st.integers(min_value=16, max_value=512), min_size=1, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_double_free_always_detected(sizes):
+    rt = AOSRuntime(pac_mode="fast")
+    danglings = []
+    for size in sizes:
+        p = rt.malloc(size)
+        danglings.append(rt.free(p))
+    for dangling in danglings:
+        with pytest.raises(BoundsClearFault):
+            rt.free(dangling)
+
+
+@given(st.integers(min_value=1, max_value=60))
+@settings(max_examples=15, deadline=None)
+def test_hbt_row_pressure_resizes_transparently(n):
+    """Force PAC collisions by allocating many same-sized objects under a
+    tiny PAC space; the OS resize path must stay invisible to the user."""
+    from repro.config import default_config
+    import dataclasses
+
+    config = default_config("aos")
+    config = dataclasses.replace(config, pa=dataclasses.replace(config.pa, pac_bits=11))
+    rt = AOSRuntime(config=config, pac_mode="fast")
+    pointers = [rt.malloc(32) for _ in range(n * 32)]
+    for i, p in enumerate(pointers):
+        rt.store(p, i)
+    for i, p in enumerate(pointers):
+        assert rt.load(p) == i

@@ -1,0 +1,242 @@
+"""Hashed bounds table tests: walks, capacity, gradual resizing (Fig. 10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hbt import HashedBoundsTable, LINE_BYTES
+from repro.errors import SimulationError
+from repro.memory.layout import DEFAULT_LAYOUT
+
+
+def make_hbt(pac_bits=11, ways=1, compression=True):
+    return HashedBoundsTable(
+        pac_bits=pac_bits, initial_ways=ways, compression=compression
+    )
+
+
+class TestBasics:
+    def test_table_bytes_matches_paper(self):
+        """Table IV: 64K rows x 1 way x 64B = 4MB."""
+        hbt = make_hbt(pac_bits=16, ways=1)
+        assert hbt.table_bytes == 4 * 1024 * 1024
+
+    def test_way_geometry(self):
+        compressed = make_hbt(compression=True)
+        raw = make_hbt(compression=False)
+        assert compressed.slots_per_way == raw.slots_per_way == 8
+        assert compressed.lines_per_way == 1
+        assert raw.lines_per_way == 2  # 16-byte bounds span two lines (§V-D)
+        assert raw.table_bytes == 2 * compressed.table_bytes
+
+    def test_insert_then_find(self):
+        hbt = make_hbt()
+        way, slot, searched = hbt.insert(0x12, 0x20001000, 256)
+        assert (way, slot, searched) == (0, 0, 1)
+        found_way, accessed = hbt.find_valid(0x12, 0x20001080)
+        assert found_way == 0
+
+    def test_find_absent(self):
+        hbt = make_hbt()
+        way, accessed = hbt.find_valid(0x12, 0x20001000)
+        assert way is None
+        assert accessed == hbt.ways
+
+    def test_out_of_bounds_address_not_found(self):
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        way, _ = hbt.find_valid(0x12, 0x20001040)
+        assert way is None
+
+    def test_clear_matching(self):
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        way, _ = hbt.clear_matching(0x12, 0x20001000)
+        assert way == 0
+        assert hbt.find_valid(0x12, 0x20001000)[0] is None
+
+    def test_clear_absent_returns_none(self):
+        """The double-free signal (§IV-D)."""
+        hbt = make_hbt()
+        way, _ = hbt.clear_matching(0x12, 0x20001000)
+        assert way is None
+
+    def test_same_pac_multiple_objects(self):
+        """PAC collisions: one row holds several objects' bounds (§VI)."""
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        hbt.insert(0x12, 0x20002000, 64)
+        assert hbt.find_valid(0x12, 0x20001000)[0] is not None
+        assert hbt.find_valid(0x12, 0x20002020)[0] is not None
+
+    def test_row_capacity_overflow_raises(self):
+        hbt = make_hbt(ways=1)
+        for i in range(8):
+            hbt.insert(0x12, 0x20000000 + 0x1000 * i, 64)
+        with pytest.raises(SimulationError):
+            hbt.insert(0x12, 0x20010000, 64)
+        assert hbt.stats.insert_failures == 1
+
+    def test_cleared_slot_is_reused(self):
+        """§IV-C: the initialised entry is reused by a new allocation."""
+        hbt = make_hbt(ways=1)
+        for i in range(8):
+            hbt.insert(0x12, 0x20000000 + 0x1000 * i, 64)
+        hbt.clear_matching(0x12, 0x20003000)
+        way, slot, _ = hbt.insert(0x12, 0x20010000, 64)
+        assert (way, slot) == (0, 3)
+
+    def test_occupancy_helpers(self):
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        hbt.insert(0x13, 0x20002000, 64)
+        assert hbt.row_occupancy(0x12) == 1
+        assert hbt.total_records() == 2
+        assert hbt.max_row_occupancy() == 1
+
+
+class TestAddressing:
+    def test_line_address_formula(self):
+        """Eq. 1/2: BndAddr = base + (PAC << (log2(assoc)+6)) + (way << 6)."""
+        hbt = make_hbt(ways=4)
+        base = DEFAULT_LAYOUT.hbt_base
+        assert hbt.line_address(0, 0) == base
+        assert hbt.line_address(1, 0) == base + (1 << (2 + 6))
+        assert hbt.line_address(1, 3) == base + (1 << 8) + (3 << 6)
+
+    def test_line_addresses_64b_aligned(self):
+        hbt = make_hbt(ways=2)
+        for pac in (0, 1, 100):
+            for way in range(2):
+                assert hbt.line_address(pac, way) % 64 == 0
+
+    def test_rejects_bad_pac(self):
+        with pytest.raises(SimulationError):
+            make_hbt(pac_bits=11).line_address(1 << 11, 0)
+
+    def test_rejects_bad_way(self):
+        with pytest.raises(SimulationError):
+            make_hbt(ways=1).line_address(0, 1)
+
+
+class TestResizing:
+    def fill_row(self, hbt, pac, n):
+        for i in range(n):
+            hbt.insert(pac, 0x20000000 + 0x1000 * i, 64)
+
+    def test_begin_resize_doubles_ways(self):
+        hbt = make_hbt(ways=1)
+        hbt.begin_resize()
+        assert hbt.ways == 2
+        assert hbt.resizing
+
+    def test_contents_preserved_across_resize(self):
+        hbt = make_hbt(ways=1)
+        self.fill_row(hbt, 0x12, 8)
+        hbt.begin_resize()
+        hbt.finish_resize()
+        for i in range(8):
+            assert hbt.find_valid(0x12, 0x20000000 + 0x1000 * i)[0] is not None
+
+    def test_insert_possible_after_resize(self):
+        hbt = make_hbt(ways=1)
+        self.fill_row(hbt, 0x12, 8)
+        hbt.begin_resize()
+        way, slot, _ = hbt.insert(0x12, 0x20010000, 64)
+        assert way == 1  # first slot of the new way
+
+    def test_fig10_steering_rule(self):
+        """During resizing: W >= T1 or PAC < RowPtr -> new table."""
+        hbt = make_hbt(pac_bits=11, ways=2)
+        old_base = hbt.line_address(5, 0)
+        hbt.begin_resize()  # T1=2, T2=4
+        # Not yet migrated, old way -> old table (same address as before).
+        assert hbt.line_address(5, 0) == old_base
+        # New way (W >= T1) -> new table.
+        new_addr = hbt.line_address(5, 2)
+        assert new_addr != old_base
+        # Migrate past row 5: now even way 0 goes to the new table.
+        hbt.advance_migration(6)
+        assert hbt.line_address(5, 0) != old_base
+
+    def test_migration_completes(self):
+        hbt = make_hbt(pac_bits=11, ways=1)
+        hbt.begin_resize()
+        moved = hbt.advance_migration(1 << 11)
+        assert moved == 1 << 11
+        assert not hbt.resizing
+
+    def test_migration_in_steps(self):
+        hbt = make_hbt(pac_bits=11, ways=1)
+        hbt.begin_resize()
+        hbt.advance_migration(100)
+        assert hbt.resizing
+        assert hbt.row_ptr == 100
+
+    def test_double_begin_rejected(self):
+        hbt = make_hbt()
+        hbt.begin_resize()
+        with pytest.raises(SimulationError):
+            hbt.begin_resize()
+
+    def test_resize_stats(self):
+        hbt = make_hbt()
+        hbt.begin_resize()
+        hbt.finish_resize()
+        assert hbt.stats.resizes == 1
+        assert hbt.stats.migrated_rows == hbt.num_rows
+
+    def test_max_ways_cap(self):
+        hbt = HashedBoundsTable(pac_bits=11, initial_ways=1, max_ways=2)
+        hbt.begin_resize()
+        hbt.finish_resize()
+        with pytest.raises(SimulationError):
+            hbt.begin_resize()
+
+
+class TestUncompressed:
+    def test_raw_bounds_roundtrip(self):
+        hbt = make_hbt(compression=False)
+        hbt.insert(0x12, 0x20001000, 64)
+        assert hbt.find_valid(0x12, 0x20001020)[0] == 0
+        assert hbt.find_valid(0x12, 0x20001040)[0] is None
+
+    def test_way_visits_cost_two_lines(self):
+        hbt = make_hbt(compression=False, ways=1)
+        addrs = hbt.way_line_addresses(0x12, 0)
+        assert len(addrs) == 2
+        assert addrs[1] == addrs[0] + 64
+        hbt.read_way(0x12, 0)
+        assert hbt.stats.lines_loaded == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 11) - 1),   # pac
+            st.integers(min_value=0, max_value=1 << 20).map(lambda x: 0x20000000 + x * 16),
+            st.integers(min_value=16, max_value=4096),
+        ),
+        min_size=1,
+        max_size=64,
+        unique_by=lambda t: t[1],
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_insert_find_clear_property(entries):
+    """Everything inserted is findable at every interior address; after
+    clearing, nothing matches its base address."""
+    hbt = make_hbt(pac_bits=11, ways=4)
+    inserted = []
+    for pac, lower, size in entries:
+        try:
+            hbt.insert(pac, lower, size)
+        except SimulationError:
+            continue  # row full at max ways for this test's geometry
+        inserted.append((pac, lower, size))
+    for pac, lower, size in inserted:
+        assert hbt.find_valid(pac, lower)[0] is not None
+        assert hbt.find_valid(pac, lower + size - 1)[0] is not None
+    for pac, lower, size in inserted:
+        way, _ = hbt.clear_matching(pac, lower)
+        assert way is not None

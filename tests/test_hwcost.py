@@ -1,0 +1,64 @@
+"""Hardware cost model tests (Table I)."""
+
+import pytest
+
+from repro.hwcost.cacti import (
+    PUBLISHED_TABLE1,
+    SRAMCostModel,
+    bwb_entry_bits,
+    estimate_table1,
+    mcq_entry_bits,
+    table1_structures,
+)
+
+
+class TestStructureSizing:
+    def test_mcq_entry_bits_from_field_list(self):
+        """§V-A.1 fields sum to 211 bits."""
+        assert mcq_entry_bits() == 211
+
+    def test_mcq_size_matches_paper(self):
+        """48 entries x 211 bits ~ 1.3 KB (Table I)."""
+        specs = {s.name: s for s in table1_structures()}
+        assert 1200 <= specs["MCQ"].size_bytes <= 1400
+
+    def test_bwb_size_matches_paper(self):
+        """64 entries x 48 bits = 384 B (Table I)."""
+        specs = {s.name: s for s in table1_structures()}
+        assert specs["BWB"].size_bytes == 384
+        assert bwb_entry_bits() == 48
+
+    def test_cache_sizes(self):
+        specs = {s.name: s for s in table1_structures()}
+        assert specs["L1-B Cache"].size_bytes == 32 * 1024
+        assert specs["L1-D Cache"].size_bytes == 64 * 1024
+
+
+class TestCostModel:
+    def test_estimates_close_to_published(self):
+        """The fitted power laws must land within 2x of each CACTI row
+        (they are typically within ~25 %)."""
+        model = SRAMCostModel()
+        for name, (size, area, ns, pj, mw) in PUBLISHED_TABLE1.items():
+            est = model.estimate(size)
+            assert est["area_mm2"] == pytest.approx(area, rel=1.0)
+            assert est["access_ns"] == pytest.approx(ns, rel=1.0)
+            assert est["leakage_mw"] == pytest.approx(mw, rel=1.0)
+
+    def test_monotonic_in_size(self):
+        model = SRAMCostModel()
+        small = model.estimate(1024)
+        big = model.estimate(64 * 1024)
+        for metric in ("area_mm2", "access_ns", "dynamic_pj", "leakage_mw"):
+            assert big[metric] > small[metric]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SRAMCostModel().estimate(0)
+
+    def test_estimate_table1_structure(self):
+        table = estimate_table1()
+        assert set(table) == {"MCQ", "BWB", "L1-B Cache", "L1-D Cache"}
+        for row in table.values():
+            assert row["size_bytes"] > 0
+            assert row["area_mm2"] > 0

@@ -1,0 +1,144 @@
+"""Instruction-level interpreter tests: the Fig. 7 / Fig. 12 sequences
+executed from real encoded instruction words."""
+
+import pytest
+
+from repro.core.exceptions import (
+    AuthenticationFault,
+    BoundsCheckFault,
+    BoundsClearFault,
+)
+from repro.errors import EncodingError
+from repro.isa.interp import Assembler, Interpreter, make_interpreter
+
+
+@pytest.fixture
+def machine() -> Interpreter:
+    return make_interpreter()
+
+
+class TestBaseOps:
+    def test_movz_add(self, machine):
+        program = Assembler().movz(0, 40).add(1, 0, 2).halt()
+        assert machine.run(program) is None
+        assert machine._read(1) == 42
+
+    def test_unsigned_load_store(self, machine):
+        program = (
+            Assembler()
+            .movz(0, 0x20001000)   # raw heap address (unsigned: unchecked)
+            .movz(1, 0xDEAD)
+            .str_(1, 0)
+            .ldr(2, 0)
+            .halt()
+        )
+        machine.run(program)
+        assert machine._read(2) == 0xDEAD
+
+    def test_undecodable_word_traps(self, machine):
+        program = Assembler()
+        program.words.append(0xFFFFFFFF)
+        trap = machine.run(program)
+        assert trap is not None
+        assert isinstance(trap.exception, EncodingError)
+
+    def test_step_budget(self, machine):
+        from repro.errors import SimulationError
+
+        program = Assembler().movz(1, 0x1000)
+        for _ in range(64):
+            program.ldr(0, 1)  # unsigned loads: no immediates consumed
+        assert machine.run(program, max_steps=1000) is None
+        with pytest.raises(SimulationError):
+            machine.run(program, max_steps=10)
+
+
+class TestFig7Sequences:
+    def aos_malloc(self, program: Assembler, size_reg=1, ptr_reg=0) -> Assembler:
+        """malloc; pacma ptr, sp, size; bndstr ptr, size (Fig. 7a)."""
+        return (
+            program
+            .malloc(ptr_reg, size_reg)
+            .aos("pacma", xd=ptr_reg, xn=31, xm=size_reg)
+            .aos("bndstr", xn=ptr_reg, xm=size_reg)
+        )
+
+    def aos_free(self, program: Assembler, ptr_reg=0) -> Assembler:
+        """bndclr; xpacm; free; pacma ptr, sp, xzr (Fig. 7b)."""
+        return (
+            program
+            .aos("bndclr", xn=ptr_reg)
+            .aos("xpacm", xd=ptr_reg)
+            .free(ptr_reg)
+            .aos("pacma", xd=ptr_reg, xn=31, xm=31)  # xm=31 reads XZR
+        )
+
+    def test_protected_roundtrip(self, machine):
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        program.movz(2, 0xBEEF).str_(2, 0).ldr(3, 0).halt()
+        assert machine.run(program) is None
+        assert machine._read(3) == 0xBEEF
+        assert machine.signer.is_signed(machine._read(0))
+
+    def test_oob_load_traps(self, machine):
+        """Fig. 12 line 6: T varA = ptr[N+1]."""
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        program.add(0, 0, 64)  # ptr += 64: PAC/AHC ride along
+        program.ldr(2, 0).halt()
+        trap = machine.run(program)
+        assert isinstance(trap.exception, BoundsCheckFault)
+
+    def test_oob_store_traps_precisely(self, machine):
+        """Fig. 12 line 7 — and the store must not have written."""
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        program.movz(2, 0x41).add(3, 0, 72).str_(2, 3).halt()
+        trap = machine.run(program)
+        assert isinstance(trap.exception, BoundsCheckFault)
+        # Precise exception: the word past the allocation is untouched.
+        raw = machine.signer.xpacm(machine._read(3))
+        assert machine.memory.read_u64(raw) == 0
+
+    def test_use_after_free_traps(self, machine):
+        """Fig. 12 line 14."""
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        self.aos_free(program)
+        program.ldr(2, 0).halt()
+        trap = machine.run(program)
+        assert isinstance(trap.exception, BoundsCheckFault)
+
+    def test_double_free_traps_at_bndclr(self, machine):
+        """Fig. 12 lines 16-19: the second bndclr finds nothing."""
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        self.aos_free(program)
+        program.aos("bndclr", xn=0).halt()
+        trap = machine.run(program)
+        assert isinstance(trap.exception, BoundsClearFault)
+
+    def test_autm_accepts_signed_rejects_stripped(self, machine):
+        program = Assembler().movz(1, 64)
+        self.aos_malloc(program)
+        program.aos("autm", xd=0)      # fine: signed
+        program.aos("xpacm", xd=0)
+        program.aos("autm", xd=0)      # stripped: AHC == 0
+        program.halt()
+        trap = machine.run(program)
+        assert isinstance(trap.exception, AuthenticationFault)
+        assert trap.pc == 6  # the second autm (movz, malloc, pacma, bndstr, autm, xpacm, autm)
+
+    def test_interior_pointer_arithmetic_checked(self, machine):
+        program = Assembler().movz(1, 128)
+        self.aos_malloc(program)
+        program.add(4, 0, 64)          # interior pointer
+        program.movz(2, 7).str_(2, 4).ldr(3, 4).halt()
+        assert machine.run(program) is None
+        assert machine._read(3) == 7
+
+    def test_retired_instruction_count(self, machine):
+        program = Assembler().movz(0, 1).movz(1, 2).halt()
+        machine.run(program)
+        assert machine.instructions_retired == 2  # halt does not retire

@@ -1,0 +1,175 @@
+"""MCQ and FSM tests (§V-A, Fig. 8)."""
+
+import pytest
+
+from repro.core.hbt import HashedBoundsTable
+from repro.core.mcq import MCQEntry, MCQState, MCQType, MemoryCheckQueue
+from repro.errors import SimulationError
+
+
+def make_hbt():
+    return HashedBoundsTable(pac_bits=11, initial_ways=1)
+
+
+def load_entry(pac=0x12, address=0x20001000, ahc=1, way=0):
+    return MCQEntry(
+        entry_type=MCQType.LOAD, address=address, pac=pac, ahc=ahc, way=way
+    )
+
+
+def drive(entry, hbt):
+    while entry.state not in (MCQState.DONE, MCQState.FAIL):
+        if entry.state is MCQState.BND_STR:
+            entry.committed = True
+        entry.step(hbt)
+    return entry.state
+
+
+class TestLoadStoreFSM:
+    def test_unsigned_goes_straight_to_done(self):
+        hbt = make_hbt()
+        entry = load_entry(ahc=0)
+        assert entry.step(hbt) is MCQState.DONE
+        assert entry.lines_accessed == []
+
+    def test_signed_hit_first_way(self):
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        entry = load_entry()
+        assert drive(entry, hbt) is MCQState.DONE
+        assert entry.result_way == 0
+        assert len(entry.lines_accessed) == 1
+
+    def test_signed_miss_fails_after_all_ways(self):
+        hbt = make_hbt()
+        entry = load_entry()
+        assert drive(entry, hbt) is MCQState.FAIL
+        assert entry.count == hbt.ways
+
+    def test_way_iteration(self):
+        hbt = make_hbt()
+        hbt.begin_resize()      # 2 ways
+        hbt.finish_resize()
+        for i in range(8):      # fill way 0
+            hbt.insert(0x12, 0x30000000 + 0x1000 * i, 64)
+        hbt.insert(0x12, 0x20001000, 64)  # lands in way 1
+        entry = load_entry()
+        assert drive(entry, hbt) is MCQState.DONE
+        assert entry.result_way == 1
+        assert len(entry.lines_accessed) == 2
+
+    def test_bwb_hint_starts_at_way(self):
+        hbt = make_hbt()
+        hbt.begin_resize()
+        hbt.finish_resize()
+        for i in range(8):
+            hbt.insert(0x12, 0x30000000 + 0x1000 * i, 64)
+        hbt.insert(0x12, 0x20001000, 64)
+        entry = load_entry(way=1)  # hint from the BWB
+        assert drive(entry, hbt) is MCQState.DONE
+        assert len(entry.lines_accessed) == 1  # found immediately
+
+    def test_stepping_done_entry_raises(self):
+        hbt = make_hbt()
+        entry = load_entry(ahc=0)
+        entry.step(hbt)
+        with pytest.raises(SimulationError):
+            entry.step(hbt)
+
+
+class TestTableOpFSM:
+    def test_bndstr_waits_for_commit(self):
+        hbt = make_hbt()
+        entry = MCQEntry(
+            entry_type=MCQType.BNDSTR, address=0x20001000, pac=0x12, ahc=1, size=64
+        )
+        entry.step(hbt)   # Init -> OccChk
+        entry.step(hbt)   # OccChk -> BndStr (empty slot found)
+        assert entry.state is MCQState.BND_STR
+        entry.step(hbt)   # still waiting: not committed
+        assert entry.state is MCQState.BND_STR
+        entry.committed = True
+        entry.step(hbt)
+        assert entry.state is MCQState.DONE
+
+    def test_bndclr_finds_matching_lower(self):
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        entry = MCQEntry(
+            entry_type=MCQType.BNDCLR, address=0x20001000, pac=0x12, ahc=1
+        )
+        entry.committed = True
+        assert drive(entry, hbt) is MCQState.DONE
+
+    def test_bndclr_fails_without_match(self):
+        """Double free / invalid free: no bounds to clear (§IV-D)."""
+        hbt = make_hbt()
+        entry = MCQEntry(
+            entry_type=MCQType.BNDCLR, address=0x20001000, pac=0x12, ahc=1
+        )
+        assert drive(entry, hbt) is MCQState.FAIL
+
+    def test_bndstr_fails_when_row_full(self):
+        hbt = make_hbt()
+        for i in range(8):
+            hbt.insert(0x12, 0x30000000 + 0x1000 * i, 64)
+        entry = MCQEntry(
+            entry_type=MCQType.BNDSTR, address=0x20001000, pac=0x12, ahc=1, size=64
+        )
+        assert drive(entry, hbt) is MCQState.FAIL
+
+
+class TestReplay:
+    def test_replay_resets_walk(self):
+        hbt = make_hbt()
+        entry = load_entry()
+        entry.step(hbt)  # Init -> BndChk
+        entry.step(hbt)  # BndChk -> IncCnt (no bounds)
+        entry.replay()
+        assert entry.state is MCQState.INIT
+        assert entry.count == 0
+
+    def test_done_entry_not_replayed(self):
+        """§V-E: entries in Done completed with valid bounds; no replay."""
+        hbt = make_hbt()
+        hbt.insert(0x12, 0x20001000, 64)
+        entry = load_entry()
+        drive(entry, hbt)
+        entry.replay()
+        assert entry.state is MCQState.DONE
+
+
+class TestQueue:
+    def test_capacity(self):
+        q = MemoryCheckQueue(capacity=2)
+        q.enqueue(load_entry())
+        q.enqueue(load_entry())
+        assert q.full
+        with pytest.raises(SimulationError):
+            q.enqueue(load_entry())
+
+    def test_retire_head_requires_completion(self):
+        q = MemoryCheckQueue(capacity=2)
+        entry = load_entry()
+        q.enqueue(entry)
+        with pytest.raises(SimulationError):
+            q.retire_head()
+        entry.state = MCQState.DONE
+        assert q.retire_head() is entry
+        assert len(q) == 0
+
+    def test_retire_empty_raises(self):
+        with pytest.raises(SimulationError):
+            MemoryCheckQueue().retire_head()
+
+    def test_newer_than(self):
+        q = MemoryCheckQueue()
+        a, b, c = load_entry(), load_entry(), load_entry()
+        for e in (a, b, c):
+            q.enqueue(e)
+        assert q.newer_than(a) == [b, c]
+        assert q.newer_than(c) == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            MemoryCheckQueue(capacity=0)

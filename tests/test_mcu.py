@@ -1,0 +1,175 @@
+"""Memory check unit tests: selective checking, table ops, optimisations."""
+
+import pytest
+
+from repro.config import AOSOptions, BWBConfig
+from repro.core.bwb import bwb_tag
+from repro.core.exceptions import BoundsCheckFault, BoundsClearFault
+from repro.core.hbt import HashedBoundsTable
+from repro.core.mcu import MemoryCheckUnit
+from repro.isa.encoding import PointerLayout
+
+LAYOUT = PointerLayout(pac_bits=11)
+
+
+def make_mcu(options=AOSOptions(), ways=1, bounds_access=None):
+    hbt = HashedBoundsTable(pac_bits=11, initial_ways=ways)
+    return MemoryCheckUnit(
+        hbt=hbt,
+        layout=LAYOUT,
+        options=options,
+        bwb_config=BWBConfig(),
+        bounds_access=bounds_access,
+    )
+
+
+def signed(address, pac=0x12, ahc=1):
+    return LAYOUT.sign(address, pac, ahc)
+
+
+class TestSelectiveChecking:
+    def test_unsigned_pointer_skips_checking(self):
+        mcu = make_mcu()
+        result = mcu.check_access(0x20001000)
+        assert result.ok
+        assert result.latency == 0
+        assert mcu.stats.signed_checks == 0
+        assert mcu.stats.checks == 1
+
+    def test_signed_pointer_checked(self):
+        mcu = make_mcu()
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20001010))
+        assert result.ok
+        assert mcu.stats.signed_checks == 1
+
+    def test_oob_faults(self):
+        mcu = make_mcu()
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20001040))
+        assert not result.ok
+        assert isinstance(result.fault, BoundsCheckFault)
+
+    def test_missing_bounds_fault(self):
+        """Temporal safety: a freed (cleared) pointer fails checking."""
+        mcu = make_mcu()
+        mcu.bounds_store(signed(0x20001000), 64)
+        mcu.bounds_clear(signed(0x20001000))
+        result = mcu.check_access(signed(0x20001000))
+        assert not result.ok
+
+
+class TestTableOps:
+    def test_store_then_clear(self):
+        mcu = make_mcu()
+        assert mcu.bounds_store(signed(0x20001000), 64).ok
+        assert mcu.bounds_clear(signed(0x20001000)).ok
+
+    def test_double_clear_faults(self):
+        mcu = make_mcu()
+        mcu.bounds_store(signed(0x20001000), 64)
+        mcu.bounds_clear(signed(0x20001000))
+        result = mcu.bounds_clear(signed(0x20001000))
+        assert not result.ok
+        assert isinstance(result.fault, BoundsClearFault)
+
+    def test_clear_of_crafted_pointer_faults(self):
+        """The bndclr that stops House of Spirit (§VII-A)."""
+        mcu = make_mcu()
+        result = mcu.bounds_clear(signed(0x00601010))
+        assert not result.ok
+
+    def test_row_overflow_triggers_resize(self):
+        mcu = make_mcu()
+        for i in range(8):
+            assert mcu.bounds_store(signed(0x20000000 + 0x1000 * i), 64).ok
+        result = mcu.bounds_store(signed(0x20010000), 64)
+        assert result.ok
+        assert result.resized
+        assert mcu.hbt.ways == 2
+        assert mcu.stats.resizes == 1
+
+    def test_blocking_resize_ablation(self):
+        mcu = make_mcu(options=AOSOptions(nonblocking_resize=False))
+        for i in range(8):
+            mcu.bounds_store(signed(0x20000000 + 0x1000 * i), 64)
+        result = mcu.bounds_store(signed(0x20010000), 64)
+        assert result.ok
+        assert not mcu.hbt.resizing  # stop-the-world copy completed
+
+
+class TestBWBIntegration:
+    def test_bwb_learns_way(self):
+        # Forwarding off so checks actually walk the table here.
+        mcu = make_mcu(ways=2, options=AOSOptions(bounds_forwarding=False))
+        # Fill way 0 of the row so our object lands in way 1.
+        for i in range(8):
+            mcu.hbt.insert(0x12, 0x30000000 + 0x1000 * i, 64)
+        mcu.bounds_store(signed(0x20001000), 64)
+        first = mcu.check_access(signed(0x20001008))
+        second = mcu.check_access(signed(0x20001010))
+        assert second.bwb_hit
+        assert second.lines_accessed <= first.lines_accessed
+
+    def test_bwb_disabled(self):
+        mcu = make_mcu(options=AOSOptions(bwb_enabled=False))
+        assert mcu.bwb is None
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20001008))
+        assert result.ok
+        assert not result.bwb_hit
+
+
+class TestForwarding:
+    def test_store_to_load_forwarding(self):
+        mcu = make_mcu(options=AOSOptions(bounds_forwarding=True))
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20001008))
+        assert result.forwarded
+        assert result.latency == 1
+        assert mcu.stats.forwards == 1
+
+    def test_forwarding_disabled(self):
+        mcu = make_mcu(options=AOSOptions(bounds_forwarding=False))
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20001008))
+        assert not result.forwarded
+
+    def test_forwarding_does_not_leak_across_clear(self):
+        mcu = make_mcu(options=AOSOptions(bounds_forwarding=True))
+        mcu.bounds_store(signed(0x20001000), 64)
+        mcu.bounds_clear(signed(0x20001000))
+        result = mcu.check_access(signed(0x20001008))
+        assert not result.ok  # cleared bounds must not be forwarded
+
+    def test_forwarding_only_within_bounds(self):
+        mcu = make_mcu(options=AOSOptions(bounds_forwarding=True))
+        mcu.bounds_store(signed(0x20001000), 64)
+        result = mcu.check_access(signed(0x20002000))
+        assert not result.forwarded
+
+
+class TestLatencyAccounting:
+    def test_bounds_access_callback_charged(self):
+        charges = []
+
+        def cost(addr, is_write):
+            charges.append((addr, is_write))
+            return 5
+
+        mcu = make_mcu(bounds_access=cost)
+        mcu.bounds_store(signed(0x20001000), 64)
+        # occupancy-check line load + bounds store write
+        assert len(charges) == 2
+        assert charges[0][1] is False
+        assert charges[1][1] is True
+
+    def test_check_latency_scales_with_ways(self):
+        mcu = make_mcu(ways=4, options=AOSOptions(bounds_forwarding=False, bwb_enabled=False))
+        # Place bounds in the last way.
+        for i in range(24):
+            mcu.hbt.insert(0x12, 0x30000000 + 0x1000 * i, 64)
+        mcu.hbt.insert(0x12, 0x20001000, 64)
+        result = mcu.check_access(signed(0x20001008))
+        assert result.ok
+        assert result.lines_accessed == 4

@@ -1,0 +1,106 @@
+"""OS support tests: exception handler policies, table manager (§IV-D)."""
+
+import pytest
+
+from repro.core.exceptions import (
+    BoundsCheckFault,
+    BoundsStoreFault,
+    FaultInfo,
+)
+from repro.core.hbt import HashedBoundsTable
+from repro.os.handler import (
+    AOSExceptionHandler,
+    FaultRecord,
+    HandlerPolicy,
+    ProcessTerminated,
+)
+from repro.os.process import Process
+from repro.os.table_manager import BoundsTableManager
+
+
+def check_fault():
+    return BoundsCheckFault(FaultInfo(pointer=0x123, pac=7, detail="oob"))
+
+
+def store_fault():
+    return BoundsStoreFault(FaultInfo(pointer=0x123, pac=7, detail="full row"))
+
+
+class TestHandler:
+    def test_terminate_policy_raises(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.TERMINATE)
+        with pytest.raises(ProcessTerminated):
+            handler.handle(check_fault())
+        assert len(handler.log) == 1
+
+    def test_report_and_resume_logs(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.REPORT_AND_RESUME)
+        record = handler.handle(check_fault())
+        assert isinstance(record, FaultRecord)
+        assert handler.violations == [record]
+
+    def test_store_fault_always_recoverable(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.TERMINATE)
+        record = handler.handle(store_fault())  # no ProcessTerminated
+        assert record.kind == "BoundsStoreFault"
+        assert handler.violations == []  # resizes are not violations
+
+    def test_clear(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.REPORT_AND_RESUME)
+        handler.handle(check_fault())
+        handler.clear()
+        assert handler.log == []
+
+
+class TestTableManager:
+    def test_resize_doubles_ways(self):
+        hbt = HashedBoundsTable(pac_bits=11, initial_ways=1)
+        manager = BoundsTableManager(hbt, nonblocking=True)
+        event = manager.on_bounds_store_failure()
+        assert (event.old_ways, event.new_ways) == (1, 2)
+        assert hbt.resizing  # migration in flight
+
+    def test_blocking_resize_completes_immediately(self):
+        hbt = HashedBoundsTable(pac_bits=11, initial_ways=1)
+        manager = BoundsTableManager(hbt, nonblocking=False)
+        manager.on_bounds_store_failure()
+        assert not hbt.resizing
+
+    def test_tick_advances_migration(self):
+        hbt = HashedBoundsTable(pac_bits=11, initial_ways=1)
+        manager = BoundsTableManager(hbt, nonblocking=True)
+        manager.on_bounds_store_failure()
+        moved = manager.tick(rows=64)
+        assert moved == 64
+
+    def test_migration_bytes_accounted(self):
+        hbt = HashedBoundsTable(pac_bits=11, initial_ways=1)
+        manager = BoundsTableManager(hbt)
+        event = manager.on_bounds_store_failure()
+        # read old way line + write new, per row: rows * old_ways * 64 * 2
+        assert event.migration_bytes == (1 << 11) * 1 * 64 * 2
+        assert manager.total_migration_bytes() == event.migration_bytes
+        assert manager.resize_count == 1
+
+
+class TestProcess:
+    def test_guarded_operations(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.REPORT_AND_RESUME)
+        p = proc.malloc(64)
+        assert proc.store(p, 42)
+        assert proc.load(p) == 42
+
+    def test_violation_logged_not_raised(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.REPORT_AND_RESUME)
+        p = proc.malloc(64)
+        assert proc.load(p + 4096) is None
+        assert len(proc.violations) == 1
+
+    def test_terminate_policy(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.TERMINATE)
+        p = proc.malloc(64)
+        with pytest.raises(ProcessTerminated):
+            proc.load(p + 4096)
+
+    def test_pids_unique(self):
+        assert Process(pac_mode="fast").pid != Process(pac_mode="fast").pid

@@ -1,0 +1,80 @@
+"""PAC generator tests: truncation, key registers, fast mode statistics."""
+
+import pytest
+
+from repro.crypto.pac import PACGenerator, PAKeys
+from repro.crypto.qarma import Qarma64
+
+
+class TestPACGenerator:
+    def test_truncates_to_pac_bits(self):
+        gen = PACGenerator(pac_bits=16)
+        pac = gen.compute(0x20001000, 0x1234)
+        assert 0 <= pac < (1 << 16)
+
+    def test_matches_raw_qarma(self):
+        keys = PAKeys()
+        gen = PACGenerator(keys=keys, pac_bits=16)
+        expected = Qarma64(keys.apma).encrypt(0x20001000, 0x1234) & 0xFFFF
+        assert gen.compute(0x20001000, 0x1234, key_name="ma") == expected
+
+    def test_different_keys_differ(self):
+        gen = PACGenerator()
+        assert gen.compute(0x20001000, 1, "ma") != gen.compute(0x20001000, 1, "ia")
+
+    def test_different_modifiers_differ(self):
+        gen = PACGenerator()
+        assert gen.compute(0x20001000, 1) != gen.compute(0x20001000, 2)
+
+    def test_pac_space(self):
+        assert PACGenerator(pac_bits=13).pac_space == 1 << 13
+
+    def test_rejects_bad_pac_bits(self):
+        with pytest.raises(ValueError):
+            PACGenerator(pac_bits=8)
+        with pytest.raises(ValueError):
+            PACGenerator(pac_bits=33)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            PACGenerator(mode="weird")
+
+    def test_unknown_key_register(self):
+        with pytest.raises(KeyError):
+            PAKeys().key_for("zz")
+
+
+class TestFastMode:
+    def test_fast_mode_in_range(self):
+        gen = PACGenerator(mode="fast", pac_bits=16)
+        for i in range(100):
+            pac = gen.compute(0x20000000 + 48 * i, 0xABCD)
+            assert 0 <= pac < (1 << 16)
+
+    def test_fast_mode_deterministic(self):
+        a = PACGenerator(mode="fast")
+        b = PACGenerator(mode="fast")
+        assert a.compute(0x20001000, 7) == b.compute(0x20001000, 7)
+
+    def test_fast_mode_distribution_is_uniformish(self):
+        """The fast hash must preserve the uniformity property Fig. 11
+        establishes for QARMA (the only property the HBT depends on)."""
+        gen = PACGenerator(mode="fast", pac_bits=11)
+        counts = [0] * (1 << 11)
+        n = 1 << 15
+        for i in range(n):
+            counts[gen.compute(0x20000000 + 48 * i, 0xABCD)] += 1
+        mean = n / (1 << 11)
+        assert max(counts) < mean * 3
+        assert min(counts) > 0
+
+    def test_fast_and_qarma_modes_differ(self):
+        fast = PACGenerator(mode="fast")
+        slow = PACGenerator(mode="qarma")
+        # Not a correctness requirement, but they should not coincide on
+        # a batch of inputs (they are different functions).
+        diffs = sum(
+            fast.compute(0x20000000 + 16 * i, 1) != slow.compute(0x20000000 + 16 * i, 1)
+            for i in range(16)
+        )
+        assert diffs > 0

@@ -1,0 +1,168 @@
+"""QARMA-64 cipher tests: published vectors, inverses, batch equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.qarma import (
+    ALPHA,
+    ROUND_CONSTANTS,
+    SBOXES,
+    TAU,
+    TAU_INV,
+    Qarma64,
+    _lfsr_bwd,
+    _lfsr_fwd,
+    _mix_columns,
+    _update_tweak_bwd,
+    _update_tweak_fwd,
+    from_cells,
+    qarma64_decrypt,
+    qarma64_encrypt,
+    to_cells,
+)
+from repro.crypto.qarma_batch import Qarma64Batch
+
+KEY = 0x84BE85CE9804E94BEC2802D4E0A488E9
+TWEAK = 0x477D469DEC0B8762
+PLAIN = 0xFB623599DA6E8127
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPublishedVectors:
+    """The QARMA paper's test vectors for the published key/tweak/plaintext."""
+
+    def test_sigma0_r5(self):
+        assert Qarma64(KEY, rounds=5, sbox=0).encrypt(PLAIN, TWEAK) == 0x3EE99A6C82AF0C38
+
+    def test_sigma2_r7(self):
+        assert Qarma64(KEY, rounds=7, sbox=2).encrypt(PLAIN, TWEAK) == 0x5C06A7501B63B2FD
+
+    def test_encryption_is_deterministic(self):
+        cipher = Qarma64(KEY)
+        assert cipher.encrypt(PLAIN, TWEAK) == cipher.encrypt(PLAIN, TWEAK)
+
+
+class TestCellCodec:
+    def test_roundtrip(self):
+        x = 0x0123456789ABCDEF
+        assert from_cells(to_cells(x)) == x
+
+    def test_cell_zero_is_msn(self):
+        assert to_cells(0xF000000000000000)[0] == 0xF
+
+    @given(u64)
+    def test_roundtrip_property(self, x):
+        assert from_cells(to_cells(x)) == x
+
+
+class TestComponents:
+    def test_sboxes_are_permutations(self):
+        for sbox in SBOXES.values():
+            assert sorted(sbox) == list(range(16))
+
+    def test_tau_is_permutation(self):
+        assert sorted(TAU) == list(range(16))
+
+    def test_tau_inverse(self):
+        for i in range(16):
+            assert TAU[TAU_INV[i]] == i
+
+    def test_mix_columns_is_involutory(self):
+        for x in (0x0123456789ABCDEF, 0xFFFFFFFFFFFFFFFF, 0x1, PLAIN):
+            assert _mix_columns(_mix_columns(x)) == x
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_lfsr_inverse(self, cell):
+        assert _lfsr_bwd(_lfsr_fwd(cell)) == cell
+        assert _lfsr_fwd(_lfsr_bwd(cell)) == cell
+
+    def test_lfsr_full_period(self):
+        """omega must cycle through all 15 nonzero states (maximal LFSR)."""
+        seen = set()
+        x = 1
+        for _ in range(15):
+            seen.add(x)
+            x = _lfsr_fwd(x)
+        assert len(seen) == 15
+
+    @given(u64)
+    def test_tweak_update_inverse(self, tweak):
+        assert _update_tweak_bwd(_update_tweak_fwd(tweak)) == tweak
+
+    def test_round_constants_start_at_zero(self):
+        assert ROUND_CONSTANTS[0] == 0
+
+    def test_alpha_nonzero(self):
+        assert ALPHA != 0
+
+
+class TestDecrypt:
+    @given(u64, u64)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, plaintext, tweak):
+        cipher = Qarma64(KEY)
+        assert cipher.decrypt(cipher.encrypt(plaintext, tweak), tweak) == plaintext
+
+    def test_roundtrip_all_sboxes(self):
+        for sbox in (0, 1, 2):
+            cipher = Qarma64(KEY, sbox=sbox)
+            ct = cipher.encrypt(PLAIN, TWEAK)
+            assert cipher.decrypt(ct, TWEAK) == PLAIN
+
+    def test_wrappers(self):
+        ct = qarma64_encrypt(PLAIN, TWEAK, KEY)
+        assert qarma64_decrypt(ct, TWEAK, KEY) == PLAIN
+
+
+class TestValidation:
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            Qarma64(1 << 128)
+
+    def test_rejects_bad_sbox(self):
+        with pytest.raises(ValueError):
+            Qarma64(KEY, sbox=3)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            Qarma64(KEY, rounds=0)
+
+    def test_rejects_oversized_plaintext(self):
+        with pytest.raises(ValueError):
+            Qarma64(KEY).encrypt(1 << 64, TWEAK)
+
+    def test_rejects_oversized_tweak(self):
+        with pytest.raises(ValueError):
+            Qarma64(KEY).encrypt(PLAIN, 1 << 64)
+
+
+class TestBatch:
+    def test_matches_scalar(self):
+        scalar = Qarma64(KEY)
+        batch = Qarma64Batch(KEY)
+        pts = np.array(
+            [PLAIN, 0, 0xFFFFFFFFFFFFFFFF, 0x123456789ABCDEF0, 0x20000010],
+            dtype=np.uint64,
+        )
+        out = batch.encrypt(pts, TWEAK)
+        for i, pt in enumerate(pts):
+            assert int(out[i]) == scalar.encrypt(int(pt), TWEAK)
+
+    @given(st.lists(u64, min_size=1, max_size=8), u64)
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scalar_property(self, pts, tweak):
+        scalar = Qarma64(KEY)
+        batch = Qarma64Batch(KEY)
+        out = batch.encrypt(np.array(pts, dtype=np.uint64), tweak)
+        for i, pt in enumerate(pts):
+            assert int(out[i]) == scalar.encrypt(pt, tweak)
+
+    def test_pac_truncation(self):
+        batch = Qarma64Batch(KEY)
+        pts = np.array([PLAIN], dtype=np.uint64)
+        pac = batch.pacs(pts, TWEAK, pac_bits=16)
+        full = batch.encrypt(pts, TWEAK)
+        assert int(pac[0]) == int(full[0]) & 0xFFFF

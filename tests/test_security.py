@@ -1,0 +1,109 @@
+"""Security analysis tests: the §VII detection matrix must match the paper."""
+
+import pytest
+
+from repro.security import run_security_analysis
+from repro.security.analysis import expected_aos
+from repro.security.attacks import ATTACKS, AttackOutcome
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_security_analysis()
+
+
+class TestAOSClaims:
+    """AOS must detect everything §VII claims it detects."""
+
+    @pytest.mark.parametrize("attack", list(expected_aos()))
+    def test_aos_outcome(self, matrix, attack):
+        assert matrix.outcome(attack, "aos") is expected_aos()[attack]
+
+
+class TestBaselineGaps:
+    """The comparison points that motivate AOS."""
+
+    def test_baseline_misses_spatial(self, matrix):
+        assert not matrix.detected("adjacent-oob-read", "baseline")
+        assert not matrix.detected("nonadjacent-oob-read", "baseline")
+
+    def test_baseline_misses_temporal(self, matrix):
+        assert not matrix.detected("use-after-free", "baseline")
+        assert not matrix.detected("double-free", "baseline")
+
+    def test_baseline_house_of_spirit_succeeds(self, matrix):
+        """Fig. 1 works on an unprotected glibc-style heap."""
+        assert not matrix.detected("house-of-spirit", "baseline")
+
+    def test_rest_catches_adjacent_only(self, matrix):
+        """Trip-wires stop adjacent overflows but not jumps (§I)."""
+        assert matrix.detected("adjacent-oob-read", "rest")
+        assert not matrix.detected("nonadjacent-oob-read", "rest")
+
+    def test_pa_has_no_spatial_or_temporal_safety(self, matrix):
+        """§II-B: PA alone detects neither OOB nor UAF."""
+        assert not matrix.detected("adjacent-oob-read", "pa")
+        assert not matrix.detected("use-after-free", "pa")
+
+    def test_watchdog_detects_core_violations(self, matrix):
+        for attack in ("adjacent-oob-read", "use-after-free", "double-free"):
+            assert matrix.detected(attack, "watchdog")
+
+
+class TestMatrixShape:
+    def test_all_attacks_ran_on_all_mechanisms(self, matrix):
+        assert set(matrix.results) == set(ATTACKS)
+        for per_mech in matrix.results.values():
+            assert set(per_mech) == {
+                "baseline", "rest", "pa", "mte", "cheri", "watchdog", "aos",
+            }
+
+    def test_format_table_renders(self, matrix):
+        text = matrix.format_table()
+        assert "house-of-spirit" in text
+        assert "aos" in text
+
+    def test_na_only_for_metadata_attacks(self, matrix):
+        for attack, per_mech in matrix.results.items():
+            for mech, result in per_mech.items():
+                if result.outcome is AttackOutcome.NOT_APPLICABLE:
+                    assert attack in (
+                        "pac-forgery", "ahc-forgery", "metadata-brute-force",
+                    )
+
+
+class TestTagEntropy:
+    """§X: small tags are brute-forceable; 16-bit PACs are not."""
+
+    def test_mte_bypassed_by_brute_force(self, matrix):
+        assert not matrix.detected("metadata-brute-force", "mte")
+
+    def test_aos_survives_brute_force(self, matrix):
+        assert matrix.detected("metadata-brute-force", "aos")
+
+    def test_mte_catches_single_shot_violations(self, matrix):
+        for attack in ("adjacent-oob-read", "use-after-free"):
+            assert matrix.detected(attack, "mte")
+
+
+class TestCheriRow:
+    """§X: capabilities give spatial safety by construction but defer
+    temporal safety to revocation (CHERIvoke)."""
+
+    def test_spatial_by_construction(self, matrix):
+        for attack in ("adjacent-oob-read", "nonadjacent-oob-read"):
+            assert matrix.detected(attack, "cheri")
+
+    def test_temporal_gap_without_revocation(self, matrix):
+        assert not matrix.detected("use-after-free", "cheri")
+        assert not matrix.detected("double-free", "cheri")
+
+    def test_unforgeable(self, matrix):
+        assert matrix.detected("house-of-spirit", "cheri")
+
+
+class TestRunSelection:
+    def test_subset_run(self):
+        m = run_security_analysis(mechanisms=["baseline", "aos"], attacks=["use-after-free"])
+        assert list(m.results) == ["use-after-free"]
+        assert set(m.results["use-after-free"]) == {"baseline", "aos"}

@@ -1,0 +1,53 @@
+"""Shadow memory tests (Watchdog metadata substrate, Fig. 4b)."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.layout import DEFAULT_LAYOUT
+from repro.memory.memory import SparseMemory
+from repro.memory.shadow import WATCHDOG_RECORD_BYTES, ShadowMemory, ShadowRecord
+
+
+def make_shadow():
+    return ShadowMemory(SparseMemory(), DEFAULT_LAYOUT)
+
+
+class TestMapping:
+    def test_fixed_mapping(self):
+        shadow = make_shadow()
+        a = shadow.shadow_address(DEFAULT_LAYOUT.heap_base)
+        b = shadow.shadow_address(DEFAULT_LAYOUT.heap_base + 16)
+        assert a == DEFAULT_LAYOUT.shadow_base
+        assert b == a + WATCHDOG_RECORD_BYTES
+
+    def test_same_granule_same_slot(self):
+        shadow = make_shadow()
+        a = shadow.shadow_address(DEFAULT_LAYOUT.heap_base + 3)
+        b = shadow.shadow_address(DEFAULT_LAYOUT.heap_base + 15)
+        assert a == b
+
+    def test_rejects_non_heap(self):
+        with pytest.raises(MemoryError_):
+            make_shadow().shadow_address(0x1000)
+
+
+class TestRecords:
+    def test_store_load_roundtrip(self):
+        shadow = make_shadow()
+        record = ShadowRecord(key=7, lock_address=0x100, lower=0x20001000, upper=0x20001040)
+        addr = DEFAULT_LAYOUT.heap_base + 64
+        shadow.store(addr, record)
+        loaded, _ = shadow.load(addr)
+        assert loaded == record
+
+    def test_clear(self):
+        shadow = make_shadow()
+        addr = DEFAULT_LAYOUT.heap_base + 64
+        shadow.store(addr, ShadowRecord(1, 2, 3, 4))
+        shadow.clear(addr)
+        loaded, _ = shadow.load(addr)
+        assert loaded is None
+
+    def test_memory_overhead_ratio(self):
+        """Challenge 4: Watchdog's 24B-per-granule shadow cost."""
+        assert make_shadow().shadow_bytes_per_app_byte() == 1.5

@@ -1,0 +1,83 @@
+"""pacma / xpacm / autm semantics tests (§IV-A)."""
+
+import pytest
+
+from repro.core.exceptions import AuthenticationFault
+from repro.core.signing import PointerSigner
+from repro.crypto.pac import PACGenerator
+from repro.isa.encoding import PointerLayout
+
+
+def make_signer(pac_bits=16, mode="fast"):
+    return PointerSigner(
+        generator=PACGenerator(pac_bits=pac_bits, mode=mode),
+        layout=PointerLayout(pac_bits=pac_bits),
+    )
+
+
+class TestPacma:
+    def test_embeds_nonzero_ahc(self):
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 0x7FFF0000, 64)
+        assert signer.is_signed(p)
+        assert signer.ahc_of(p) in (1, 2, 3)
+
+    def test_pac_depends_on_modifier(self):
+        signer = make_signer()
+        a = signer.pacma(0x20001000, 1, 64)
+        b = signer.pacma(0x20001000, 2, 64)
+        assert signer.pac_of(a) != signer.pac_of(b)
+
+    def test_address_preserved(self):
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 1, 64)
+        assert signer.layout.address(p) == 0x20001000
+
+    def test_zero_size_re_signing(self):
+        """pacma ptr, sp, xzr after free() still marks the pointer signed."""
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 1, 0)
+        assert signer.is_signed(p)
+
+    def test_pacmb_uses_other_key(self):
+        signer = make_signer()
+        a = signer.pacma(0x20001000, 1, 64)
+        b = signer.pacmb(0x20001000, 1, 64)
+        assert signer.pac_of(a) != signer.pac_of(b)
+
+    def test_size_mismatch_between_layout_and_generator(self):
+        with pytest.raises(ValueError):
+            PointerSigner(
+                generator=PACGenerator(pac_bits=16),
+                layout=PointerLayout(pac_bits=12),
+            )
+
+
+class TestXpacm:
+    def test_strips_everything(self):
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 1, 64)
+        assert signer.xpacm(p) == 0x20001000
+
+    def test_idempotent_on_raw_pointer(self):
+        signer = make_signer()
+        assert signer.xpacm(0x20001000) == 0x20001000
+
+
+class TestAutm:
+    def test_accepts_signed_pointer(self):
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 1, 64)
+        assert signer.autm(p) == p  # autm does not strip (§IV-A)
+
+    def test_rejects_unsigned_pointer(self):
+        signer = make_signer()
+        with pytest.raises(AuthenticationFault):
+            signer.autm(0x20001000)
+
+    def test_rejects_ahc_forged_to_zero(self):
+        signer = make_signer()
+        p = signer.pacma(0x20001000, 1, 64)
+        forged = p & ~signer.layout.ahc_mask
+        with pytest.raises(AuthenticationFault):
+            signer.autm(forged)

@@ -1,0 +1,65 @@
+"""Simulator facade tests: result fields and cross-config behaviour."""
+
+import pytest
+
+from repro.compiler import lower_trace
+from repro.cpu.core import SimulationResult, Simulator
+from repro.experiments.common import scaled_config
+from repro.workloads import generate_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def lowered_pair():
+    trace = generate_trace(get_profile("povray"), instructions=8_000, seed=17)
+    config = scaled_config("aos", 8)
+    return trace, lower_trace(trace, "aos", config=config), config
+
+
+class TestSimulationResult:
+    def test_fields_populated(self, lowered_pair):
+        _, lowered, config = lowered_pair
+        result = Simulator(config).run(lowered)
+        assert isinstance(result, SimulationResult)
+        assert result.name == "povray"
+        assert result.mechanism == "aos"
+        assert result.cycles > 0
+        assert result.ipc > 0
+        assert result.network_traffic_bytes == (
+            result.l1_l2_bytes + result.l2_dram_bytes
+        )
+        assert "l1b_hit_rate" in result.cache_summary
+
+    def test_no_l1b_without_aos(self):
+        trace = generate_trace(get_profile("gobmk"), instructions=5_000, seed=17)
+        config = scaled_config("baseline", 8)
+        result = Simulator(config).run(lower_trace(trace, "baseline", config=config))
+        assert "l1b_hit_rate" not in result.cache_summary
+        assert result.bounds_accesses_per_check == 0.0
+
+    def test_l1b_disabled_by_option(self, lowered_pair):
+        trace, _, _ = lowered_pair
+        config = scaled_config("aos", 8).with_aos_options(l1b_cache=False)
+        lowered = lower_trace(trace, "aos", config=config)
+        result = Simulator(config).run(lowered)
+        assert "l1b_hit_rate" not in result.cache_summary
+
+    def test_more_instructions_more_cycles(self):
+        profile = get_profile("gobmk")
+        config = scaled_config("baseline", 8)
+        short = generate_trace(profile, instructions=4_000, seed=3)
+        long = generate_trace(profile, instructions=16_000, seed=3)
+        r_short = Simulator(config).run(lower_trace(short, "baseline", config=config))
+        r_long = Simulator(config).run(lower_trace(long, "baseline", config=config))
+        assert r_long.cycles > r_short.cycles * 2
+
+    def test_mcq_sizing_affects_aos_only(self, lowered_pair):
+        import dataclasses
+
+        trace, _, base_config = lowered_pair
+        tiny_mcq = dataclasses.replace(
+            base_config, core=dataclasses.replace(base_config.core, mcq_entries=4)
+        )
+        lowered = lower_trace(trace, "aos", config=base_config)
+        normal = Simulator(base_config).run(lowered)
+        squeezed = Simulator(tiny_mcq).run(lowered)
+        assert squeezed.cycles >= normal.cycles

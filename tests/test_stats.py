@@ -1,0 +1,58 @@
+"""Report helper tests."""
+
+import math
+
+import pytest
+
+from repro.stats.report import TableFormatter, geomean, normalize
+
+
+class TestGeomean:
+    def test_uniform(self):
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        vals = [1.1, 0.9, 2.3, 1.7]
+        expected = math.exp(sum(math.log(v) for v in vals) / 4)
+        assert geomean(vals) == pytest.approx(expected)
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        out = normalize({"baseline": 2.0, "aos": 3.0}, "baseline")
+        assert out == {"baseline": 1.0, "aos": 1.5}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"baseline": 0.0}, "baseline")
+
+
+class TestTableFormatter:
+    def test_renders_columns_and_rows(self):
+        table = TableFormatter(["a", "b"])
+        table.add_row("row1", {"a": 1.5, "b": 2.0})
+        text = table.render()
+        assert "row1" in text
+        assert "1.500" in text
+        assert "2.000" in text
+
+    def test_missing_cell_dash(self):
+        table = TableFormatter(["a", "b"])
+        table.add_row("row1", {"a": 1.0})
+        assert "-" in table.render()
+
+    def test_non_float_values(self):
+        table = TableFormatter(["n"])
+        table.add_row("row", {"n": 42})
+        assert "42" in table.render()

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the archived benchmark results.
+
+Run after ``pytest benchmarks/ --benchmark-only`` so that
+``benchmarks/results/*.txt`` holds the release run's reproduced artifacts:
+
+    python tools/build_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. reproduction, artifact by artifact
+
+Every table and figure in the paper's evaluation (§VI, §IX, plus the §VII
+security analysis), the paper's claim about it, and what this reproduction
+measures.  The embedded measurements come from the release benchmark run
+(`pytest benchmarks/ --benchmark-only`); re-running refreshes the archives
+under `benchmarks/results/`.
+
+**Methodology reminder** (details in DESIGN.md): the substrate is a
+trace-driven, cycle-approximate out-of-order core model over synthetic
+workloads calibrated to the paper's published per-workload profiles, with
+live sets and cache capacities co-scaled (factor 8) to keep
+footprint-to-capacity ratios.  Absolute cycle counts are therefore not
+comparable to the authors' gem5 runs; the comparisons below are about
+*shape*: orderings, ratios, outliers, and which workload exhibits which
+pathology.
+
+---
+"""
+
+SECTIONS = [
+    (
+        "Fig. 11 — PAC distribution by QARMA (§VI)",
+        "fig11_pac_distribution",
+        """**Paper:** one million `malloc` calls, 16-bit PACs from QARMA with the
+published key/context give `Avg:16.0, Max:36, Min:3, Stdev: 3.99`.
+
+**Reproduction:** real QARMA-64 (validated against the cipher's published
+test vectors), the same key/context, 2^20 allocations.  Mean and standard
+deviation match exactly; Max/Min differ by a few counts because the exact
+malloc address stream differs.  **Verdict: matches.**""",
+    ),
+    (
+        "Table I — hardware overhead (§V-G)",
+        "table1_hw_overhead",
+        """**Paper:** CACTI 6.0 @45 nm: MCQ 1.3 KB / 0.0096 mm², BWB 384 B /
+0.00285 mm², L1-B 32 KB / 0.1573 mm² (L1-D 64 KB as reference).
+
+**Reproduction:** structure capacities derived independently from the
+§V-A.1 field widths (MCQ 48 x 211 bits ≈ 1.2 KB; BWB 64 x 48 bits =
+384 B exactly); area/time/energy from power laws fitted to the published
+rows, all within ~25 %.  **Verdict: matches.**""",
+    ),
+    (
+        "Table II / Table III — memory-usage profiles (§VI)",
+        "table2_memory_profiles",
+        """**Paper:** full-program Valgrind profiles: most SPEC workloads allocate
+far more than they keep live (povray 2.46 M allocs, 11 667 max active);
+real-world programs keep tiny live sets.
+
+**Reproduction:** the published numbers are carried verbatim in the
+workload profiles (they parameterise the generator) and reported; the
+measured window profiles below confirm the synthetic traces honour them
+(steady alloc/free balance, live sets at the scaled max-active).
+**Verdict: matches by construction; window behaviour validated.**""",
+    ),
+    (
+        "Table III — real-world benchmarks",
+        "table3_realworld_profiles",
+        """**Paper:** allocation counts scale with input/request volume, max-active
+stays modest (all ≤ 7 592) — so the 1-way HBT's 512 K-bounds capacity is
+never stressed outside SPEC.
+
+**Reproduction:** published values verbatim, plus an end-to-end AOS run of
+each real-world profile showing low overhead on all six.
+**Verdict: matches.**""",
+    ),
+    (
+        "Fig. 14 — normalized execution time (§IX-A)",
+        "fig14_execution_time",
+        """**Paper:** geomeans — Watchdog 1.194, PA ~1.01, AOS 1.084, PA+AOS
+1.099.  gcc is the worst AOS workload at 2.16x (cache pollution), hmmer
+41 % (delayed retirement, >99 % signed accesses), lbm signed-heavy but
+cheap (not memory-intensive), milc/namd/gobmk/astar slightly *better*
+than baseline (MCQ back-pressure curbing wrong-path speculation).  Only
+omnetpp (2) and sphinx3 (1) resize the HBT.
+
+**Reproduction:** the full shape reproduces — mechanism ordering
+(Watchdog > PA+AOS ≥ AOS >> PA), gcc worst at ~2.2-2.4x, hmmer ~1.45,
+lbm ~1.01, several workloads below 1.0 via the back-pressure effect, and
+the HBT resize counts are exact (omnetpp 2, sphinx3 1, none elsewhere).
+The AOS geomean lands a few points above the paper (~1.13-1.16 vs 1.084)
+because our synthetic omnetpp/sphinx3 windows pay more bounds-miss
+latency than the originals.  **Verdict: shape matches; AOS geomean
+~4-7 pp high.**""",
+    ),
+    (
+        "Fig. 15 — optimisation ablation (§IX-A)",
+        "fig15_optimizations",
+        """**Paper:** the L1-B cache removes ~10 % of overhead, bounds compression
+another ~3 % on average; gcc and omnetpp improve by 60 % and 68 % with
+both.
+
+**Reproduction:** compression is the dominant optimisation exactly as the
+paper argues ("a higher performance gain since it reduces the L2 cache
+pollution as well"): uncompressed 16-byte bounds double both the table
+footprint and the lines per way visit, costing gcc/omnetpp ~50-70 % of
+their overhead back.  The standalone L1-B benefit is smaller in our
+scaled memory system (bounds misses are L2/DRAM-bound, so segregating
+the L1 moves little) — a documented scaling artefact.
+**Verdict: compression effect matches; L1-B effect attenuated.**""",
+    ),
+    (
+        "Fig. 16 — instructions of interest (§IX-A)",
+        "fig16_instruction_mix",
+        """**Paper:** signed accesses >80 % of memory ops in bzip2/gcc/hmmer/lbm
+(hmmer >99 %); bounds/pac instruction rates track allocation rates.
+
+**Reproduction:** same orderings (hmmer 99.5 % signed, sjeng/gobmk/namd
+at the bottom; gcc/omnetpp top the bndstr/bndclr rates).
+**Verdict: matches.**""",
+    ),
+    (
+        "Fig. 17 — bounds accesses per check + BWB hit rate (§IX-A)",
+        "fig17_bwb",
+        """**Paper:** ~1 access per checked instruction everywhere (omnetpp
+highest at 1.17 from PAC collisions); BWB hit rate >80 % for most
+workloads.
+
+**Reproduction:** ~1.0 accesses per check across the suite and >80 % BWB
+hits for 12 of 16 workloads.  Differences: our malloc-heavy workloads
+dip *below* 1.0 (bounds forwarding covers many just-allocated-object
+checks), and mcf/sjeng sit low on BWB hits (six giant objects spanning
+thousands of BWB tag windows).  **Verdict: matches with noted
+deviations.**""",
+    ),
+    (
+        "Fig. 18 — normalized network traffic (§IX-B)",
+        "fig18_network_traffic",
+        """**Paper:** Watchdog +31 %, PA+AOS +18 % on average; gcc, povray and
+omnetpp are the AOS outliers; PA adds nothing.
+
+**Reproduction:** Watchdog highest, PA exactly 1.0, AOS/PA+AOS positive
+with gcc/povray/omnetpp/sphinx3 as the heavy rows.  Averages land a bit
+low (Watchdog ~1.18, PA+AOS ~1.08-1.10) — our Watchdog lock table is
+more cacheable than the real implementation's metadata spills.
+**Verdict: shape matches; averages somewhat low.**""",
+    ),
+    (
+        "§VII — security analysis",
+        "security_analysis",
+        """**Paper:** AOS detects heap OOB (adjacent and non-adjacent), UAF,
+double free, invalid free and House of Spirit; PAC forging is impractical
+(45 425 attempts for 50 % at 16 bits); AHC forging is caught by `autm`
+(PA+AOS); trip-wires miss non-adjacent accesses; PA alone has no
+spatial/temporal safety.
+
+**Reproduction:** every attack is executed for real against functional
+models of baseline glibc, REST, PA, MTE, Watchdog and AOS.  All of the
+paper's claims hold, including the contrast rows: REST misses the
+non-adjacent overflow, PA misses everything spatial/temporal, 4-bit MTE
+falls to a 16-guess brute force while AOS survives a 256-attempt budget.
+**Verdict: matches exactly.**""",
+    ),
+    (
+        "Design-choice ablations (beyond the paper's own figures)",
+        "ablation_mcq",
+        """Quantitative backing for the §V design decisions the paper fixes
+without sweeping: MCQ depth (Table IV's 48 entries capture most of the
+192-entry benefit on hmmer), BWB geometry, non-blocking vs stop-the-world
+resizing (the §V-F3 claim, visible on an in-window allocation phase),
+bounds forwarding (§V-F2), and the §IV-C quarantine comparison (REST's
+quarantine pool accounts for most of its temporal-safety cost; AOS's
+re-sign-on-free avoids it).  The metadata-entropy table reproduces both
+headline security numbers analytically: MTE's "94 %" (§X) and the 45 425
+attempts of §VII-E.""",
+    ),
+    (
+        "Extension — the §X memory-tagging comparison, quantified",
+        "ext_mte_comparison",
+        """**Paper (qualitative, §X):** memory tagging has "moderate performance
+overhead" but "the limited size of tags reduces security guarantees".
+
+**Reproduction:** an MTE-style timing lowering (IRG + STG colouring at
+malloc/free, free per-access checks) next to AOS on the same workloads,
+with the entropy gap attached.  MTE is indeed cheaper on average — its
+cost scales with allocation volume, not access volume — while its 4-bit
+tags fall to a ~16-guess brute force that AOS's 16-bit PACs resist.""",
+    ),
+]
+
+
+def main() -> None:
+    parts = [HEADER]
+    for title, artifact, commentary in SECTIONS:
+        parts.append(f"## {title}\n")
+        parts.append(commentary + "\n")
+        path = RESULTS / f"{artifact}.txt"
+        if path.exists():
+            parts.append("```text")
+            parts.append(path.read_text().rstrip())
+            parts.append("```\n")
+        else:
+            parts.append(f"*(run `pytest benchmarks/` to regenerate {artifact})*\n")
+    extra = RESULTS / "ablation_bwb.txt"
+    if extra.exists():
+        parts.append("```text")
+        for name in (
+            "ablation_bwb",
+            "ablation_resize_forwarding",
+            "ablation_quarantine",
+            "ablation_entropy",
+        ):
+            p = RESULTS / f"{name}.txt"
+            if p.exists():
+                parts.append(p.read_text().rstrip())
+                parts.append("")
+        parts.append("```\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+if __name__ == "__main__":
+    main()
