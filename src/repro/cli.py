@@ -55,6 +55,7 @@ ARTIFACTS = {
     "security": "attack detection matrix (§VII)",
     "ablations": "design-choice ablations (BWB, MCQ, resize, entropy)",
     "mte": "extended comparison vs memory tagging (§X)",
+    "faultinject": "fault-injection campaign + detection coverage (§VII)",
 }
 
 
@@ -86,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--pac-samples", type=int, default=1 << 20,
         help="malloc count for fig11 (default 2^20, the paper's 'million')",
     )
+    fault = parser.add_argument_group("faultinject options")
+    fault.add_argument(
+        "--quick", action="store_true",
+        help="small faultinject campaign covering every fault kind",
+    )
+    fault.add_argument(
+        "--mechanisms", nargs="+", default=None,
+        help="protection mechanisms to inject under (default: aos)",
+    )
+    fault.add_argument(
+        "--fault-locations", type=int, default=None,
+        help="fault locations swept per kind",
+    )
+    fault.add_argument(
+        "--fault-timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    fault.add_argument(
+        "--fault-checkpoint", default=None, metavar="PATH",
+        help="JSONL checkpoint; an interrupted campaign resumes from it",
+    )
     return parser
 
 
@@ -114,6 +136,26 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
         from .experiments.extended import run_extended_comparison
 
         return run_extended_comparison(suite, workloads=args.workloads).format()
+    if name == "faultinject":
+        from .faults import Campaign, CampaignConfig
+
+        overrides = {}
+        if args.workloads:
+            overrides["workloads"] = tuple(args.workloads)
+        if args.mechanisms:
+            overrides["mechanisms"] = tuple(args.mechanisms)
+        if args.fault_locations is not None:
+            overrides["locations"] = args.fault_locations
+        if args.fault_timeout is not None:
+            overrides["timeout_s"] = args.fault_timeout
+        overrides["seed"] = args.seed
+        if args.quick:
+            config = CampaignConfig.quick(**overrides)
+        else:
+            config = CampaignConfig(**overrides)
+        campaign = Campaign(config, checkpoint=args.fault_checkpoint)
+        result = campaign.run()
+        return result.format_report()
     if name == "ablations":
         parts = [
             ablation_bwb(suite).format(),
@@ -133,6 +175,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale)
     )
     names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    if args.artifact == "all":
+        args.quick = True  # keep the faultinject leg of the full sweep bounded
     for name in names:
         start = time.time()
         print(run_artifact(name, suite, args))

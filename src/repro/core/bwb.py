@@ -84,6 +84,22 @@ class BoundsWayBuffer:
     def invalidate(self, tag: int) -> None:
         self._table.pop(tag, None)
 
+    def poison(self, tag: int, way: int) -> None:
+        """Fault-injection seam: plant a (possibly stale/wrong) way hint.
+
+        Bypasses the LRU bookkeeping and hit statistics so the injected
+        entry looks exactly like a tag left behind by an earlier phase —
+        the BWB is a *hint* structure, so a wrong way must only cost extra
+        way walks, never correctness (§V-C).
+        """
+        if tag not in self._table and len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[tag] = way
+
+    def tags(self) -> list:
+        """Current tags, oldest first (inspection/injection helper)."""
+        return list(self._table)
+
     def flush(self) -> None:
         """Drop all entries (e.g. after an HBT resize changes way geometry)."""
         self._table.clear()

@@ -83,6 +83,10 @@ class HashedBoundsTable:
         self._old_ways = initial_ways
         self._row_ptr = 0
         self._resizing = False
+        #: Fault-injection seam: a stalled table manager stops migrating
+        #: rows until :meth:`resume_migration`, freezing the Fig. 10
+        #: steering split between old and new tables.
+        self._migration_stalled = False
 
     # ------------------------------------------------------------ addressing
 
@@ -241,7 +245,7 @@ class HashedBoundsTable:
         The logical contents are shared, so migration here is pure
         progress-tracking; the table manager charges its memory traffic.
         """
-        if not self._resizing:
+        if not self._resizing or self._migration_stalled:
             return 0
         moved = min(rows, self.num_rows - self._row_ptr)
         self._row_ptr += moved
@@ -255,6 +259,97 @@ class HashedBoundsTable:
     def finish_resize(self) -> None:
         """Complete any in-flight migration immediately (blocking ablation)."""
         self.advance_migration(self.num_rows)
+
+    # ------------------------------------------------------- fault injection
+    #
+    # These seams let :mod:`repro.faults` corrupt live table state the way
+    # a buggy table manager, a dropped ``bndstr`` or a rowhammer-style bit
+    # flip in the bounds lines would, without going through the MCU's
+    # normal operation paths.  They are also the hooks future chaos /
+    # ablation work drives.
+
+    def live_slots(self) -> List[Tuple[int, int, int]]:
+        """``(pac, way, slot)`` coordinates of every occupied slot, sorted."""
+        coords: List[Tuple[int, int, int]] = []
+        for pac in sorted(self._rows):
+            for index, record in enumerate(self._rows[pac]):
+                if record is not None:
+                    coords.append(
+                        (pac, index // self.slots_per_way, index % self.slots_per_way)
+                    )
+        return coords
+
+    def find_record(self, pac: int, address: int) -> Optional[Tuple[int, int]]:
+        """``(way, slot)`` of the record containing ``address``, or None.
+
+        Unlike :meth:`find_valid` this is a pure inspection helper: it does
+        not touch the access statistics, so injectors can locate a victim
+        record without perturbing the Fig. 17 counters.
+        """
+        row = self._rows.get(pac)
+        if row is None:
+            return None
+        for index, record in enumerate(row):
+            if record is not None and record.contains(address):
+                return index // self.slots_per_way, index % self.slots_per_way
+        return None
+
+    def peek(self, pac: int, way: int, slot: int) -> Optional[BoundsRecord]:
+        """Read one slot without touching the access statistics."""
+        row = self._rows.get(pac)
+        if row is None:
+            return None
+        return row[way * self.slots_per_way + slot]
+
+    def replace_record(
+        self, pac: int, way: int, slot: int, record: BoundsRecord
+    ) -> BoundsRecord:
+        """Overwrite one occupied slot in place; returns the old record."""
+        index = way * self.slots_per_way + slot
+        row = self._row(pac)
+        old = row[index]
+        if old is None:
+            raise SimulationError(
+                f"cannot corrupt empty HBT slot ({pac:#x}, way {way}, slot {slot})"
+            )
+        row[index] = record
+        return old
+
+    def drop_record(self, pac: int, way: int, slot: int) -> BoundsRecord:
+        """Empty one occupied slot — a lost ``bndstr`` / flipped valid bit."""
+        index = way * self.slots_per_way + slot
+        row = self._row(pac)
+        old = row[index]
+        if old is None:
+            raise SimulationError(
+                f"cannot drop empty HBT slot ({pac:#x}, way {way}, slot {slot})"
+            )
+        row[index] = None
+        return old
+
+    def interrupt_migration(self, at_row: Optional[int] = None) -> int:
+        """Freeze a gradual resize mid-row (table manager dies mid-flight).
+
+        Begins a resize if none is in progress, rewinds/advances RowPtr to
+        ``at_row`` (default: half way) and stalls further migration, so the
+        Fig. 10 steering rule keeps splitting accesses between the old and
+        new tables indefinitely.  Returns the frozen RowPtr.
+        """
+        if not self._resizing:
+            self.begin_resize()
+        if at_row is None:
+            at_row = self.num_rows // 2
+        self._row_ptr = max(0, min(at_row, self.num_rows - 1))
+        self._migration_stalled = True
+        return self._row_ptr
+
+    @property
+    def migration_stalled(self) -> bool:
+        return self._migration_stalled
+
+    def resume_migration(self) -> None:
+        """Recovery path: let a stalled migration make progress again."""
+        self._migration_stalled = False
 
     # ------------------------------------------------------------ inspection
 

@@ -61,6 +61,8 @@ class MCUStats:
     replays: int = 0
     faults: int = 0
     resizes: int = 0
+    #: ``bndstr`` ops silently discarded by fault injection.
+    dropped_stores: int = 0
 
     @property
     def accesses_per_check(self) -> float:
@@ -104,6 +106,22 @@ class MemoryCheckUnit:
         #: Recent bounds stores still "in the MCQ" for forwarding (§V-F2):
         #: pac -> (lower, size).  Bounded by the MCQ capacity.
         self._recent_stores: "OrderedDict[int, tuple]" = OrderedDict()
+        #: Fault-injection seam: number of upcoming ``bndstr`` ops to drop
+        #: silently (a lost table write between core and HBT).
+        self._inject_dropped_stores = 0
+
+    def inject_drop_bndstr(self, count: int = 1) -> None:
+        """Arm the drop-``bndstr`` fault: the next ``count`` bounds stores
+        report success without ever reaching the HBT, so the allocation is
+        live with no bounds — every later check on it must fault."""
+        self._inject_dropped_stores += count
+
+    def drain_recent_stores(self) -> None:
+        """Model the MCQ draining at a quiescent point: forget forwardable
+        bounds so subsequent checks must read the HBT lines (§V-F2 only
+        covers stores still in flight).  Fault campaigns call this after
+        injection so table corruption cannot hide behind forwarding."""
+        self._recent_stores.clear()
 
     # ------------------------------------------------------------- internals
 
@@ -224,6 +242,10 @@ class MemoryCheckUnit:
         """
         self.stats.table_ops += 1
         decoded = self._decode(pointer)
+        if self._inject_dropped_stores > 0:
+            self._inject_dropped_stores -= 1
+            self.stats.dropped_stores += 1
+            return ValidationResult(ok=True, latency=0)
         self._advance_migration()
         resized = False
         latency = 0

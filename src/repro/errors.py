@@ -41,3 +41,22 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload profile or trace generator was mis-parameterised."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection request could not be applied to the target state
+    (unknown fault kind, no live object/slot at the requested location)."""
+
+
+class ExperimentTimeout(ReproError):
+    """A single experiment/campaign run exceeded its wall-clock deadline.
+
+    Raised cooperatively by :class:`repro.faults.campaign.Deadline` checks
+    between simulated operations, so a wedged run surfaces as a structured
+    ``timed-out`` outcome instead of stalling the whole sweep.
+    """
+
+
+class CheckpointError(ReproError):
+    """A results checkpoint file is unreadable or belongs to a different
+    run configuration."""

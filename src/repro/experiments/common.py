@@ -3,18 +3,28 @@
 The paper runs each SPEC workload once per system configuration; here one
 :class:`ExperimentSuite` instance memoises traces, lowered programs and
 simulation results so Figs. 14/15/17/18 can share work within a session.
+
+Long sweeps can additionally pass ``checkpoint=`` (a path): every computed
+:class:`SimulationResult` is then streamed to disk, and a suite reopened on
+the same path resumes with completed (workload, mechanism) cells already
+in the memo cache instead of re-simulating them.  The checkpoint is keyed
+on the :class:`RunSettings` fingerprint, so changing instructions/seed/
+scale starts fresh rather than mixing incompatible measurements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import dataclasses
 
 from ..config import CacheConfig, MemoryHierarchyConfig, SystemConfig, default_config
 from ..compiler import LoweredWorkload, lower_trace
 from ..cpu.core import SimulationResult, Simulator
+from ..cpu.pipeline import PipelineResult
+from ..faults.checkpoint import CheckpointStore
 from ..workloads import WorkloadTrace, generate_trace, get_profile
 
 #: The 16 SPEC CPU 2006 workloads, in the paper's presentation order.
@@ -71,14 +81,51 @@ def scaled_config(mechanism: str, scale: int) -> SystemConfig:
     return dataclasses.replace(config, memory=memory)
 
 
+def _result_to_payload(result: SimulationResult) -> dict:
+    """JSON-able form of a :class:`SimulationResult` (nested dataclasses)."""
+    return dataclasses.asdict(result)
+
+
+def _result_from_payload(payload: dict) -> SimulationResult:
+    data = dict(payload)
+    data["pipeline"] = PipelineResult(**data["pipeline"])
+    return SimulationResult(**data)
+
+
 class ExperimentSuite:
     """Memoising runner for the timing experiments."""
 
-    def __init__(self, settings: RunSettings = RunSettings()) -> None:
+    def __init__(
+        self,
+        settings: RunSettings = RunSettings(),
+        checkpoint: Union[None, str, Path, CheckpointStore] = None,
+    ) -> None:
         self.settings = settings
         self._traces: Dict[str, WorkloadTrace] = {}
         self._lowered: Dict[Tuple[str, str], LoweredWorkload] = {}
         self._results: Dict[Tuple[str, str], SimulationResult] = {}
+        self._checkpoint: Optional[CheckpointStore] = None
+        if checkpoint is not None:
+            if isinstance(checkpoint, CheckpointStore):
+                self._checkpoint = checkpoint
+            else:
+                self._checkpoint = CheckpointStore(
+                    checkpoint,
+                    meta={
+                        "kind": "experiment-suite",
+                        "instructions": settings.instructions,
+                        "seed": settings.seed,
+                        "scale": settings.scale,
+                    },
+                )
+            for key, payload in self._checkpoint.items():
+                workload, cache_key = key
+                self._results[(workload, cache_key)] = _result_from_payload(payload)
+
+    @property
+    def resumed_cells(self) -> int:
+        """Completed (workload, mechanism) cells restored from checkpoint."""
+        return self._checkpoint.resumed_cells if self._checkpoint else 0
 
     def config_for(self, mechanism: str) -> SystemConfig:
         """The scale-matched Table IV configuration for this suite."""
@@ -121,14 +168,43 @@ class ExperimentSuite:
         if cache_key not in self._results:
             config = config or self.config_for(mechanism)
             lowered = self.lowered(workload, mechanism, config=config, key=key)
-            self._results[cache_key] = Simulator(config).run(lowered)
+            result = Simulator(config).run(lowered)
+            self._results[cache_key] = result
+            if self._checkpoint is not None:
+                self._checkpoint.put(list(cache_key), _result_to_payload(result))
         return self._results[cache_key]
+
+    # ------------------------------------------------------ cache management
+    #
+    # The three memo caches grow as O(workloads x mechanisms) and are never
+    # evicted — fine for one figure, unbounded for a long campaign looping
+    # over settings.  cache_info()/clear_caches() let campaign drivers keep
+    # memory flat between sweeps (results stay recoverable via checkpoint).
+
+    def cache_info(self) -> Dict[str, int]:
+        """Entry counts of the memo caches (traces / lowered / results)."""
+        return {
+            "traces": len(self._traces),
+            "lowered": len(self._lowered),
+            "results": len(self._results),
+        }
+
+    def clear_caches(self, traces: bool = True) -> None:
+        """Drop memoised state.  ``traces=False`` keeps the (cheap to hold,
+        expensive to regenerate) raw traces and clears only the lowered
+        programs and simulation results."""
+        if traces:
+            self._traces.clear()
+        self._lowered.clear()
+        self._results.clear()
 
     # ------------------------------------------------------------ measures
 
     def normalized_time(self, workload: str, mechanism: str, **kwargs) -> float:
         base = self.result(workload, "baseline")
         run = self.result(workload, mechanism, **kwargs)
+        if base.cycles == 0:
+            return 1.0  # degenerate empty-window run (mirror traffic guard)
         return run.cycles / base.cycles
 
     def normalized_traffic(self, workload: str, mechanism: str, **kwargs) -> float:

@@ -1,0 +1,379 @@
+"""Resilient fault-injection campaigns: sweep, classify, checkpoint.
+
+A :class:`Campaign` sweeps fault kind × location × workload × mechanism.
+Each cell builds a fresh :class:`~repro.faults.injector.FaultHarness`,
+injects one fault and probes the process, then classifies the run into the
+structured outcome taxonomy:
+
+========== ==========================================================
+detected    the mechanism raised/logged a violation (AOS exception,
+            escalation kill, or a glibc allocator integrity check)
+silent      the probe completed with no detection — the report notes
+            whether memory integrity checks confirmed real corruption
+crashed     a host-level error survived ``max_retries`` fresh-seed
+            retries (simulator bug, not a simulated detection)
+timed-out   the run exceeded its per-cell wall-clock deadline
+========== ==========================================================
+
+Deadlines are cooperative: the probe checks a :class:`Deadline` between
+simulated operations, so a wedged cell surfaces as ``timed-out`` instead
+of stalling the sweep.  Host-level errors are retried with a fresh seed
+(transient state-space corners often clear), and completed cells stream to
+a :class:`~repro.faults.checkpoint.CheckpointStore` so an interrupted
+campaign resumes without re-running them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import AOSException
+from ..errors import AllocatorError, ExperimentTimeout, FaultInjectionError
+from ..os.handler import HandlerPolicy, ProcessTerminated
+from ..stats.coverage import DetectionCoverage
+from .checkpoint import CheckpointStore
+from .injector import (
+    ALL_KINDS,
+    POINTER_CORRUPTION_KINDS,
+    FaultHarness,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+)
+
+
+class Deadline:
+    """Cooperative wall-clock budget for one campaign cell."""
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def expired(self) -> bool:
+        return self.seconds is not None and self.elapsed >= self.seconds
+
+    def check(self) -> None:
+        if self.expired():
+            raise ExperimentTimeout(
+                f"run exceeded its {self.seconds:.3g}s wall-clock budget"
+            )
+
+
+class RunOutcome(Enum):
+    """The structured outcome taxonomy (see module docstring)."""
+
+    DETECTED = "detected"
+    SILENT = "silent"
+    CRASHED = "crashed"
+    TIMED_OUT = "timed-out"
+
+
+@dataclass
+class RunResult:
+    """One classified campaign cell."""
+
+    workload: str
+    mechanism: str
+    kind: str
+    location: int
+    seed: int
+    outcome: RunOutcome
+    detections: int = 0
+    expect_detection: bool = True
+    detail: str = ""
+    elapsed: float = 0.0
+    retries: int = 0
+    integrity_failures: int = 0
+
+    def to_payload(self) -> dict:
+        data = self.__dict__.copy()
+        data["outcome"] = self.outcome.value
+        return data
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunResult":
+        data = dict(payload)
+        data["outcome"] = RunOutcome(data["outcome"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape and resilience knobs of one campaign."""
+
+    workloads: Sequence[str] = ("gcc", "omnetpp", "povray")
+    mechanisms: Sequence[str] = ("aos",)
+    kinds: Sequence[FaultKind] = tuple(ALL_KINDS)
+    #: Fault locations swept per kind (victim object/slot index).
+    locations: int = 2
+    seed: int = 7
+    #: Live objects populated before injection.
+    objects: int = 24
+    #: Allocate/free churn pairs the probe runs after injection.
+    churn: int = 4
+    #: Per-cell wall-clock budget (None = unbounded).
+    timeout_s: Optional[float] = 30.0
+    #: Fresh-seed retries before a host-level error is declared CRASHED.
+    max_retries: int = 2
+    #: Escalation threshold forwarded to the AOS exception handler.
+    max_violations: Optional[int] = 100
+
+    @classmethod
+    def quick(cls, **overrides) -> "CampaignConfig":
+        """The ``faultinject --quick`` shape: small but covers every kind."""
+        defaults = dict(
+            workloads=("gcc", "povray"),
+            mechanisms=("aos",),
+            locations=1,
+            objects=12,
+            churn=2,
+            timeout_s=20.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class CampaignResult:
+    """All classified cells plus the coverage roll-up."""
+
+    results: List[RunResult] = field(default_factory=list)
+    resumed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def outcomes(self) -> dict:
+        counts = {outcome: 0 for outcome in RunOutcome}
+        for result in self.results:
+            counts[result.outcome] += 1
+        return counts
+
+    def coverage(self) -> DetectionCoverage:
+        coverage = DetectionCoverage(outcomes=[o.value for o in RunOutcome])
+        for result in self.results:
+            coverage.add(result.kind, result.outcome.value)
+        return coverage
+
+    def detection_rate(self, kinds: Optional[Sequence[FaultKind]] = None) -> float:
+        """Detected fraction over ``kinds`` (default: every cell)."""
+        names = None if kinds is None else {k.value for k in kinds}
+        hits = total = 0
+        for result in self.results:
+            if names is not None and result.kind not in names:
+                continue
+            total += 1
+            hits += result.outcome is RunOutcome.DETECTED
+        return hits / total if total else 0.0
+
+    @property
+    def pointer_corruption_rate(self) -> float:
+        """Detection rate over the §VII acceptance bucket: spatial/temporal
+        pointer-corruption faults."""
+        return self.detection_rate(POINTER_CORRUPTION_KINDS)
+
+    @property
+    def host_survived(self) -> bool:
+        """True when every injected fault landed in the taxonomy (always,
+        by construction — kept as an explicit, assertable claim)."""
+        return all(isinstance(r.outcome, RunOutcome) for r in self.results)
+
+    def format_report(self) -> str:
+        coverage = self.coverage()
+        counts = self.outcomes()
+        lines = [
+            "Fault-injection campaign — detection coverage (cf. §VII table)",
+            "",
+            coverage.format_table(),
+            "",
+            f"cells: {len(self.results)}  "
+            + "  ".join(f"{o.value}: {n}" for o, n in counts.items()),
+            f"resumed from checkpoint: {self.resumed}",
+            f"retries spent on host errors: {sum(r.retries for r in self.results)}",
+            (
+                "spatial/temporal pointer-corruption detection: "
+                f"{100.0 * self.pointer_corruption_rate:.1f}% "
+                f"(kinds: {', '.join(k.value for k in POINTER_CORRUPTION_KINDS)})"
+            ),
+        ]
+        silent_corrupted = [
+            r for r in self.results
+            if r.outcome is RunOutcome.SILENT and r.integrity_failures
+        ]
+        if silent_corrupted:
+            lines.append(
+                f"confirmed silent data corruption: {len(silent_corrupted)} cells"
+            )
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Sweeps fault specs across workloads with checkpoint/resume."""
+
+    def __init__(
+        self,
+        config: CampaignConfig = CampaignConfig(),
+        checkpoint: Union[None, str, Path, CheckpointStore] = None,
+    ) -> None:
+        # Fail fast on a sweep that could never run: every cell would just
+        # burn its retries and land in CRASHED, hiding the config error.
+        for mechanism in config.mechanisms:
+            if mechanism not in ("aos", "pa+aos"):
+                raise FaultInjectionError(
+                    f"fault campaigns target 'aos' or 'pa+aos', not {mechanism!r}"
+                )
+        self.config = config
+        self.injector = FaultInjector()
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CheckpointStore(checkpoint, meta=self._meta())
+
+    def _meta(self) -> dict:
+        config = self.config
+        return {
+            "kind": "fault-campaign",
+            "workloads": list(config.workloads),
+            "mechanisms": list(config.mechanisms),
+            "fault_kinds": [k.value for k in config.kinds],
+            "locations": config.locations,
+            "seed": config.seed,
+            "objects": config.objects,
+        }
+
+    # ------------------------------------------------------------- sweeping
+
+    def cells(self) -> Iterator[Tuple[str, str, FaultSpec]]:
+        """The sweep grid, in deterministic order."""
+        for workload in self.config.workloads:
+            for mechanism in self.config.mechanisms:
+                for kind in self.config.kinds:
+                    for location in range(self.config.locations):
+                        yield workload, mechanism, FaultSpec(
+                            kind=kind, location=location, seed=self.config.seed
+                        )
+
+    def run(
+        self, progress: Optional[Callable[[RunResult, bool], None]] = None
+    ) -> CampaignResult:
+        """Run (or resume) the full sweep; never lets a cell escape the
+        outcome taxonomy."""
+        outcome = CampaignResult()
+        for workload, mechanism, spec in self.cells():
+            key = ["cell", workload, mechanism, spec.kind.value, spec.location]
+            if self.checkpoint is not None and key in self.checkpoint:
+                result = RunResult.from_payload(self.checkpoint.get(key))
+                outcome.results.append(result)
+                outcome.resumed += 1
+                if progress is not None:
+                    progress(result, True)
+                continue
+            result = self.run_cell(workload, mechanism, spec)
+            if self.checkpoint is not None:
+                self.checkpoint.put(key, result.to_payload())
+            outcome.results.append(result)
+            if progress is not None:
+                progress(result, False)
+        return outcome
+
+    # ------------------------------------------------------------ one cell
+
+    def run_cell(self, workload: str, mechanism: str, spec: FaultSpec) -> RunResult:
+        """Inject one fault, probe, classify — with timeout and retry."""
+        config = self.config
+        seed = spec.seed
+        retries = 0
+        while True:
+            deadline = Deadline(config.timeout_s)
+            base = RunResult(
+                workload=workload,
+                mechanism=mechanism,
+                kind=spec.kind.value,
+                location=spec.location,
+                seed=seed,
+                outcome=RunOutcome.SILENT,
+                retries=retries,
+            )
+            try:
+                harness = FaultHarness(
+                    workload=workload,
+                    mechanism=mechanism,
+                    seed=seed,
+                    objects=config.objects,
+                    policy=HandlerPolicy.REPORT_AND_RESUME,
+                    max_violations=config.max_violations,
+                )
+                harness.populate()
+                record = self.injector.inject(harness, replace(spec, seed=seed))
+                harness.probe(
+                    deadline=deadline, churn=config.churn, burst=record.probe_burst
+                )
+                failures = harness.integrity_failures()
+                detections = harness.detections
+                base.detections = detections
+                base.expect_detection = record.expect_detection
+                base.integrity_failures = len(failures)
+                base.elapsed = deadline.elapsed
+                if detections:
+                    base.outcome = RunOutcome.DETECTED
+                    base.detail = f"{record.description}; {detections} violation(s)"
+                else:
+                    base.outcome = RunOutcome.SILENT
+                    note = (
+                        f"; data corruption confirmed ({len(failures)} objects)"
+                        if failures
+                        else "; integrity intact"
+                    )
+                    base.detail = record.description + note
+                return base
+            except ProcessTerminated as exc:
+                base.outcome = RunOutcome.DETECTED
+                base.detections = 1
+                base.elapsed = deadline.elapsed
+                base.detail = f"process terminated: {exc}"
+                return base
+            except (AOSException,) as exc:
+                # An AOS exception escaping the guarded paths (e.g. raised
+                # during injection-phase setup) is still a detection.
+                base.outcome = RunOutcome.DETECTED
+                base.detections = 1
+                base.elapsed = deadline.elapsed
+                base.detail = f"{type(exc).__name__}: {exc}"
+                return base
+            except AllocatorError as exc:
+                # glibc's own integrity checks — the §VII convention counts
+                # these as detections (same as the security matrix).
+                base.outcome = RunOutcome.DETECTED
+                base.detections = 1
+                base.elapsed = deadline.elapsed
+                base.detail = f"allocator integrity check: {exc}"
+                return base
+            except ExperimentTimeout as exc:
+                base.outcome = RunOutcome.TIMED_OUT
+                base.elapsed = deadline.elapsed
+                base.detail = str(exc)
+                return base
+            except Exception as exc:  # host-level: retry with a fresh seed
+                if retries < config.max_retries:
+                    retries += 1
+                    seed += 7919  # decorrelate the harness state
+                    continue
+                base.outcome = RunOutcome.CRASHED
+                base.retries = retries
+                base.elapsed = deadline.elapsed
+                base.detail = f"host error after {retries} retries: " \
+                    f"{type(exc).__name__}: {exc}"
+                return base
+
+
+def run_quick_campaign(**overrides) -> CampaignResult:
+    """Convenience: the ``faultinject --quick`` campaign in one call."""
+    return Campaign(CampaignConfig.quick(**overrides)).run()

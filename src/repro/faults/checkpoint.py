@@ -1,0 +1,138 @@
+"""Append-only JSONL checkpointing for long sweeps.
+
+A :class:`CheckpointStore` persists one JSON record per completed cell of
+a sweep (campaign runs, ``ExperimentSuite`` simulation results) so an
+interrupted sweep resumes where it stopped instead of recomputing minutes
+of pure-Python simulation.
+
+File format — first line is a header carrying the sweep's configuration
+fingerprint, each following line one completed cell::
+
+    {"meta": {...}}
+    {"k": <json key>, "v": <json value>}
+    {"k": <json key>, "v": <json value>}
+
+The store is deliberately append-only: a crash mid-write loses at most the
+last (partial) line, which :meth:`_load` skips, and every earlier cell
+survives.  A header mismatch (different instructions/seed/scale, different
+campaign shape) invalidates the file: resuming with stale results would
+silently mix incompatible measurements, which is worse than recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import CheckpointError
+
+
+def _canonical(key: Any) -> str:
+    """Stable string form of a JSON-able key (lists/tuples normalise)."""
+    return json.dumps(key, sort_keys=True)
+
+
+class CheckpointStore:
+    """Durable ``key -> JSON value`` map backed by an append-only file."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        meta: Optional[Dict[str, Any]] = None,
+        on_mismatch: str = "restart",
+    ) -> None:
+        """Open (or create) the checkpoint at ``path``.
+
+        ``meta`` is the run-configuration fingerprint.  If the file exists
+        with a different fingerprint: ``on_mismatch='restart'`` discards it
+        and starts fresh; ``'error'`` raises :class:`CheckpointError`.
+        """
+        if on_mismatch not in ("restart", "error"):
+            raise CheckpointError(f"unknown on_mismatch policy {on_mismatch!r}")
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._cells: Dict[str, Tuple[Any, Any]] = {}
+        self._resumed = 0
+        if self.path.exists():
+            self._load(on_mismatch)
+        else:
+            self._write_header()
+
+    # -------------------------------------------------------------- loading
+
+    def _load(self, on_mismatch: str) -> None:
+        text = self.path.read_text()
+        if text and not text.endswith("\n"):
+            # Torn tail from an interrupted write: terminate it so the next
+            # append starts on a fresh line instead of gluing onto garbage.
+            with open(self.path, "a") as fh:
+                fh.write("\n")
+        lines = text.splitlines()
+        header: Optional[Dict[str, Any]] = None
+        cells: Dict[str, Tuple[Any, Any]] = {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from an interrupted run
+            if "meta" in obj and header is None:
+                header = obj["meta"]
+            elif "k" in obj:
+                cells[_canonical(obj["k"])] = (obj["k"], obj.get("v"))
+        if header != self.meta:
+            if on_mismatch == "error":
+                raise CheckpointError(
+                    f"{self.path}: checkpoint belongs to a different run "
+                    f"configuration (have {header!r}, want {self.meta!r})"
+                )
+            self._write_header()  # restart: truncate and stamp fresh header
+            return
+        self._cells = cells
+        self._resumed = len(cells)
+
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as fh:
+            fh.write(json.dumps({"meta": self.meta}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._cells = {}
+        self._resumed = 0
+
+    # ------------------------------------------------------------ map  API
+
+    def __contains__(self, key: Any) -> bool:
+        return _canonical(key) in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        cell = self._cells.get(_canonical(key))
+        return default if cell is None else cell[1]
+
+    def put(self, key: Any, value: Any) -> None:
+        """Record one completed cell, durably (flushed before returning)."""
+        canon = _canonical(key)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps({"k": key, "v": value}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._cells[canon] = (key, value)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for key, value in self._cells.values():
+            yield key, value
+
+    def keys(self) -> List[Any]:
+        return [key for key, _ in self._cells.values()]
+
+    @property
+    def resumed_cells(self) -> int:
+        """Cells loaded from disk at open time (0 for a fresh sweep)."""
+        return self._resumed

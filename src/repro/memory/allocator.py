@@ -342,3 +342,20 @@ class HeapAllocator:
 
     def live_chunks(self) -> List[Chunk]:
         return [c for c in self._chunks.values() if c.in_use]
+
+    # ------------------------------------------------------- fault injection
+
+    def corrupt_chunk_header(self, payload: int, raw_size: int) -> int:
+        """Fault-injection seam: clobber the in-memory size field of the
+        chunk owning ``payload``; returns the old raw field.
+
+        Only the boundary tag in simulated memory changes — the registry is
+        deliberately left stale, reproducing exactly the divergence a heap
+        overflow into a neighbour's header creates.  Whether ``free()``
+        later catches it depends on glibc's own sanity checks, which is the
+        point of the chunk-header fault campaign.
+        """
+        chunk_addr = payload - HEADER_SIZE
+        old = self._read_size_field(chunk_addr)
+        self.memory.write_u64(chunk_addr + 8, raw_size & ((1 << 64) - 1))
+        return old

@@ -6,19 +6,25 @@
 
 :class:`AOSExceptionHandler` implements both policies and keeps a fault
 log so the security analysis can assert exactly which violations each
-mechanism surfaced.
+mechanism surfaced.  Two hardenings beyond the paper's sketch:
+
+- records carry the exception *class* (not just its name), so the
+  recoverable/violation split survives subclassing;
+- ``REPORT_AND_RESUME`` supports an escalation threshold: after
+  ``max_violations`` logged violations the handler terminates the process
+  anyway, bounding how long a compromised or fault-injected process may
+  keep limping along.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import List, Optional, Type
 
 from ..core.exceptions import (
     AOSException,
-    BoundsCheckFault,
-    BoundsClearFault,
+    AuthenticationFault,
     BoundsStoreFault,
 )
 
@@ -38,14 +44,33 @@ class FaultRecord:
     pointer: int
     pac: int
     detail: str
+    #: The exception class itself — the authoritative field for the
+    #: recoverable/violation split (``kind`` is presentation only).
+    exc_type: Type[AOSException] = AOSException
+
+    @property
+    def is_violation(self) -> bool:
+        """Memory-safety violation, as opposed to a recoverable resize.
+
+        Typed so ``class MyStoreFault(BoundsStoreFault)`` stays on the
+        resize side of the security analysis automatically.
+        """
+        return not issubclass(self.exc_type, BoundsStoreFault)
+
+    @property
+    def is_authentication(self) -> bool:
+        return issubclass(self.exc_type, AuthenticationFault)
 
 
 class ProcessTerminated(Exception):
-    """Raised when the TERMINATE policy kills the simulated process."""
+    """Raised when the TERMINATE policy (or escalation) kills the simulated
+    process."""
 
-    def __init__(self, record: FaultRecord) -> None:
-        super().__init__(f"process terminated: {record.detail}")
+    def __init__(self, record: FaultRecord, escalated: bool = False) -> None:
+        reason = "escalation threshold" if escalated else "policy"
+        super().__init__(f"process terminated ({reason}): {record.detail}")
         self.record = record
+        self.escalated = escalated
 
 
 @dataclass
@@ -54,31 +79,56 @@ class AOSExceptionHandler:
 
     policy: HandlerPolicy = HandlerPolicy.TERMINATE
     log: List[FaultRecord] = field(default_factory=list)
+    #: Under ``REPORT_AND_RESUME``: terminate anyway once this many
+    #: violations have been logged (None = resume forever, the paper's
+    #: literal reading).
+    max_violations: Optional[int] = None
 
     def handle(self, exc: AOSException) -> FaultRecord:
         """Handle one AOS exception.
 
         Bounds-*store* failures are always recoverable (the OS resizes the
-        table); check/clear failures are memory-safety violations and follow
-        the policy.
+        table).  Authentication failures (``autm``/``aut*``) and bounds
+        check/clear failures are memory-safety violations and follow the
+        policy, including the escalation threshold.
         """
         record = FaultRecord(
             kind=type(exc).__name__,
             pointer=exc.info.pointer,
             pac=exc.info.pac,
             detail=exc.info.detail,
+            exc_type=type(exc),
         )
         self.log.append(record)
-        if isinstance(exc, BoundsStoreFault):
+        if not record.is_violation:
             return record  # recoverable: resize path, not a violation
+        if isinstance(exc, AuthenticationFault):
+            # Explicit dispatch: the pointer itself is corrupt, so there is
+            # no object to "resume past" — but the policy still decides
+            # whether diagnostics continue (REPORT_AND_RESUME skips the op).
+            pass
         if self.policy is HandlerPolicy.TERMINATE:
             raise ProcessTerminated(record)
+        if (
+            self.max_violations is not None
+            and self.violation_count >= self.max_violations
+        ):
+            raise ProcessTerminated(record, escalated=True)
         return record
 
     @property
     def violations(self) -> List[FaultRecord]:
         """Faults that represent memory-safety violations (not resizes)."""
-        return [r for r in self.log if r.kind != "BoundsStoreFault"]
+        return [r for r in self.log if r.is_violation]
+
+    @property
+    def violation_count(self) -> int:
+        return sum(1 for r in self.log if r.is_violation)
+
+    @property
+    def authentication_faults(self) -> List[FaultRecord]:
+        """The ``autm`` failures (§VII-B) — corrupted-pointer detections."""
+        return [r for r in self.log if r.is_authentication]
 
     def clear(self) -> None:
         self.log.clear()

@@ -30,10 +30,11 @@ class Process:
         config: Optional[SystemConfig] = None,
         policy: HandlerPolicy = HandlerPolicy.TERMINATE,
         pac_mode: str = "qarma",
+        max_violations: Optional[int] = None,
     ) -> None:
         self.config = config or default_config("aos")
         self.runtime = AOSRuntime(self.config, pac_mode=pac_mode)
-        self.handler = AOSExceptionHandler(policy=policy)
+        self.handler = AOSExceptionHandler(policy=policy, max_violations=max_violations)
         self.table_manager = BoundsTableManager(
             self.runtime.hbt, nonblocking=self.config.aos.nonblocking_resize
         )
@@ -68,6 +69,18 @@ class Process:
         except AOSException as exc:
             self.handler.handle(exc)
             return False
+
+    def authenticate(self, pointer: int) -> Optional[int]:
+        """``autm`` a pointer before use (the PA+AOS on-load check, Fig. 13).
+
+        Returns the pointer, or None if authentication failed and the
+        handler's policy resumed past it.
+        """
+        try:
+            return self.runtime.signer.autm(pointer)
+        except AOSException as exc:
+            self.handler.handle(exc)
+            return None
 
     @property
     def violations(self):

@@ -1,5 +1,6 @@
-"""Reporting helpers: tables, geometric means, normalisation."""
+"""Reporting helpers: tables, geometric means, normalisation, coverage."""
 
+from .coverage import DetectionCoverage
 from .report import TableFormatter, geomean, normalize
 
-__all__ = ["TableFormatter", "geomean", "normalize"]
+__all__ = ["DetectionCoverage", "TableFormatter", "geomean", "normalize"]

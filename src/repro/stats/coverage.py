@@ -1,0 +1,76 @@
+"""Detection-coverage aggregation for fault-injection campaigns.
+
+Rolls per-run outcomes into a fault-kind × outcome table plus detection
+rates, the shape sanitizer evaluations report and the form in which our
+numbers line up against the paper's §VII attack table.  Kept in
+:mod:`repro.stats` (not :mod:`repro.faults`) because it is pure
+presentation over plain strings — any sweep that labels runs with a kind
+and an outcome can use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .report import TableFormatter
+
+#: The canonical campaign taxonomy, in presentation order.
+DEFAULT_OUTCOMES: Sequence[str] = ("detected", "silent", "crashed", "timed-out")
+
+
+@dataclass
+class DetectionCoverage:
+    """``kind -> outcome -> count`` with detection-rate roll-ups."""
+
+    outcomes: Sequence[str] = DEFAULT_OUTCOMES
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, kind: str, outcome: str) -> None:
+        per_kind = self.counts.setdefault(kind, {o: 0 for o in self.outcomes})
+        if outcome not in per_kind:
+            per_kind[outcome] = 0
+        per_kind[outcome] += 1
+
+    def kinds(self) -> List[str]:
+        return list(self.counts)
+
+    def total(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return sum(self.counts.get(kind, {}).values())
+        return sum(sum(per.values()) for per in self.counts.values())
+
+    def detected(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.counts.get(kind, {}).get("detected", 0)
+        return sum(per.get("detected", 0) for per in self.counts.values())
+
+    def rate(self, kinds: Optional[Iterable[str]] = None) -> float:
+        """Detected fraction over ``kinds`` (default: every kind).
+
+        Crashes and timeouts count against detection — a mechanism gets no
+        credit for a run that never produced a verdict.
+        """
+        selected = list(kinds) if kinds is not None else self.kinds()
+        total = sum(self.total(k) for k in selected)
+        if total == 0:
+            return 0.0
+        return sum(self.detected(k) for k in selected) / total
+
+    def format_table(self) -> str:
+        table = TableFormatter(
+            columns=list(self.outcomes) + ["rate"],
+            col_width=11,
+            name_width=22,
+        )
+        for kind in self.kinds():
+            row: Dict[str, object] = dict(self.counts[kind])
+            row["rate"] = f"{100.0 * self.rate([kind]):.0f}%"
+            table.add_row(kind, row)
+        summary: Dict[str, object] = {
+            outcome: sum(per.get(outcome, 0) for per in self.counts.values())
+            for outcome in self.outcomes
+        }
+        summary["rate"] = f"{100.0 * self.rate():.0f}%"
+        table.add_row("TOTAL", summary)
+        return table.render()

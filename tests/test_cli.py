@@ -20,6 +20,20 @@ class TestParser:
         for name, description in ARTIFACTS.items():
             assert description
 
+    def test_faultinject_options(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "faultinject", "--quick", "--mechanisms", "aos", "pa+aos",
+            "--fault-locations", "3", "--fault-timeout", "5.5",
+            "--fault-checkpoint", "cp.jsonl",
+        ])
+        assert args.artifact == "faultinject"
+        assert args.quick
+        assert args.mechanisms == ["aos", "pa+aos"]
+        assert args.fault_locations == 3
+        assert args.fault_timeout == 5.5
+        assert args.fault_checkpoint == "cp.jsonl"
+
 
 class TestMain:
     def test_table2(self, capsys):
@@ -39,3 +53,18 @@ class TestMain:
         ]) == 0
         out = capsys.readouterr().out
         assert "Hit Rate" in out
+
+    def test_faultinject_quick_single_workload(self, capsys, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        argv = [
+            "faultinject", "--quick", "--workloads", "gcc",
+            "--fault-checkpoint", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "detection coverage" in out
+        assert "resumed from checkpoint: 0" in out
+        # Second invocation resumes every completed cell from the checkpoint.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint: 12" in out

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.exceptions import (
+    AuthenticationFault,
     BoundsCheckFault,
     BoundsStoreFault,
     FaultInfo,
@@ -24,6 +25,10 @@ def check_fault():
 
 def store_fault():
     return BoundsStoreFault(FaultInfo(pointer=0x123, pac=7, detail="full row"))
+
+
+def auth_fault():
+    return AuthenticationFault(FaultInfo(pointer=0x456, pac=9, detail="bad PAC"))
 
 
 class TestHandler:
@@ -50,6 +55,57 @@ class TestHandler:
         handler.handle(check_fault())
         handler.clear()
         assert handler.log == []
+
+    def test_violations_filtered_by_type_not_name(self):
+        """A subclass of BoundsStoreFault must stay on the resize side even
+        though its class name no longer contains 'Store'."""
+
+        class RowExhausted(BoundsStoreFault):
+            pass
+
+        handler = AOSExceptionHandler(policy=HandlerPolicy.REPORT_AND_RESUME)
+        record = handler.handle(
+            RowExhausted(FaultInfo(pointer=0x1, pac=1, detail="row"))
+        )
+        assert record.kind == "RowExhausted"
+        assert not record.is_violation
+        assert handler.violations == []
+        assert handler.violation_count == 0
+
+    def test_authentication_fault_is_violation(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.REPORT_AND_RESUME)
+        record = handler.handle(auth_fault())
+        assert record.is_violation
+        assert record.is_authentication
+        assert handler.authentication_faults == [record]
+        assert handler.violations == [record]
+
+    def test_authentication_fault_terminates_under_policy(self):
+        handler = AOSExceptionHandler(policy=HandlerPolicy.TERMINATE)
+        with pytest.raises(ProcessTerminated):
+            handler.handle(auth_fault())
+
+    def test_escalation_threshold(self):
+        handler = AOSExceptionHandler(
+            policy=HandlerPolicy.REPORT_AND_RESUME, max_violations=3
+        )
+        for _ in range(2):
+            handler.handle(check_fault())  # resumes below the threshold
+        with pytest.raises(ProcessTerminated) as excinfo:
+            handler.handle(check_fault())  # the 3rd violation escalates
+        assert excinfo.value.escalated
+        assert "escalation threshold" in str(excinfo.value)
+        assert handler.violation_count == 3  # the fatal fault is still logged
+
+    def test_escalation_ignores_recoverable_store_faults(self):
+        handler = AOSExceptionHandler(
+            policy=HandlerPolicy.REPORT_AND_RESUME, max_violations=2
+        )
+        for _ in range(10):
+            handler.handle(store_fault())  # resizes never count
+        handler.handle(check_fault())
+        with pytest.raises(ProcessTerminated):
+            handler.handle(check_fault())  # 2nd violation hits max=2
 
 
 class TestTableManager:
@@ -104,3 +160,37 @@ class TestProcess:
 
     def test_pids_unique(self):
         assert Process(pac_mode="fast").pid != Process(pac_mode="fast").pid
+
+    def test_report_and_resume_keeps_running(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.REPORT_AND_RESUME)
+        p = proc.malloc(64)
+        for _ in range(5):
+            proc.load(p + 4096)
+        assert len(proc.violations) == 5
+        assert proc.load(p) is not None  # in-bounds access still works
+
+    def test_escalation_threshold_via_process(self):
+        proc = Process(
+            pac_mode="fast",
+            policy=HandlerPolicy.REPORT_AND_RESUME,
+            max_violations=2,
+        )
+        p = proc.malloc(64)
+        proc.load(p + 4096)
+        with pytest.raises(ProcessTerminated) as excinfo:
+            proc.load(p + 4096)
+        assert excinfo.value.escalated
+
+    def test_authenticate_valid_pointer(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.REPORT_AND_RESUME)
+        p = proc.malloc(64)
+        assert proc.authenticate(p) == p
+
+    def test_authenticate_corrupt_pointer_dispatches(self):
+        proc = Process(pac_mode="fast", policy=HandlerPolicy.REPORT_AND_RESUME)
+        p = proc.malloc(64)
+        # Strip the AHC: the pointer no longer looks AOS-signed, which is
+        # exactly what the on-load autm check exists to catch (Fig. 13).
+        corrupt = p & ~proc.runtime.signer.layout.ahc_mask
+        assert proc.authenticate(corrupt) is None
+        assert len(proc.handler.authentication_faults) == 1
