@@ -14,7 +14,6 @@ from repro.faults import (
     CampaignConfig,
     FaultKind,
     FaultSpec,
-    POINTER_CORRUPTION_KINDS,
     RunOutcome,
 )
 

@@ -8,7 +8,7 @@ omnetpp x2).
 from conftest import publish
 
 from repro.cpu.core import Simulator
-from repro.experiments.fig14 import PAPER_GEOMEAN, run_fig14
+from repro.experiments.fig14 import run_fig14
 
 
 def test_fig14_execution_time(suite, benchmark):

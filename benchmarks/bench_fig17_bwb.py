@@ -29,7 +29,7 @@ def test_fig17_bwb(suite, benchmark):
 
     # Benchmark the MCU check path against a warm HBT.
     lowered = suite.lowered("omnetpp", "aos", config=suite.config_for("aos"))
-    from repro.config import AOSOptions, BWBConfig
+    from repro.config import AOSOptions
     from repro.core.mcu import MemoryCheckUnit
 
     hbt = lowered.hbt

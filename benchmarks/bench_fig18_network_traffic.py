@@ -7,8 +7,7 @@ gcc, povray and omnetpp are the AOS-heavy outliers.
 
 from conftest import publish
 
-from repro.experiments.fig18 import PAPER_AVERAGE, run_fig18
-from repro.stats.report import geomean
+from repro.experiments.fig18 import run_fig18
 
 
 def test_fig18_network_traffic(suite, benchmark):

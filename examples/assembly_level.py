@@ -50,7 +50,7 @@ def main() -> None:
         print(f"trap at pc={trap.pc}: {type(trap.exception).__name__}: {trap.exception}")
         oob_address = machine.signer.xpacm(machine._read(3))
         print(
-            f"memory at the faulting address is untouched "
+            "memory at the faulting address is untouched "
             f"(precise exception): {machine.memory.read_u64(oob_address):#x}"
         )
     in_bounds = machine.signer.xpacm(machine._read(0))

@@ -14,7 +14,6 @@ Run with::
     python examples/pac_collision_study.py
 """
 
-import numpy as np
 
 from repro.core.hbt import HashedBoundsTable
 from repro.crypto.pac import PACGenerator

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Flag, auto
-from typing import Optional
 
 from ..memory.allocator import HeapAllocator
 from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT

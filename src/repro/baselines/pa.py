@@ -10,7 +10,6 @@ is precisely the motivation for AOS (§II-B last paragraph).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 from ..crypto.pac import PACGenerator, PAKeys
 from ..isa.encoding import PointerLayout

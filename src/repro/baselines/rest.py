@@ -10,8 +10,7 @@ over the redzones, and its temporal protection relies on a quarantine pool
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Set, Tuple
+from typing import Deque, Dict, Tuple
 
 from ..memory.allocator import HeapAllocator
 from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT

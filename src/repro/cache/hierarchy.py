@@ -16,7 +16,7 @@ paper's Fig. 18 metric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import MemoryHierarchyConfig
 from .sram import Cache

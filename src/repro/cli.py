@@ -5,9 +5,16 @@ writing code::
 
     python -m repro fig11
     python -m repro fig14 --workloads gcc hmmer --instructions 40000
+    python -m repro fig14 --jobs 4               # shard cells across cores
     python -m repro security
     python -m repro ablations
-    python -m repro all          # everything (several minutes)
+    python -m repro all                          # everything (several minutes)
+    python -m repro all --quick --jobs 2         # reduced CI smoke sweep
+
+Simulation cells and generated traces are cached persistently (under
+``~/.cache/repro``, ``$REPRO_CACHE_DIR`` or ``--cache-dir``) keyed by run
+settings + configuration + a source digest, so repeated invocations on
+unchanged code are incremental; ``--no-cache`` disables this.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import List, Optional
 from .experiments import (
     ExperimentSuite,
     RunSettings,
+    default_cache_dir,
     run_fig11,
     run_fig14,
     run_fig15,
@@ -87,11 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--pac-samples", type=int, default=1 << 20,
         help="malloc count for fig11 (default 2^20, the paper's 'million')",
     )
-    fault = parser.add_argument_group("faultinject options")
-    fault.add_argument(
-        "--quick", action="store_true",
-        help="small faultinject campaign covering every fault kind",
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulation cells (default 1); "
+        "results are bit-identical to a serial run",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep: 3 workloads, short windows, small fig11 sample, "
+        "quick faultinject campaign (CI smoke shape)",
+    )
+    cache = parser.add_argument_group("artifact cache options")
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent artifact cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache for this invocation",
+    )
+    fault = parser.add_argument_group("faultinject options")
     fault.add_argument(
         "--mechanisms", nargs="+", default=None,
         help="protection mechanisms to inject under (default: aos)",
@@ -149,12 +173,12 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
         if args.fault_timeout is not None:
             overrides["timeout_s"] = args.fault_timeout
         overrides["seed"] = args.seed
-        if args.quick:
+        if getattr(args, "fault_quick", args.quick):
             config = CampaignConfig.quick(**overrides)
         else:
             config = CampaignConfig(**overrides)
         campaign = Campaign(config, checkpoint=args.fault_checkpoint)
-        result = campaign.run()
+        result = campaign.run(jobs=args.jobs)
         return result.format_report()
     if name == "ablations":
         parts = [
@@ -169,18 +193,35 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
     raise ValueError(f"unknown artifact {name!r}")
 
 
+#: The ``--quick`` timing subset: cheap but behaviourally distinct, and it
+#: keeps gcc — the paper's worst-case AOS workload — in every smoke run.
+QUICK_WORKLOADS = ["gcc", "povray", "gobmk"]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.quick:
+        args.workloads = args.workloads or list(QUICK_WORKLOADS)
+        args.instructions = min(args.instructions, 12_000)
+        args.pac_samples = min(args.pac_samples, 1 << 16)
+    # ``all`` always bounds its faultinject leg, even without ``--quick``.
+    args.fault_quick = args.quick or args.artifact == "all"
     suite = ExperimentSuite(
-        RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale)
+        RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale),
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
     )
     names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    if args.artifact == "all":
-        args.quick = True  # keep the faultinject leg of the full sweep bounded
     for name in names:
         start = time.time()
         print(run_artifact(name, suite, args))
         print(f"[{name}: {time.time() - start:.1f}s]\n")
+    if suite.cache is not None:
+        stats = suite.cache.stats
+        print(
+            f"[artifact cache @ {suite.cache.root}: {stats.hits} hits, "
+            f"{stats.misses} misses, {stats.stores} stores]"
+        )
     return 0
 
 

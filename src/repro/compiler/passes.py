@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..config import SystemConfig, default_config
 from ..crypto.pac import PACGenerator, PAKeys
 from ..errors import SimulationError, WorkloadError
 from ..isa.encoding import PointerLayout
-from ..isa.instructions import Instruction, Op
+from ..isa.instructions import Op
 from ..isa.program import Program, ProgramBuilder
 from ..memory.allocator import HeapAllocator
 from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT

@@ -16,10 +16,10 @@ returned here and models MCQ occupancy back-pressure.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..config import AOSOptions, BWBConfig, HBTConfig
+from ..config import AOSOptions, BWBConfig
 from ..errors import SimulationError
 from ..isa.encoding import PointerLayout
 from .bwb import BoundsWayBuffer, bwb_tag

@@ -27,14 +27,13 @@ relative effects the paper's evaluation discusses while remaining fast.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..config import SystemConfig
 from ..cache.hierarchy import MemoryHierarchy
 from ..core.mcu import MemoryCheckUnit
-from ..errors import SimulationError
-from ..isa.instructions import DEFAULT_LATENCY, Instruction, Op
+from ..isa.instructions import DEFAULT_LATENCY, Op
 from ..isa.program import Program
 
 #: Ring size for completion-time lookback; deps must be closer than this.
@@ -111,7 +110,6 @@ class PipelineModel:
         lsq_stall = 0.0
         faults = 0
         retired = 0
-        last_load_addr = 0
         mcu_ports = [0.0] * _MCU_PORTS
 
         for i, inst in enumerate(program.instructions):

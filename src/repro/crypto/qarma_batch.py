@@ -13,15 +13,11 @@ import numpy as np
 
 from .qarma import (
     ALPHA,
-    H_PERM,
-    LFSR_CELLS,
     MASK64,
     ROUND_CONSTANTS,
     SBOXES,
     TAU,
     TAU_INV,
-    _lfsr_fwd,
-    _mix_columns,
     _omega_key,
     _update_tweak_bwd,
     _update_tweak_fwd,

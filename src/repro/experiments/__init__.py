@@ -16,6 +16,14 @@ so traces are generated and lowered once per (workload, mechanism).
 """
 
 from .common import ExperimentSuite, RunSettings, SPEC_WORKLOADS
+from .parallel import (
+    ArtifactCache,
+    CellSpec,
+    cell_fingerprint,
+    default_cache_dir,
+    run_cells,
+    simulate_cell,
+)
 from .fig11 import run_fig11, Fig11Result
 from .fig14 import run_fig14, Fig14Result
 from .fig15 import run_fig15, Fig15Result
@@ -25,9 +33,15 @@ from .fig18 import run_fig18, Fig18Result
 from .tables import run_table1, run_table2, run_table3, run_table4
 
 __all__ = [
+    "ArtifactCache",
+    "CellSpec",
     "ExperimentSuite",
     "RunSettings",
     "SPEC_WORKLOADS",
+    "cell_fingerprint",
+    "default_cache_dir",
+    "run_cells",
+    "simulate_cell",
     "run_fig11",
     "Fig11Result",
     "run_fig14",

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..cpu.core import Simulator
-from ..security.entropy import EntropyRow, entropy_sweep
+from ..security.entropy import entropy_sweep
 from ..stats.report import TableFormatter
 from .common import ExperimentSuite
+from .parallel import CellSpec
 
 
 @dataclass
@@ -43,6 +44,7 @@ class AblationResult:
 def _run_variant(suite: ExperimentSuite, workload: str, config) -> tuple:
     """Simulate an AOS variant against the cached lowering; returns
     (normalized time, SimulationResult)."""
+    suite.ensure_cells([CellSpec(workload, "baseline")])
     lowered = suite.lowered(workload, "aos", config=suite.config_for("aos"))
     base = suite.result(workload, "baseline")
     run = Simulator(config).run(lowered)
@@ -190,6 +192,11 @@ def ablation_quarantine(
     suite = suite or ExperimentSuite()
     from ..compiler.passes import RESTLowering
 
+    # The REST variants are lowered in-process; the two suite cells they
+    # compare against can come from the parallel engine / artifact cache.
+    suite.ensure_cells(
+        [CellSpec(workload, "baseline"), CellSpec(workload, "aos")]
+    )
     trace = suite.trace(workload)
     base = suite.result(workload, "baseline")
     rows: Dict[str, Dict[str, float]] = {}

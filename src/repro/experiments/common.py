@@ -10,15 +10,29 @@ the same path resumes with completed (workload, mechanism) cells already
 in the memo cache instead of re-simulating them.  The checkpoint is keyed
 on the :class:`RunSettings` fingerprint, so changing instructions/seed/
 scale starts fresh rather than mixing incompatible measurements.
+
+Two further layers live in :mod:`repro.experiments.parallel` and are wired
+in here:
+
+- ``jobs=N`` shards independent cells across worker processes whenever a
+  driver prefetches its sweep through :meth:`ExperimentSuite.ensure_cells`
+  (every figure driver does).  Results are bit-identical to ``jobs=1``.
+- ``cache=`` attaches a persistent cross-session
+  :class:`~repro.experiments.parallel.ArtifactCache`: every lookup goes
+  memo -> checkpoint -> disk cache -> simulate, so a rerun on unchanged
+  code re-simulates nothing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
 import dataclasses
+
+if TYPE_CHECKING:
+    from .parallel import ArtifactCache, CellSpec
 
 from ..config import CacheConfig, MemoryHierarchyConfig, SystemConfig, default_config
 from ..compiler import LoweredWorkload, lower_trace
@@ -99,11 +113,21 @@ class ExperimentSuite:
         self,
         settings: RunSettings = RunSettings(),
         checkpoint: Union[None, str, Path, CheckpointStore] = None,
+        jobs: int = 1,
+        cache: Union[None, str, Path, "ArtifactCache"] = None,
     ) -> None:
         self.settings = settings
+        self.jobs = max(1, int(jobs))
         self._traces: Dict[str, WorkloadTrace] = {}
         self._lowered: Dict[Tuple[str, str], LoweredWorkload] = {}
         self._results: Dict[Tuple[str, str], SimulationResult] = {}
+        self._cache = None
+        if cache is not None:
+            from .parallel import ArtifactCache
+
+            self._cache = (
+                cache if isinstance(cache, ArtifactCache) else ArtifactCache(cache)
+            )
         self._checkpoint: Optional[CheckpointStore] = None
         if checkpoint is not None:
             if isinstance(checkpoint, CheckpointStore):
@@ -127,6 +151,11 @@ class ExperimentSuite:
         """Completed (workload, mechanism) cells restored from checkpoint."""
         return self._checkpoint.resumed_cells if self._checkpoint else 0
 
+    @property
+    def cache(self) -> Optional["ArtifactCache"]:
+        """The attached persistent artifact cache, if any."""
+        return self._cache
+
     def config_for(self, mechanism: str) -> SystemConfig:
         """The scale-matched Table IV configuration for this suite."""
         return scaled_config(mechanism, self.settings.scale)
@@ -135,12 +164,23 @@ class ExperimentSuite:
 
     def trace(self, workload: str) -> WorkloadTrace:
         if workload not in self._traces:
-            self._traces[workload] = generate_trace(
-                get_profile(workload),
-                instructions=self.settings.instructions,
-                seed=self.settings.seed,
-                scale=self.settings.scale,
-            )
+            trace = None
+            fingerprint = None
+            if self._cache is not None:
+                from .parallel import trace_fingerprint
+
+                fingerprint = trace_fingerprint(self.settings, workload)
+                trace = self._cache.get_trace(fingerprint)
+            if trace is None:
+                trace = generate_trace(
+                    get_profile(workload),
+                    instructions=self.settings.instructions,
+                    seed=self.settings.seed,
+                    scale=self.settings.scale,
+                )
+                if self._cache is not None:
+                    self._cache.put_trace(fingerprint, trace)
+            self._traces[workload] = trace
         return self._traces[workload]
 
     def lowered(
@@ -166,13 +206,139 @@ class ExperimentSuite:
     ) -> SimulationResult:
         cache_key = (workload, key or mechanism)
         if cache_key not in self._results:
-            config = config or self.config_for(mechanism)
-            lowered = self.lowered(workload, mechanism, config=config, key=key)
-            result = Simulator(config).run(lowered)
-            self._results[cache_key] = result
-            if self._checkpoint is not None:
-                self._checkpoint.put(list(cache_key), _result_to_payload(result))
+            result = self._cached_result(workload, mechanism, config, key)
+            if result is None:
+                config = config or self.config_for(mechanism)
+                lowered = self.lowered(workload, mechanism, config=config, key=key)
+                result = Simulator(config).run(lowered)
+                self._store_in_cache(workload, mechanism, config, key, result)
+            self._admit(cache_key, result)
         return self._results[cache_key]
+
+    def _cached_result(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig],
+        key: Optional[str],
+    ) -> Optional[SimulationResult]:
+        """Disk-cache lookup for one cell (None without a cache, or on miss)."""
+        if self._cache is None:
+            return None
+        from .parallel import CellSpec, cell_fingerprint
+
+        cell = CellSpec(workload, mechanism, config=config, key=key)
+        payload = self._cache.get_result(cell_fingerprint(self.settings, cell))
+        if payload is None:
+            return None
+        try:
+            return _result_from_payload(payload)
+        except (KeyError, TypeError):
+            return None  # schema drift not caught by the code digest
+
+    def _store_in_cache(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig],
+        key: Optional[str],
+        result: SimulationResult,
+    ) -> None:
+        if self._cache is None:
+            return
+        from .parallel import CellSpec, cell_fingerprint
+
+        cell = CellSpec(workload, mechanism, config=config, key=key)
+        self._cache.put_result(
+            cell_fingerprint(self.settings, cell), _result_to_payload(result)
+        )
+
+    def _admit(self, cache_key: Tuple[str, str], result: SimulationResult) -> None:
+        """Install one computed/loaded result into memo + checkpoint."""
+        self._results[cache_key] = result
+        if self._checkpoint is not None and list(cache_key) not in self._checkpoint:
+            self._checkpoint.put(list(cache_key), _result_to_payload(result))
+
+    # ------------------------------------------------------------ prefetch
+
+    def ensure_traces(self, workloads: Iterable[str]) -> None:
+        """Warm the trace memo for ``workloads``, in parallel when ``jobs>1``.
+
+        Traces already memoised or present in the artifact cache are not
+        regenerated; the rest are produced by worker processes (generation
+        is deterministic, so the parallel path is observationally identical
+        to calling :meth:`trace` in a loop).
+        """
+        from .parallel import generate_traces, trace_fingerprint
+
+        missing = [w for w in dict.fromkeys(workloads) if w not in self._traces]
+        if self._cache is not None:
+            still = []
+            for workload in missing:
+                trace = self._cache.get_trace(
+                    trace_fingerprint(self.settings, workload)
+                )
+                if trace is None:
+                    still.append(workload)
+                else:
+                    self._traces[workload] = trace
+            missing = still
+        if not missing:
+            return
+        for workload, trace in generate_traces(
+            self.settings, missing, jobs=self.jobs
+        ).items():
+            self._traces[workload] = trace
+            if self._cache is not None:
+                self._cache.put_trace(
+                    trace_fingerprint(self.settings, workload), trace
+                )
+
+    def ensure_cells(self, cells: Iterable["CellSpec"]) -> None:
+        """Compute every cell not already known, sharded over ``jobs``.
+
+        The lookup order per cell is memo -> checkpoint (loaded at open)
+        -> artifact cache -> simulate; only the last bucket is fanned out
+        to worker processes.  Results merge back in deterministic cell
+        order, so a prefetching driver behaves identically at any ``jobs``.
+        """
+        from .parallel import cell_fingerprint, run_cells
+
+        pending = []
+        seen = set(self._results)
+        for cell in cells:
+            if cell.cache_key in seen:
+                continue
+            seen.add(cell.cache_key)
+            cached = self._cached_result(
+                cell.workload, cell.mechanism, cell.config, cell.key
+            )
+            if cached is not None:
+                self._admit(cell.cache_key, cached)
+            else:
+                pending.append(cell)
+        if not pending:
+            return
+        computed = run_cells(self.settings, pending, jobs=self.jobs)
+        for cell in pending:
+            result = computed[cell.cache_key]
+            self._admit(cell.cache_key, result)
+            if self._cache is not None:
+                self._cache.put_result(
+                    cell_fingerprint(self.settings, cell),
+                    _result_to_payload(result),
+                )
+
+    def result_payloads(self) -> Dict[Tuple[str, str], dict]:
+        """JSON-able snapshot of every memoised result, keyed by cell.
+
+        ``tools/bench_trend.py`` and the determinism tests use this to
+        compare serial and parallel sweeps cell by cell.
+        """
+        return {
+            key: _result_to_payload(result)
+            for key, result in sorted(self._results.items())
+        }
 
     # ------------------------------------------------------ cache management
     #
@@ -200,16 +366,46 @@ class ExperimentSuite:
 
     # ------------------------------------------------------------ measures
 
-    def normalized_time(self, workload: str, mechanism: str, **kwargs) -> float:
-        base = self.result(workload, "baseline")
-        run = self.result(workload, mechanism, **kwargs)
+    # Contract: ``config``/``key`` customise the *mechanism* cell only.  The
+    # denominator is always an explicit baseline cell — by default the
+    # suite's scale-matched default-config baseline — and callers comparing
+    # against a non-default baseline must say so via ``baseline_config``/
+    # ``baseline_key``.  (Previously these methods forwarded ``**kwargs`` to
+    # the mechanism run only, so a custom ``config=`` silently compared a
+    # tuned mechanism against an untuned baseline with no way to fix it.)
+
+    def normalized_time(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig] = None,
+        key: Optional[str] = None,
+        baseline_config: Optional[SystemConfig] = None,
+        baseline_key: Optional[str] = None,
+    ) -> float:
+        """``mechanism`` cycles over baseline cycles (see contract above)."""
+        base = self.result(
+            workload, "baseline", config=baseline_config, key=baseline_key
+        )
+        run = self.result(workload, mechanism, config=config, key=key)
         if base.cycles == 0:
             return 1.0  # degenerate empty-window run (mirror traffic guard)
         return run.cycles / base.cycles
 
-    def normalized_traffic(self, workload: str, mechanism: str, **kwargs) -> float:
-        base = self.result(workload, "baseline")
-        run = self.result(workload, mechanism, **kwargs)
+    def normalized_traffic(
+        self,
+        workload: str,
+        mechanism: str,
+        config: Optional[SystemConfig] = None,
+        key: Optional[str] = None,
+        baseline_config: Optional[SystemConfig] = None,
+        baseline_key: Optional[str] = None,
+    ) -> float:
+        """``mechanism`` traffic over baseline traffic (see contract above)."""
+        base = self.result(
+            workload, "baseline", config=baseline_config, key=baseline_key
+        )
+        run = self.result(workload, mechanism, config=config, key=key)
         if base.network_traffic_bytes == 0:
             return 1.0
         return run.network_traffic_bytes / base.network_traffic_bytes

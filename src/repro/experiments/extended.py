@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from ..security.entropy import attempts_for_likelihood, single_shot_detection
 from ..stats.report import TableFormatter, geomean
 from .common import ExperimentSuite, SPEC_WORKLOADS
+from .parallel import CellSpec
 
 MECHANISMS = ["mte", "aos", "pa+aos"]
 
@@ -33,7 +34,7 @@ class ExtendedComparisonResult:
             table.add_row(workload, values)
         table.add_row("Geomean", self.geomeans)
         security = (
-            f"\nSecurity trade-off: MTE 4-bit tags detect "
+            "\nSecurity trade-off: MTE 4-bit tags detect "
             f"{single_shot_detection(4):.1%} of violations per attempt "
             f"(bypass ~{attempts_for_likelihood(4, 0.5)} tries); AOS 16-bit "
             f"PACs detect {single_shot_detection(16):.3%} "
@@ -52,6 +53,11 @@ def run_extended_comparison(
 ) -> ExtendedComparisonResult:
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
+    suite.ensure_cells(
+        CellSpec(workload, mechanism)
+        for workload in workloads
+        for mechanism in ["baseline"] + MECHANISMS
+    )
     rows: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
         rows[workload] = {

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..stats.report import TableFormatter, geomean
-from .common import MECHANISMS, SPEC_WORKLOADS, ExperimentSuite, RunSettings
+from .common import MECHANISMS, SPEC_WORKLOADS, ExperimentSuite
+from .parallel import CellSpec
 
 #: Paper geomeans for the comparison block of EXPERIMENTS.md.
 PAPER_GEOMEAN = {"watchdog": 1.194, "pa": 1.01, "aos": 1.084, "pa+aos": 1.099}
@@ -54,6 +55,15 @@ def run_fig14(
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
     mechanisms = [m for m in MECHANISMS if m != "baseline"]
+
+    # Prefetch the whole sweep (baseline included) so a ``jobs>1`` suite
+    # shards the independent cells across workers; the loops below then
+    # read from the memo.
+    suite.ensure_cells(
+        CellSpec(workload, mechanism)
+        for workload in workloads
+        for mechanism in MECHANISMS
+    )
 
     rows: Dict[str, Dict[str, float]] = {}
     resizes: Dict[str, int] = {}

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..stats.report import TableFormatter, geomean
 from .common import SPEC_WORKLOADS, ExperimentSuite
+from .parallel import CellSpec
 
 #: Variant name -> (l1b_cache, bounds_compression).
 VARIANTS = {
@@ -44,6 +45,25 @@ def run_fig15(
 ) -> Fig15Result:
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
+
+    def variant_config(l1b: bool, compression: bool):
+        return suite.config_for("aos").with_aos_options(
+            l1b_cache=l1b, bounds_compression=compression
+        )
+
+    suite.ensure_cells(
+        [CellSpec(workload, "baseline") for workload in workloads]
+        + [
+            CellSpec(
+                workload,
+                "aos",
+                config=variant_config(l1b, compression),
+                key=f"aos-{variant}",
+            )
+            for workload in workloads
+            for variant, (l1b, compression) in VARIANTS.items()
+        ]
+    )
 
     rows: Dict[str, Dict[str, float]] = {}
     for workload in workloads:

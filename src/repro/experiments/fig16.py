@@ -58,6 +58,11 @@ def run_fig16(
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
 
+    # Fig. 16 only needs lowered programs (no simulation); prefetch the
+    # traces — in parallel for a ``jobs>1`` suite, and through the artifact
+    # cache when one is attached — before the serial lowering loop.
+    suite.ensure_traces(workloads)
+
     rows: Dict[str, Dict[str, float]] = {}
     signed_fraction: Dict[str, float] = {}
     for workload in workloads:

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from ..stats.report import TableFormatter
 from .common import SPEC_WORKLOADS, ExperimentSuite
+from .parallel import CellSpec
 
 
 @dataclass
@@ -41,6 +42,7 @@ def run_fig17(
 ) -> Fig17Result:
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
+    suite.ensure_cells(CellSpec(workload, "aos") for workload in workloads)
     accesses = {}
     hits = {}
     for workload in workloads:

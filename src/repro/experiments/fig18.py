@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..stats.report import TableFormatter, geomean
 from .common import MECHANISMS, SPEC_WORKLOADS, ExperimentSuite
+from .parallel import CellSpec
 
 PAPER_AVERAGE = {"watchdog": 1.31, "pa+aos": 1.18}
 
@@ -44,6 +45,12 @@ def run_fig18(
     suite = suite or ExperimentSuite()
     workloads = workloads or SPEC_WORKLOADS
     mechanisms = [m for m in MECHANISMS if m != "baseline"]
+
+    suite.ensure_cells(
+        CellSpec(workload, mechanism)
+        for workload in workloads
+        for mechanism in MECHANISMS
+    )
 
     rows: Dict[str, Dict[str, float]] = {}
     for workload in workloads:

@@ -1,0 +1,369 @@
+"""Parallel experiment engine and persistent cross-session artifact cache.
+
+The serial :class:`~repro.experiments.common.ExperimentSuite` computes its
+16-workload x 5-mechanism sweep one cell at a time in one process and, unless
+a checkpoint path is passed, forgets everything when the session ends.  This
+module adds the two missing layers:
+
+**Parallel execution** — :func:`run_cells` shards independent
+(workload, mechanism) simulation cells across a ``ProcessPoolExecutor``.
+Every cell is described by a picklable :class:`CellSpec`; each worker builds
+its own trace, lowering and :class:`~repro.cpu.core.Simulator` from the
+:class:`~repro.experiments.common.RunSettings` fingerprint via
+:func:`simulate_cell` — the same pure function the serial path uses — so
+parallel results are bit-identical to serial ones and merge back into the
+suite's memo/checkpoint in deterministic cell order regardless of worker
+completion order.
+
+**Persistent artifact cache** — :class:`ArtifactCache` stores generated
+traces and :class:`~repro.cpu.core.SimulationResult` payloads under
+``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``, or an explicit ``--cache-dir``),
+keyed by a content hash of the run settings, workload profile, mechanism,
+system configuration and a digest of the package sources.  A second
+``python -m repro all`` on the same code therefore re-simulates nothing, and
+any code change invalidates every stale entry automatically.  Corrupted
+cache files are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..compiler import lower_trace
+from ..config import SystemConfig
+from ..cpu.core import SimulationResult, Simulator
+from ..workloads import WorkloadTrace, generate_trace, get_profile
+from .common import RunSettings, scaled_config
+
+#: Bump to invalidate every cache entry independently of source digests.
+CACHE_SCHEMA = 1
+
+
+# --------------------------------------------------------------------- cells
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent simulation cell of a sweep, fully picklable.
+
+    ``key`` disambiguates cells that share a mechanism but differ in
+    configuration (the Fig. 15 ``aos-l1b`` style variants); it defaults to
+    the mechanism name, matching ``ExperimentSuite.result``'s memo keys.
+    ``config=None`` means "the suite's scale-matched Table IV config".
+    """
+
+    workload: str
+    mechanism: str
+    config: Optional[SystemConfig] = None
+    key: Optional[str] = None
+
+    @property
+    def cache_key(self) -> Tuple[str, str]:
+        """The (workload, key-or-mechanism) memo key used by the suite."""
+        return (self.workload, self.key or self.mechanism)
+
+    def resolved_config(self, settings: RunSettings) -> SystemConfig:
+        return self.config or scaled_config(self.mechanism, settings.scale)
+
+
+def _code_digest() -> str:
+    """Digest of every ``repro`` source file, so cache entries die with the
+    code that produced them."""
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+_CODE_DIGEST: Optional[str] = None
+
+
+def code_version() -> str:
+    """The (memoised) source digest folded into every cache fingerprint."""
+    global _CODE_DIGEST
+    if _CODE_DIGEST is None:
+        _CODE_DIGEST = _code_digest()
+    return _CODE_DIGEST
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def trace_fingerprint(settings: RunSettings, workload: str) -> str:
+    """Content hash naming one generated trace in the artifact cache."""
+    profile = get_profile(workload)
+    body = _canonical(
+        {
+            "schema": CACHE_SCHEMA,
+            "code": code_version(),
+            "kind": "trace",
+            "profile": dataclasses.asdict(profile),
+            "settings": dataclasses.asdict(settings),
+        }
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def cell_fingerprint(settings: RunSettings, cell: CellSpec) -> str:
+    """Content hash naming one simulation result in the artifact cache."""
+    config = cell.resolved_config(settings)
+    body = _canonical(
+        {
+            "schema": CACHE_SCHEMA,
+            "code": code_version(),
+            "kind": "result",
+            "workload": cell.workload,
+            "mechanism": cell.mechanism,
+            "profile": dataclasses.asdict(get_profile(cell.workload)),
+            "config": dataclasses.asdict(config),
+            "settings": dataclasses.asdict(settings),
+        }
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------- cache
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactCache:
+    """Persistent, content-addressed store for traces and simulation results.
+
+    Layout: ``<root>/results/<sha256>.json`` holds one
+    :class:`SimulationResult` payload (JSON, human-inspectable) and
+    ``<root>/traces/<sha256>.pkl`` one pickled :class:`WorkloadTrace`.
+    Writes are atomic (temp file + ``os.replace``), so a killed run never
+    leaves a torn entry; unreadable or undecodable entries are counted in
+    :attr:`CacheStats.corrupt`, deleted best-effort, and treated as misses.
+    """
+
+    def __init__(self, root: Union[None, str, Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- plumbing
+
+    def _path(self, kind: str, fingerprint: str, suffix: str) -> Path:
+        return self.root / kind / f"{fingerprint}{suffix}"
+
+    def _read(self, path: Path, loader: Callable) -> Optional[object]:
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                value = loader(fh)
+        except Exception:
+            # Torn write, truncation, stale pickle protocol... anything
+            # unreadable is a miss; drop it so the rewrite starts clean.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value
+
+    def _write(self, path: Path, dumper: Callable) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                dumper(fh)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stats.stores += 1
+
+    # --------------------------------------------------------------- results
+
+    def get_result(self, fingerprint: str) -> Optional[dict]:
+        """The stored payload for ``fingerprint``, or None on (any) miss."""
+        path = self._path("results", fingerprint, ".json")
+        value = self._read(path, lambda fh: json.load(fh))
+        if value is not None and not isinstance(value, dict):
+            self.stats.hits -= 1
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        return value
+
+    def put_result(self, fingerprint: str, payload: dict) -> None:
+        path = self._path("results", fingerprint, ".json")
+        data = json.dumps(payload, sort_keys=True).encode()
+        self._write(path, lambda fh: fh.write(data))
+
+    # ---------------------------------------------------------------- traces
+
+    def get_trace(self, fingerprint: str) -> Optional[WorkloadTrace]:
+        path = self._path("traces", fingerprint, ".pkl")
+        value = self._read(path, pickle.load)
+        if value is not None and not isinstance(value, WorkloadTrace):
+            self.stats.hits -= 1
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        return value
+
+    def put_trace(self, fingerprint: str, trace: WorkloadTrace) -> None:
+        path = self._path("traces", fingerprint, ".pkl")
+        self._write(path, lambda fh: pickle.dump(trace, fh))
+
+    # ------------------------------------------------------------------ misc
+
+    def info(self) -> Dict[str, int]:
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "stores": self.stats.stores,
+            "corrupt": self.stats.corrupt,
+        }
+
+
+# ----------------------------------------------------------------- simulate
+
+
+def generate_cell_trace(settings: RunSettings, workload: str) -> WorkloadTrace:
+    """The deterministic trace for ``workload`` under ``settings``."""
+    return generate_trace(
+        get_profile(workload),
+        instructions=settings.instructions,
+        seed=settings.seed,
+        scale=settings.scale,
+    )
+
+
+def simulate_cell(
+    settings: RunSettings,
+    cell: CellSpec,
+    trace: Optional[WorkloadTrace] = None,
+) -> SimulationResult:
+    """Run one cell from scratch: trace -> lowering -> simulation.
+
+    This is the single simulation implementation shared by the serial
+    ``ExperimentSuite`` path and the pool workers, which is what makes the
+    parallel engine bit-identical to the serial one: both call exactly this
+    function with exactly these (deterministic) inputs.
+    """
+    config = cell.resolved_config(settings)
+    if trace is None:
+        trace = generate_cell_trace(settings, cell.workload)
+    lowered = lower_trace(trace, cell.mechanism, config=config)
+    return Simulator(config).run(lowered)
+
+
+def _cell_worker(args: Tuple[RunSettings, CellSpec]) -> SimulationResult:
+    settings, cell = args
+    return simulate_cell(settings, cell)
+
+
+def _trace_worker(args: Tuple[RunSettings, str]) -> WorkloadTrace:
+    settings, workload = args
+    return generate_cell_trace(settings, workload)
+
+
+# ------------------------------------------------------------------- engine
+
+
+def _fan_out(
+    items: List,
+    worker: Callable,
+    jobs: int,
+    progress: Optional[Callable] = None,
+) -> List:
+    """Map ``worker`` over ``items`` with a process pool, preserving order.
+
+    Results are collected as workers finish but returned in submission
+    order, so callers observe deterministic merges.  ``jobs <= 1`` (or a
+    single item) degrades to an in-process loop with no pool overhead.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        results = []
+        for item in items:
+            results.append(worker(item))
+            if progress is not None:
+                progress(item)
+        return results
+    by_index: Dict[int, object] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        futures = {pool.submit(worker, item): index for index, item in enumerate(items)}
+        for future in as_completed(futures):
+            index = futures[future]
+            by_index[index] = future.result()
+            if progress is not None:
+                progress(items[index])
+    return [by_index[index] for index in range(len(items))]
+
+
+def run_cells(
+    settings: RunSettings,
+    cells: Iterable[CellSpec],
+    jobs: int = 1,
+    progress: Optional[Callable[[CellSpec], None]] = None,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Simulate ``cells``, sharded over ``jobs`` worker processes.
+
+    Returns ``{cell.cache_key: SimulationResult}`` in input order.  With
+    ``jobs=1`` this is exactly the serial loop; with ``jobs>1`` each worker
+    rebuilds its cell from the picklable spec, so results are identical.
+    """
+    cells = list(cells)
+    results = _fan_out(
+        [(settings, cell) for cell in cells],
+        _cell_worker,
+        jobs,
+        progress=None if progress is None else (lambda args: progress(args[1])),
+    )
+    return {cell.cache_key: result for cell, result in zip(cells, results)}
+
+
+def generate_traces(
+    settings: RunSettings,
+    workloads: Iterable[str],
+    jobs: int = 1,
+) -> Dict[str, WorkloadTrace]:
+    """Generate (deterministic) traces for ``workloads``, in parallel."""
+    workloads = list(workloads)
+    traces = _fan_out(
+        [(settings, workload) for workload in workloads], _trace_worker, jobs
+    )
+    return dict(zip(workloads, traces))

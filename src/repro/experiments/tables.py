@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import SystemConfig, default_config
@@ -43,7 +43,7 @@ class Table1Result:
             )
             if published:
                 table.add_row(
-                    f"  (paper)",
+                    "  (paper)",
                     {
                         "size": f"{published[0] / 1024:.2g}KB",
                         "area mm2": published[1],

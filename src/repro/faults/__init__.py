@@ -15,6 +15,7 @@ from .campaign import (
     Deadline,
     RunOutcome,
     RunResult,
+    run_campaign_cell,
     run_quick_campaign,
 )
 from .checkpoint import CheckpointStore
@@ -53,5 +54,6 @@ __all__ = [
     "SPATIAL_POINTER_KINDS",
     "TEMPORAL_POINTER_KINDS",
     "TrackedObject",
+    "run_campaign_cell",
     "run_quick_campaign",
 ]

@@ -21,15 +21,22 @@ of stalling the sweep.  Host-level errors are retried with a fresh seed
 (transient state-space corners often clear), and completed cells stream to
 a :class:`~repro.faults.checkpoint.CheckpointStore` so an interrupted
 campaign resumes without re-running them.
+
+``Campaign.run(jobs=N)`` shards pending cells across worker processes:
+each worker classifies one cell via the same :func:`run_campaign_cell`
+the serial path uses (keeping its per-cell deadline and fresh-seed retry
+machinery), the parent streams finished cells to the checkpoint as they
+land, and the final report lists cells in deterministic sweep order.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.exceptions import AOSException
 from ..errors import AllocatorError, ExperimentTimeout, FaultInjectionError
@@ -215,6 +222,111 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def run_campaign_cell(
+    config: CampaignConfig,
+    workload: str,
+    mechanism: str,
+    spec: FaultSpec,
+    injector: Optional[FaultInjector] = None,
+) -> RunResult:
+    """Inject one fault, probe, classify — with timeout and retry.
+
+    A module-level pure function of picklable arguments, so a
+    ``Campaign.run(jobs=N)`` worker process classifies a cell exactly the
+    way the serial sweep does.  ``injector`` defaults to a fresh
+    :class:`FaultInjector`; the serial path passes the campaign's own so
+    tests can substitute instrumented doubles.
+    """
+    injector = injector or FaultInjector()
+    seed = spec.seed
+    retries = 0
+    while True:
+        deadline = Deadline(config.timeout_s)
+        base = RunResult(
+            workload=workload,
+            mechanism=mechanism,
+            kind=spec.kind.value,
+            location=spec.location,
+            seed=seed,
+            outcome=RunOutcome.SILENT,
+            retries=retries,
+        )
+        try:
+            harness = FaultHarness(
+                workload=workload,
+                mechanism=mechanism,
+                seed=seed,
+                objects=config.objects,
+                policy=HandlerPolicy.REPORT_AND_RESUME,
+                max_violations=config.max_violations,
+            )
+            harness.populate()
+            record = injector.inject(harness, replace(spec, seed=seed))
+            harness.probe(
+                deadline=deadline, churn=config.churn, burst=record.probe_burst
+            )
+            failures = harness.integrity_failures()
+            detections = harness.detections
+            base.detections = detections
+            base.expect_detection = record.expect_detection
+            base.integrity_failures = len(failures)
+            base.elapsed = deadline.elapsed
+            if detections:
+                base.outcome = RunOutcome.DETECTED
+                base.detail = f"{record.description}; {detections} violation(s)"
+            else:
+                base.outcome = RunOutcome.SILENT
+                note = (
+                    f"; data corruption confirmed ({len(failures)} objects)"
+                    if failures
+                    else "; integrity intact"
+                )
+                base.detail = record.description + note
+            return base
+        except ProcessTerminated as exc:
+            base.outcome = RunOutcome.DETECTED
+            base.detections = 1
+            base.elapsed = deadline.elapsed
+            base.detail = f"process terminated: {exc}"
+            return base
+        except (AOSException,) as exc:
+            # An AOS exception escaping the guarded paths (e.g. raised
+            # during injection-phase setup) is still a detection.
+            base.outcome = RunOutcome.DETECTED
+            base.detections = 1
+            base.elapsed = deadline.elapsed
+            base.detail = f"{type(exc).__name__}: {exc}"
+            return base
+        except AllocatorError as exc:
+            # glibc's own integrity checks — the §VII convention counts
+            # these as detections (same as the security matrix).
+            base.outcome = RunOutcome.DETECTED
+            base.detections = 1
+            base.elapsed = deadline.elapsed
+            base.detail = f"allocator integrity check: {exc}"
+            return base
+        except ExperimentTimeout as exc:
+            base.outcome = RunOutcome.TIMED_OUT
+            base.elapsed = deadline.elapsed
+            base.detail = str(exc)
+            return base
+        except Exception as exc:  # host-level: retry with a fresh seed
+            if retries < config.max_retries:
+                retries += 1
+                seed += 7919  # decorrelate the harness state
+                continue
+            base.outcome = RunOutcome.CRASHED
+            base.retries = retries
+            base.elapsed = deadline.elapsed
+            base.detail = f"host error after {retries} retries: " \
+                f"{type(exc).__name__}: {exc}"
+            return base
+
+
+def _cell_worker(args: Tuple[CampaignConfig, str, str, FaultSpec]) -> RunResult:
+    return run_campaign_cell(*args)
+
+
 class Campaign:
     """Sweeps fault specs across workloads with checkpoint/resume."""
 
@@ -261,14 +373,28 @@ class Campaign:
                             kind=kind, location=location, seed=self.config.seed
                         )
 
+    @staticmethod
+    def _cell_key(workload: str, mechanism: str, spec: FaultSpec) -> list:
+        return ["cell", workload, mechanism, spec.kind.value, spec.location]
+
     def run(
-        self, progress: Optional[Callable[[RunResult, bool], None]] = None
+        self,
+        progress: Optional[Callable[[RunResult, bool], None]] = None,
+        jobs: int = 1,
     ) -> CampaignResult:
         """Run (or resume) the full sweep; never lets a cell escape the
-        outcome taxonomy."""
+        outcome taxonomy.
+
+        ``jobs>1`` shards pending cells over worker processes, streaming
+        each finished cell to the checkpoint as it lands (a killed parallel
+        campaign therefore resumes just like a serial one); the result list
+        is assembled in sweep order either way.
+        """
+        if jobs > 1:
+            return self._run_parallel(progress, jobs)
         outcome = CampaignResult()
         for workload, mechanism, spec in self.cells():
-            key = ["cell", workload, mechanism, spec.kind.value, spec.location]
+            key = self._cell_key(workload, mechanism, spec)
             if self.checkpoint is not None and key in self.checkpoint:
                 result = RunResult.from_payload(self.checkpoint.get(key))
                 outcome.results.append(result)
@@ -284,94 +410,55 @@ class Campaign:
                 progress(result, False)
         return outcome
 
+    def _run_parallel(
+        self,
+        progress: Optional[Callable[[RunResult, bool], None]],
+        jobs: int,
+    ) -> CampaignResult:
+        cells = list(self.cells())
+        outcome = CampaignResult()
+        by_index: Dict[int, RunResult] = {}
+        pending: List[Tuple[int, str, str, FaultSpec]] = []
+        for index, (workload, mechanism, spec) in enumerate(cells):
+            key = self._cell_key(workload, mechanism, spec)
+            if self.checkpoint is not None and key in self.checkpoint:
+                result = RunResult.from_payload(self.checkpoint.get(key))
+                by_index[index] = result
+                outcome.resumed += 1
+                if progress is not None:
+                    progress(result, True)
+            else:
+                pending.append((index, workload, mechanism, spec))
+        if pending:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(
+                        _cell_worker, (self.config, workload, mechanism, spec)
+                    ): index
+                    for index, workload, mechanism, spec in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    result = future.result()
+                    workload, mechanism, spec = cells[index]
+                    if self.checkpoint is not None:
+                        self.checkpoint.put(
+                            self._cell_key(workload, mechanism, spec),
+                            result.to_payload(),
+                        )
+                    by_index[index] = result
+                    if progress is not None:
+                        progress(result, False)
+        outcome.results = [by_index[index] for index in range(len(cells))]
+        return outcome
+
     # ------------------------------------------------------------ one cell
 
     def run_cell(self, workload: str, mechanism: str, spec: FaultSpec) -> RunResult:
         """Inject one fault, probe, classify — with timeout and retry."""
-        config = self.config
-        seed = spec.seed
-        retries = 0
-        while True:
-            deadline = Deadline(config.timeout_s)
-            base = RunResult(
-                workload=workload,
-                mechanism=mechanism,
-                kind=spec.kind.value,
-                location=spec.location,
-                seed=seed,
-                outcome=RunOutcome.SILENT,
-                retries=retries,
-            )
-            try:
-                harness = FaultHarness(
-                    workload=workload,
-                    mechanism=mechanism,
-                    seed=seed,
-                    objects=config.objects,
-                    policy=HandlerPolicy.REPORT_AND_RESUME,
-                    max_violations=config.max_violations,
-                )
-                harness.populate()
-                record = self.injector.inject(harness, replace(spec, seed=seed))
-                harness.probe(
-                    deadline=deadline, churn=config.churn, burst=record.probe_burst
-                )
-                failures = harness.integrity_failures()
-                detections = harness.detections
-                base.detections = detections
-                base.expect_detection = record.expect_detection
-                base.integrity_failures = len(failures)
-                base.elapsed = deadline.elapsed
-                if detections:
-                    base.outcome = RunOutcome.DETECTED
-                    base.detail = f"{record.description}; {detections} violation(s)"
-                else:
-                    base.outcome = RunOutcome.SILENT
-                    note = (
-                        f"; data corruption confirmed ({len(failures)} objects)"
-                        if failures
-                        else "; integrity intact"
-                    )
-                    base.detail = record.description + note
-                return base
-            except ProcessTerminated as exc:
-                base.outcome = RunOutcome.DETECTED
-                base.detections = 1
-                base.elapsed = deadline.elapsed
-                base.detail = f"process terminated: {exc}"
-                return base
-            except (AOSException,) as exc:
-                # An AOS exception escaping the guarded paths (e.g. raised
-                # during injection-phase setup) is still a detection.
-                base.outcome = RunOutcome.DETECTED
-                base.detections = 1
-                base.elapsed = deadline.elapsed
-                base.detail = f"{type(exc).__name__}: {exc}"
-                return base
-            except AllocatorError as exc:
-                # glibc's own integrity checks — the §VII convention counts
-                # these as detections (same as the security matrix).
-                base.outcome = RunOutcome.DETECTED
-                base.detections = 1
-                base.elapsed = deadline.elapsed
-                base.detail = f"allocator integrity check: {exc}"
-                return base
-            except ExperimentTimeout as exc:
-                base.outcome = RunOutcome.TIMED_OUT
-                base.elapsed = deadline.elapsed
-                base.detail = str(exc)
-                return base
-            except Exception as exc:  # host-level: retry with a fresh seed
-                if retries < config.max_retries:
-                    retries += 1
-                    seed += 7919  # decorrelate the harness state
-                    continue
-                base.outcome = RunOutcome.CRASHED
-                base.retries = retries
-                base.elapsed = deadline.elapsed
-                base.detail = f"host error after {retries} retries: " \
-                    f"{type(exc).__name__}: {exc}"
-                return base
+        return run_campaign_cell(
+            self.config, workload, mechanism, spec, injector=self.injector
+        )
 
 
 def run_quick_campaign(**overrides) -> CampaignResult:

@@ -20,7 +20,7 @@ handler and allocator then react through their normal paths, unmodified.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 

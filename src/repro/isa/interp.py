@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from ..core.mcu import MemoryCheckUnit
 from ..core.signing import PointerSigner

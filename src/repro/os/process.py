@@ -10,7 +10,6 @@ the OS handler the way hardware would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..config import SystemConfig, default_config

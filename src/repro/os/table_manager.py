@@ -9,11 +9,10 @@ and accounts for the migration's memory traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..core.hbt import HashedBoundsTable, LINE_BYTES
-from ..errors import SimulationError
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 from ..baselines.cheri import Capability, CheriFault, CheriRuntime, Perm
-from ..baselines.mpx import MPXFault, MPXRuntime
+from ..baselines.mpx import MPXFault
 from ..baselines.mte import MTEFault, MTERuntime, TaggedPointer
 from ..baselines.pa import PAFault, PARuntime
 from ..baselines.rest import RedzoneFault, RestRuntime

@@ -20,7 +20,7 @@ PAC-space ratio that drives HBT occupancy, way iteration and resizing.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..cpu.branch import GShareBranchPredictor

@@ -21,7 +21,7 @@ the paper's per-workload evidence:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import WorkloadError

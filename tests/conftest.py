@@ -1,9 +1,25 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro.config import default_config
 from repro.core.aos import AOSRuntime
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the default artifact cache at a per-session temp directory so
+    tests exercising the CLI (which caches by default) never touch, or get
+    polluted by, the user's real ``~/.cache/repro``."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -7,10 +7,8 @@ from hypothesis import strategies as st
 from repro.errors import AllocatorError
 from repro.memory.allocator import (
     ALIGNMENT,
-    FASTBIN_MAX,
     HEADER_SIZE,
     MIN_CHUNK,
-    TCACHE_COUNT,
     HeapAllocator,
     chunk_size_for_request,
 )
@@ -150,8 +148,8 @@ class TestStats:
         alloc = make_allocator()
         p1 = alloc.malloc(32)
         alloc.free(p1)
-        p2 = alloc.malloc(32)
-        p3 = alloc.malloc(32)
+        alloc.malloc(32)
+        alloc.malloc(32)
         assert alloc.stats.max_active == 2
 
 

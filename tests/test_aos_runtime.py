@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.aos import AOSRuntime
 from repro.core.exceptions import (
     BoundsCheckFault,
     BoundsClearFault,

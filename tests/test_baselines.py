@@ -9,7 +9,7 @@ from repro.baselines.mpx import (
     MPXRuntime,
 )
 from repro.baselines.pa import PAFault, PARuntime
-from repro.baselines.rest import REDZONE_BYTES, RedzoneFault, RestRuntime
+from repro.baselines.rest import RedzoneFault, RestRuntime
 from repro.baselines.watchdog import WatchdogFault, WatchdogRuntime
 
 

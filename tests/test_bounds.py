@@ -5,7 +5,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.bounds import (
-    CompressedBounds,
     RawBounds,
     compress_bounds,
     decompress_bounds,

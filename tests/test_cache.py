@@ -1,6 +1,5 @@
 """Cache and hierarchy tests: LRU, write-back, traffic accounting."""
 
-import pytest
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cache.sram import Cache

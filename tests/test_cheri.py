@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.cheri import Capability, CheriFault, CheriRuntime, Perm
+from repro.baselines.cheri import CheriFault, CheriRuntime, Perm
 
 
 @pytest.fixture

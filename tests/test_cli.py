@@ -68,3 +68,36 @@ class TestMain:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "resumed from checkpoint: 12" in out
+
+    def test_parallel_and_cache_options(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "fig14", "--jobs", "4", "--cache-dir", "/tmp/x", "--quick",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.quick
+        assert not args.no_cache
+
+    def test_warm_cache_rerun_is_incremental(self, capsys, tmp_path):
+        argv = [
+            "fig17", "--workloads", "gobmk", "--instructions", "8000",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "artifact cache @" in cold
+        assert "0 hits" in cold
+        # Identical invocation: every cell and trace comes off disk.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+        assert "0 stores" in warm
+
+    def test_no_cache_prints_no_summary(self, capsys):
+        argv = [
+            "fig17", "--workloads", "gobmk", "--instructions", "8000",
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert "artifact cache @" not in capsys.readouterr().out

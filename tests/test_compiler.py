@@ -113,10 +113,6 @@ class TestWatchdogLowering:
         program = lowered["watchdog"].program
         ops = [inst.op for inst in program]
         wchk = sum(1 for op in ops if op is Op.WCHK)
-        heap_mem = sum(
-            1 for inst in program
-            if inst.op in (Op.LOAD, Op.STORE) and 0x20000000 <= inst.address < (1 << 33)
-        )
         assert wchk > 0
         # Every heap access is preceded by a check µop.
         for i, op in enumerate(ops):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import (
-    AOSOptions,
     BWBConfig,
     CacheConfig,
     CoreConfig,

@@ -163,6 +163,26 @@ class TestSuiteCaching:
             base.cycles = saved
         assert run.cycles > 0  # the real ratio path still exercised elsewhere
 
+    def test_normalized_time_baseline_is_explicit(self, suite):
+        """A custom mechanism ``config``/``key`` must not silently change
+        the denominator: the baseline cell stays the default unless the
+        caller names one via ``baseline_config``/``baseline_key``."""
+        tuned = suite.config_for("aos").with_aos_options(bwb_enabled=False)
+        ratio = suite.normalized_time("gobmk", "aos", config=tuned, key="aos-nobwb")
+        base = suite.result("gobmk", "baseline")
+        run = suite.result("gobmk", "aos", key="aos-nobwb")
+        assert ratio == pytest.approx(run.cycles / base.cycles)
+
+    def test_normalized_time_custom_baseline_key(self, suite):
+        """``baseline_key`` selects an alternative baseline cell."""
+        default = suite.normalized_time("gobmk", "aos")
+        aliased = suite.normalized_time(
+            "gobmk", "aos", baseline_key="baseline-alias"
+        )
+        # Same (deterministic) simulation under a different memo label.
+        assert aliased == pytest.approx(default)
+        assert ("gobmk", "baseline-alias") in suite.result_payloads()
+
 
 class TestSuiteCheckpoint:
     SETTINGS = RunSettings(instructions=4_000, seed=3, scale=8)

@@ -48,7 +48,7 @@ class TestProtectedStack:
     def test_use_after_return_detected(self, runtime, stack):
         """The stack analogue of UAF (§III-D)."""
         stack.push_frame()
-        p = stack.alloca(64)
+        stack.alloca(64)
         (dangling,) = stack.pop_frame()
         with pytest.raises(BoundsCheckFault):
             stack.load(dangling)

@@ -57,7 +57,6 @@ class TestAblationDrivers:
 class TestRESTLoweringUnits:
     def test_token_stores_emitted(self, suite):
         from repro.compiler.passes import RESTLowering
-        from repro.isa.instructions import Op
 
         trace = suite.trace("povray")
         lowered = RESTLowering(trace, suite.config_for("rest")).lower()

@@ -15,7 +15,6 @@ from repro.faults import (
     FaultKind,
     FaultSpec,
     POINTER_CORRUPTION_KINDS,
-    RESILIENCE_KINDS,
     RunOutcome,
     RunResult,
 )

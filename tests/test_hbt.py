@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.hbt import HashedBoundsTable, LINE_BYTES
+from repro.core.hbt import HashedBoundsTable
 from repro.errors import SimulationError
 from repro.memory.layout import DEFAULT_LAYOUT
 

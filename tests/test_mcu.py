@@ -1,9 +1,7 @@
 """Memory check unit tests: selective checking, table ops, optimisations."""
 
-import pytest
 
 from repro.config import AOSOptions, BWBConfig
-from repro.core.bwb import bwb_tag
 from repro.core.exceptions import BoundsCheckFault, BoundsClearFault
 from repro.core.hbt import HashedBoundsTable
 from repro.core.mcu import MemoryCheckUnit

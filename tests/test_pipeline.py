@@ -86,7 +86,7 @@ class TestBranches:
 
 class TestMCUIntegration:
     def make_mcu(self, hierarchy=None):
-        from repro.config import AOSOptions, BWBConfig
+        from repro.config import AOSOptions
         from repro.core.hbt import HashedBoundsTable
         from repro.core.mcu import MemoryCheckUnit
         from repro.isa.encoding import PointerLayout
@@ -111,7 +111,6 @@ class TestMCUIntegration:
     def test_bndstr_does_not_delay_commit_like_checks(self):
         """Fig. 8b: table ops retire before their walk completes."""
         mcu, layout = self.make_mcu()
-        ptr = layout.sign(0x20001000, pac=0x12, ahc=1)
         stores = [
             Instruction(op=Op.BNDSTR, address=layout.sign(0x20000000 + 0x40 * i, 0x12, 1), size=16)
             for i in range(8)

@@ -1,0 +1,214 @@
+"""Perf-trajectory runner: time a fixed sweep serial vs parallel vs cached.
+
+Runs the same reduced figure sweep three ways —
+
+1. **serial**: a fresh ``ExperimentSuite`` with one process and no cache,
+2. **parallel**: a fresh suite with ``--jobs`` workers and a cold cache,
+3. **cached**: a fresh suite rerun against the now-warm artifact cache,
+
+verifies the parallel and cached results are cell-for-cell identical to the
+serial ones (exiting non-zero with a diff summary if they diverge), and
+writes a machine-readable ``BENCH_experiments.json`` with wall-clock per
+artifact, speedups and the cache-hit rate.  CI uploads that file on every
+PR, turning the parallel engine's speedup into a tracked perf trajectory.
+
+Usage::
+
+    python tools/bench_trend.py --jobs 4 --output BENCH_experiments.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import ExperimentSuite, RunSettings  # noqa: E402
+from repro.experiments.fig14 import run_fig14  # noqa: E402
+from repro.experiments.fig15 import run_fig15  # noqa: E402
+from repro.experiments.fig17 import run_fig17  # noqa: E402
+from repro.experiments.fig18 import run_fig18  # noqa: E402
+
+#: Artifact name -> driver taking (suite, workloads).
+DRIVERS = {
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+}
+
+#: The fixed reduced sweep: cheap, behaviourally distinct, includes gcc
+#: (the paper's worst-case AOS workload).
+DEFAULT_WORKLOADS = ["gcc", "povray", "gobmk"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_trend",
+        description="Time the experiment sweep serial vs parallel vs cached.",
+    )
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--instructions", type=int, default=12_000)
+    parser.add_argument("--scale", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for the parallel leg (default: cpu count)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        nargs="+",
+        default=list(DRIVERS),
+        choices=list(DRIVERS),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache for the parallel/cached legs "
+        "(default: a fresh temporary directory)",
+    )
+    parser.add_argument("--output", default="BENCH_experiments.json")
+    return parser
+
+
+def _run_sweep(
+    settings: RunSettings,
+    artifacts: List[str],
+    workloads: List[str],
+    jobs: int,
+    cache: Optional[str],
+) -> Dict:
+    suite = ExperimentSuite(settings, jobs=jobs, cache=cache)
+    timings: Dict[str, float] = {}
+    for name in artifacts:
+        start = time.perf_counter()
+        DRIVERS[name](suite, workloads=workloads)
+        timings[name] = time.perf_counter() - start
+    return {
+        "timings": timings,
+        "total_s": sum(timings.values()),
+        "payloads": suite.result_payloads(),
+        "cache": suite.cache.info() if suite.cache is not None else None,
+    }
+
+
+def _divergence(serial: Dict, other: Dict, label: str) -> List[str]:
+    problems = []
+    if set(serial["payloads"]) != set(other["payloads"]):
+        missing = sorted(set(serial["payloads"]) ^ set(other["payloads"]))
+        problems.append(f"{label}: cell sets differ ({missing})")
+    for key, payload in serial["payloads"].items():
+        if other["payloads"].get(key) != payload:
+            problems.append(f"{label}: cell {key} diverges from the serial run")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    jobs = args.jobs or os.cpu_count() or 1
+    settings = RunSettings(
+        instructions=args.instructions, seed=args.seed, scale=args.scale
+    )
+
+    tmp = None
+    if args.cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = tmp.name
+    else:
+        cache_dir = args.cache_dir
+
+    try:
+        print(f"serial sweep    ({args.artifacts} x {args.workloads})...")
+        serial = _run_sweep(settings, args.artifacts, args.workloads, 1, None)
+        print(f"  {serial['total_s']:.2f}s")
+
+        print(f"parallel sweep  (jobs={jobs}, cold cache {cache_dir})...")
+        parallel = _run_sweep(settings, args.artifacts, args.workloads, jobs, cache_dir)
+        print(f"  {parallel['total_s']:.2f}s")
+
+        print("cached sweep    (warm cache)...")
+        cached = _run_sweep(settings, args.artifacts, args.workloads, jobs, cache_dir)
+        print(f"  {cached['total_s']:.2f}s")
+
+        problems = _divergence(serial, parallel, "parallel") + _divergence(
+            serial, cached, "cached"
+        )
+        if problems:
+            print(
+                "FATAL: parallel/cached results diverge from the serial sweep —"
+                " the parallel engine must be bit-identical.  Offending cells:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 2
+
+        cache_stats = cached["cache"]
+        lookups = cache_stats["hits"] + cache_stats["misses"]
+        report = {
+            "schema": "bench-trend/v1",
+            "host": {
+                "python": platform.python_version(),
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+            },
+            "settings": {
+                "workloads": args.workloads,
+                "artifacts": args.artifacts,
+                "instructions": args.instructions,
+                "scale": args.scale,
+                "seed": args.seed,
+                "jobs": jobs,
+            },
+            "artifacts": {
+                name: {
+                    "serial_s": round(serial["timings"][name], 4),
+                    "parallel_s": round(parallel["timings"][name], 4),
+                    "cached_s": round(cached["timings"][name], 4),
+                }
+                for name in args.artifacts
+            },
+            "totals": {
+                "serial_s": round(serial["total_s"], 4),
+                "parallel_s": round(parallel["total_s"], 4),
+                "cached_s": round(cached["total_s"], 4),
+                "parallel_speedup": round(
+                    serial["total_s"] / max(parallel["total_s"], 1e-9), 3
+                ),
+                "cached_fraction_of_cold": round(
+                    cached["total_s"] / max(parallel["total_s"], 1e-9), 3
+                ),
+            },
+            "cache": {
+                "hits": cache_stats["hits"],
+                "misses": cache_stats["misses"],
+                "corrupt": cache_stats["corrupt"],
+                "hit_rate": round(cache_stats["hits"] / lookups if lookups else 0.0, 3),
+            },
+            "divergence": "none",
+        }
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(
+            f"wrote {args.output}: parallel speedup "
+            f"{report['totals']['parallel_speedup']}x, cached rerun "
+            f"{report['totals']['cached_fraction_of_cold']}x of cold, "
+            f"cache-hit rate {report['cache']['hit_rate']:.0%}"
+        )
+        return 0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
