@@ -48,6 +48,7 @@ from .experiments.ablations import (
     ablation_resize,
 )
 from .security import run_security_analysis
+from .supervise import trap_signals
 
 #: artifact name -> (description, needs timing suite?)
 ARTIFACTS = {
@@ -132,7 +133,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-checkpoint", default=None, metavar="PATH",
         help="JSONL checkpoint; an interrupted campaign resumes from it",
     )
+    sup = parser.add_argument_group("supervision options")
+    sup.add_argument(
+        "--supervise", action="store_true",
+        help="run simulation cells under the supervisor: per-cell deadlines, "
+        "heartbeats, retry with backoff, quarantine, degradation ladder",
+    )
+    sup.add_argument(
+        "--paranoid", action="store_true",
+        help="audit simulator invariants after every cell (MCQ FSMs, HBT "
+        "occupancy, BWB hints, pointer round-trips, shadow bounds); silent "
+        "corruption becomes a first-class invariant-violation",
+    )
+    sup.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="supervised per-cell wall-clock deadline (default 60)",
+    )
+    sup.add_argument(
+        "--cell-retries", type=int, default=None, metavar="N",
+        help="supervised retries per cell before quarantine (default 2)",
+    )
+    sup.add_argument(
+        "--inject-hang", nargs="?", const="*:*:ptr-pac-flip:0", default=None,
+        metavar="WL:MECH:KIND:LOC",
+        help="faultinject only: make matching cells hang (wildcard '*'), to "
+        "exercise hang detection end-to-end; implies --supervise "
+        "(default pattern when bare: *:*:ptr-pac-flip:0)",
+    )
     return parser
+
+
+def supervisor_config(args) -> "SupervisorConfig | None":
+    """Build the :class:`SupervisorConfig` the CLI flags describe."""
+    if not (args.supervise or args.inject_hang):
+        return None
+    from .supervise import RetryPolicy, SupervisorConfig
+
+    retry = RetryPolicy()
+    if args.cell_retries is not None:
+        retry = RetryPolicy(max_retries=args.cell_retries, seed=args.seed)
+    kwargs = {"jobs": max(1, args.jobs), "retry": retry}
+    if args.cell_deadline is not None:
+        kwargs["deadline_s"] = args.cell_deadline
+    return SupervisorConfig(**kwargs)
 
 
 def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
@@ -173,13 +216,21 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
         if args.fault_timeout is not None:
             overrides["timeout_s"] = args.fault_timeout
         overrides["seed"] = args.seed
+        overrides["paranoid"] = args.paranoid
+        if args.inject_hang:
+            overrides["hang_cells"] = (args.inject_hang,)
         if getattr(args, "fault_quick", args.quick):
             config = CampaignConfig.quick(**overrides)
         else:
             config = CampaignConfig(**overrides)
         campaign = Campaign(config, checkpoint=args.fault_checkpoint)
-        result = campaign.run(jobs=args.jobs)
-        return result.format_report()
+        result = campaign.run(jobs=args.jobs, supervise=supervisor_config(args))
+        report = result.format_report()
+        if result.supervision is not None:
+            from .stats import SupervisionSummary
+
+            report += "\n\n" + SupervisionSummary.from_report(result.supervision).format()
+        return report
     if name == "ablations":
         parts = [
             ablation_bwb(suite).format(),
@@ -198,6 +249,28 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
 QUICK_WORKLOADS = ["gcc", "povray", "gobmk"]
 
 
+def _resume_hint(args) -> str:
+    """What an interrupted user should know: state is flushed, how to resume."""
+    lines = [
+        "interrupted — completed cells are already flushed "
+        "(crash-atomic checkpoint/cache writes; nothing to salvage by waiting)."
+    ]
+    if args.fault_checkpoint:
+        lines.append(
+            f"re-run the same command to resume from {args.fault_checkpoint}"
+        )
+    elif args.artifact == "faultinject":
+        lines.append(
+            "add --fault-checkpoint PATH to make campaign runs resumable"
+        )
+    if not args.no_cache:
+        lines.append(
+            "finished simulation cells are in the artifact cache; "
+            "a re-run recomputes only what was in flight"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.quick:
@@ -210,12 +283,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale),
         jobs=args.jobs,
         cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
+        supervise=supervisor_config(args),
+        paranoid=args.paranoid,
     )
     names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for name in names:
-        start = time.time()
-        print(run_artifact(name, suite, args))
-        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    try:
+        # SIGTERM lands as KeyboardInterrupt, so a killed run flushes and
+        # prints the same resume hint as a ^C one.
+        with trap_signals():
+            for name in names:
+                start = time.time()
+                print(run_artifact(name, suite, args))
+                print(f"[{name}: {time.time() - start:.1f}s]\n")
+    except KeyboardInterrupt:
+        print(_resume_hint(args), file=sys.stderr)
+        return 130
+    for report in suite.supervision_reports:
+        print(report.format())
+        print()
     if suite.cache is not None:
         stats = suite.cache.stats
         print(

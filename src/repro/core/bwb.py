@@ -70,6 +70,15 @@ class BoundsWayBuffer:
             self._table.move_to_end(tag)
         return way
 
+    def peek(self, tag: int) -> Optional[int]:
+        """Read a way hint without touching hit statistics or LRU order.
+
+        Observation seam for auditors (the ``--paranoid`` invariant
+        oracle): a post-run audit must not perturb ``hit_rate`` or the
+        eviction order it is checking.
+        """
+        return self._table.get(tag)
+
     def update(self, tag: int, way: int) -> None:
         """Record the last accessed HBT way for ``tag`` (on MCQ retirement)."""
         if tag in self._table:

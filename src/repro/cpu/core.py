@@ -54,12 +54,18 @@ class Simulator:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
 
-    def run(self, lowered) -> SimulationResult:
+    def run(self, lowered, inspect=None) -> SimulationResult:
         """Simulate one lowered workload; returns the full measurement set.
 
         ``lowered`` is a :class:`~repro.compiler.passes.LoweredWorkload`
         (program + pre-warmed HBT + layout) or a bare
         :class:`~repro.isa.program.Program` for unprotected runs.
+
+        ``inspect``, if given, is called as ``inspect(mcu, hbt)`` after the
+        pipeline drains but before the MCU/HBT are discarded — the seam the
+        ``--paranoid`` invariant oracle audits through (either argument may
+        be None for unprotected mechanisms).  An exception it raises
+        propagates: a failed audit must fail the cell, not be summarized.
         """
         if isinstance(lowered, Program):
             program = lowered
@@ -93,6 +99,8 @@ class Simulator:
 
         pipeline = PipelineModel(self.config, hierarchy, mcu=mcu, va_mask=va_mask)
         result = pipeline.run(program)
+        if inspect is not None:
+            inspect(mcu, hbt)
 
         sim = SimulationResult(
             name=name,

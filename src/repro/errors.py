@@ -60,3 +60,26 @@ class ExperimentTimeout(ReproError):
 class CheckpointError(ReproError):
     """A results checkpoint file is unreadable or belongs to a different
     run configuration."""
+
+
+class InvariantViolation(ReproError):
+    """The ``--paranoid`` oracle found simulator state that breaks an AOS
+    structural invariant (non-terminal MCQ entries, HBT occupancy diverging
+    from the live allocation count, BWB hints beyond the associativity,
+    signed pointers that no longer round-trip) — i.e. silent corruption
+    that the normal outcome taxonomy would have reported as a clean cell.
+
+    ``violations`` carries the individual findings (printable objects).
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = list(violations)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.violations))
+
+
+class SupervisionError(ReproError):
+    """The supervision layer itself was misused (bad policy parameters,
+    duplicate task keys) — distinct from the task failures it manages."""

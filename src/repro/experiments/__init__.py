@@ -22,7 +22,9 @@ from .parallel import (
     cell_fingerprint,
     default_cache_dir,
     run_cells,
+    run_cells_supervised,
     simulate_cell,
+    supervised_cell_key,
 )
 from .fig11 import run_fig11, Fig11Result
 from .fig14 import run_fig14, Fig14Result
@@ -41,7 +43,9 @@ __all__ = [
     "cell_fingerprint",
     "default_cache_dir",
     "run_cells",
+    "run_cells_supervised",
     "simulate_cell",
+    "supervised_cell_key",
     "run_fig11",
     "Fig11Result",
     "run_fig14",

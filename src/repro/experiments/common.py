@@ -115,9 +115,36 @@ class ExperimentSuite:
         checkpoint: Union[None, str, Path, CheckpointStore] = None,
         jobs: int = 1,
         cache: Union[None, str, Path, "ArtifactCache"] = None,
+        supervise=None,
+        paranoid: bool = False,
     ) -> None:
+        """``supervise`` attaches the supervision layer to every
+        :meth:`ensure_cells` fan-out: ``True`` for the default
+        :class:`~repro.supervise.SupervisorConfig`, or a config instance
+        for custom deadlines/retry policy.  Each supervised prefetch
+        appends its :class:`~repro.supervise.SupervisionReport` to
+        :attr:`supervision_reports`; quarantined cells stay uncomputed
+        (a later :meth:`result` call falls back to in-process serial
+        simulation — the last rung of the degradation ladder).
+
+        ``paranoid=True`` audits every simulated cell's drained MCU/HBT
+        state through the invariant oracle; violations raise
+        :class:`~repro.errors.InvariantViolation` instead of admitting a
+        silently-corrupt measurement into memo/checkpoint/cache.
+        """
         self.settings = settings
         self.jobs = max(1, int(jobs))
+        self.paranoid = bool(paranoid)
+        self._supervise = None
+        if supervise:
+            from ..supervise import SupervisorConfig
+
+            self._supervise = (
+                supervise
+                if isinstance(supervise, SupervisorConfig)
+                else SupervisorConfig(jobs=self.jobs)
+            )
+        self.supervision_reports: List = []
         self._traces: Dict[str, WorkloadTrace] = {}
         self._lowered: Dict[Tuple[str, str], LoweredWorkload] = {}
         self._results: Dict[Tuple[str, str], SimulationResult] = {}
@@ -210,7 +237,14 @@ class ExperimentSuite:
             if result is None:
                 config = config or self.config_for(mechanism)
                 lowered = self.lowered(workload, mechanism, config=config, key=key)
-                result = Simulator(config).run(lowered)
+                inspect = None
+                if self.paranoid:
+                    from ..supervise import InvariantOracle
+
+                    inspect = InvariantOracle().inspector(
+                        f"{workload}/{key or mechanism}"
+                    )
+                result = Simulator(config).run(lowered, inspect=inspect)
                 self._store_in_cache(workload, mechanism, config, key, result)
             self._admit(cache_key, result)
         return self._results[cache_key]
@@ -319,8 +353,23 @@ class ExperimentSuite:
                 pending.append(cell)
         if not pending:
             return
-        computed = run_cells(self.settings, pending, jobs=self.jobs)
+        if self._supervise is not None:
+            from .parallel import run_cells_supervised
+
+            computed, report = run_cells_supervised(
+                self.settings,
+                pending,
+                config=self._supervise,
+                paranoid=self.paranoid,
+            )
+            self.supervision_reports.append(report)
+        else:
+            computed = run_cells(
+                self.settings, pending, jobs=self.jobs, paranoid=self.paranoid
+            )
         for cell in pending:
+            if cell.cache_key not in computed:
+                continue  # quarantined under supervision: never admitted
             result = computed[cell.cache_key]
             self._admit(cell.cache_key, result)
             if self._cache is not None:

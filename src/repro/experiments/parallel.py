@@ -272,10 +272,16 @@ def generate_cell_trace(settings: RunSettings, workload: str) -> WorkloadTrace:
     )
 
 
+def supervised_cell_key(cell: CellSpec) -> str:
+    """The stable string key one cell carries through the supervisor."""
+    return f"{cell.workload}/{cell.key or cell.mechanism}"
+
+
 def simulate_cell(
     settings: RunSettings,
     cell: CellSpec,
     trace: Optional[WorkloadTrace] = None,
+    paranoid: bool = False,
 ) -> SimulationResult:
     """Run one cell from scratch: trace -> lowering -> simulation.
 
@@ -283,17 +289,30 @@ def simulate_cell(
     ``ExperimentSuite`` path and the pool workers, which is what makes the
     parallel engine bit-identical to the serial one: both call exactly this
     function with exactly these (deterministic) inputs.
+
+    ``paranoid=True`` audits the drained MCU/HBT state through the
+    invariant oracle before the result is accepted; a violated invariant
+    raises :class:`~repro.errors.InvariantViolation` instead of returning
+    a silently-corrupt measurement.
     """
     config = cell.resolved_config(settings)
     if trace is None:
         trace = generate_cell_trace(settings, cell.workload)
     lowered = lower_trace(trace, cell.mechanism, config=config)
-    return Simulator(config).run(lowered)
+    inspect = None
+    if paranoid:
+        from ..supervise.oracle import InvariantOracle
+
+        inspect = InvariantOracle().inspector(supervised_cell_key(cell))
+    return Simulator(config).run(lowered, inspect=inspect)
 
 
-def _cell_worker(args: Tuple[RunSettings, CellSpec]) -> SimulationResult:
-    settings, cell = args
-    return simulate_cell(settings, cell)
+def _cell_worker(args: Tuple) -> SimulationResult:
+    # Accepts (settings, cell) and (settings, cell, paranoid): supervised
+    # payloads carry the flag, plain fan-out payloads predate it.
+    settings, cell = args[0], args[1]
+    paranoid = bool(args[2]) if len(args) > 2 else False
+    return simulate_cell(settings, cell, paranoid=paranoid)
 
 
 def _trace_worker(args: Tuple[RunSettings, str]) -> WorkloadTrace:
@@ -339,6 +358,7 @@ def run_cells(
     cells: Iterable[CellSpec],
     jobs: int = 1,
     progress: Optional[Callable[[CellSpec], None]] = None,
+    paranoid: bool = False,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Simulate ``cells``, sharded over ``jobs`` worker processes.
 
@@ -348,12 +368,46 @@ def run_cells(
     """
     cells = list(cells)
     results = _fan_out(
-        [(settings, cell) for cell in cells],
+        [(settings, cell, paranoid) for cell in cells],
         _cell_worker,
         jobs,
         progress=None if progress is None else (lambda args: progress(args[1])),
     )
     return {cell.cache_key: result for cell, result in zip(cells, results)}
+
+
+def run_cells_supervised(
+    settings: RunSettings,
+    cells: Iterable[CellSpec],
+    config=None,
+    paranoid: bool = False,
+    on_result: Optional[Callable[[str, SimulationResult], None]] = None,
+):
+    """Simulate ``cells`` under the supervision layer.
+
+    Like :func:`run_cells`, but hung/crashing workers are retried with
+    backoff, repeat offenders are quarantined instead of failing the run,
+    and execution degrades pool -> fresh-pool -> serial if workers keep
+    dying.  Returns ``({cell.cache_key: SimulationResult}, report)``;
+    quarantined cells are *absent* from the results dict and listed in
+    ``report.quarantined`` (keyed by :func:`supervised_cell_key`), so they
+    can never be mistaken for measurements or poison a cache.
+    """
+    from ..supervise import Supervisor, SupervisorConfig, Task
+
+    cells = list(cells)
+    tasks = [
+        Task(key=supervised_cell_key(cell), payload=(settings, cell, paranoid))
+        for cell in cells
+    ]
+    supervisor = Supervisor(config if config is not None else SupervisorConfig())
+    results, report = supervisor.run(_cell_worker, tasks, on_result=on_result)
+    merged = {
+        cell.cache_key: results[supervised_cell_key(cell)]
+        for cell in cells
+        if supervised_cell_key(cell) in results
+    }
+    return merged, report
 
 
 def generate_traces(

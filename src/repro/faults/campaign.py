@@ -81,6 +81,10 @@ class RunOutcome(Enum):
     SILENT = "silent"
     CRASHED = "crashed"
     TIMED_OUT = "timed-out"
+    #: The mechanism reported nothing, but the ``--paranoid`` invariant
+    #: oracle found corrupted simulator state: silent corruption promoted
+    #: to a first-class outcome instead of a clean-looking cell.
+    INVARIANT = "invariant-violation"
 
 
 @dataclass
@@ -99,10 +103,19 @@ class RunResult:
     elapsed: float = 0.0
     retries: int = 0
     integrity_failures: int = 0
+    invariant_violations: int = 0
 
     def to_payload(self) -> dict:
         data = self.__dict__.copy()
         data["outcome"] = self.outcome.value
+        return data
+
+    def stable_payload(self) -> dict:
+        """The payload minus wall-clock fields: two runs of the same cell
+        must agree byte-for-byte on this (the determinism tests and
+        ``tools/bench_trend.py`` compare supervised vs serial runs)."""
+        data = self.to_payload()
+        data.pop("elapsed", None)
         return data
 
     @classmethod
@@ -132,6 +145,30 @@ class CampaignConfig:
     max_retries: int = 2
     #: Escalation threshold forwarded to the AOS exception handler.
     max_violations: Optional[int] = 100
+    #: Audit every cell's simulator state through the invariant oracle;
+    #: silent cells with violated invariants become INVARIANT outcomes.
+    paranoid: bool = False
+    #: Run the (costlier) shadow-memory cross-check on ~1/N cells,
+    #: sampled deterministically (1 = every cell).
+    paranoid_shadow_sample: int = 1
+    #: Hang-injection seam for supervision tests/CI: cells matching any
+    #: ``"workload:mechanism:kind:location"`` pattern (``*`` wildcards
+    #: per field) sleep ``hang_s`` before running, simulating a wedged
+    #: worker the supervisor must detect and quarantine.
+    hang_cells: Sequence[str] = ()
+    hang_s: float = 30.0
+
+    def matches_hang(self, workload: str, mechanism: str, spec: FaultSpec) -> bool:
+        cell = (workload, mechanism, spec.kind.value, str(spec.location))
+        for pattern in self.hang_cells:
+            parts = pattern.split(":")
+            if len(parts) != 4:
+                raise FaultInjectionError(
+                    f"hang pattern {pattern!r} is not workload:mechanism:kind:location"
+                )
+            if all(p == "*" or p == c for p, c in zip(parts, cell)):
+                return True
+        return False
 
     @classmethod
     def quick(cls, **overrides) -> "CampaignConfig":
@@ -154,6 +191,14 @@ class CampaignResult:
 
     results: List[RunResult] = field(default_factory=list)
     resumed: int = 0
+    #: Cells the supervisor gave up on (each: workload/mechanism/kind/
+    #: location/reason).  They have *no* RunResult and never reach the
+    #: checkpointed result set or any cache.
+    quarantined: List[dict] = field(default_factory=list)
+    #: Quarantined cells skipped at resume time (subset of ``quarantined``).
+    skipped_quarantined: int = 0
+    #: The SupervisionReport of a supervised run, None for plain runs.
+    supervision: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -219,6 +264,25 @@ class CampaignResult:
             lines.append(
                 f"confirmed silent data corruption: {len(silent_corrupted)} cells"
             )
+        invariant = [r for r in self.results if r.outcome is RunOutcome.INVARIANT]
+        if invariant:
+            lines.append(
+                f"paranoid oracle promotions (silent -> invariant-violation): "
+                f"{len(invariant)} cells"
+            )
+        if self.quarantined:
+            lines.append(
+                f"quarantined cells: {len(self.quarantined)} "
+                f"({self.skipped_quarantined} skipped at resume)"
+            )
+            for cell in self.quarantined:
+                lines.append(
+                    f"  - {cell['workload']}/{cell['mechanism']}/"
+                    f"{cell['kind']}@{cell['location']}: {cell['reason']}"
+                )
+        if self.supervision is not None:
+            lines.append("")
+            lines.append(self.supervision.format())
         return "\n".join(lines)
 
 
@@ -241,6 +305,11 @@ def run_campaign_cell(
     seed = spec.seed
     retries = 0
     while True:
+        if config.matches_hang(workload, mechanism, spec):
+            # Injected hang: simulate a wedged worker.  Under supervision
+            # the parent's deadline fires and the worker is terminated
+            # mid-sleep; unsupervised serial runs simply stall here.
+            time.sleep(config.hang_s)
         deadline = Deadline(config.timeout_s)
         base = RunResult(
             workload=workload,
@@ -271,9 +340,35 @@ def run_campaign_cell(
             base.expect_detection = record.expect_detection
             base.integrity_failures = len(failures)
             base.elapsed = deadline.elapsed
+            violations = []
+            if config.paranoid:
+                from ..supervise.oracle import InvariantOracle
+
+                oracle = InvariantOracle(
+                    shadow_sample=config.paranoid_shadow_sample
+                )
+                violations = oracle.audit_harness(
+                    harness,
+                    sample_token=(
+                        f"{workload}:{mechanism}:{spec.kind.value}:{spec.location}"
+                    ),
+                )
+                base.invariant_violations = len(violations)
             if detections:
                 base.outcome = RunOutcome.DETECTED
                 base.detail = f"{record.description}; {detections} violation(s)"
+                if violations:
+                    base.detail += (
+                        f"; paranoid: {len(violations)} invariant violation(s)"
+                    )
+            elif violations:
+                # The mechanism saw nothing, but simulator state is wrong:
+                # silent corruption caught by the oracle, not a clean cell.
+                shown = "; ".join(str(v) for v in violations[:3])
+                if len(violations) > 3:
+                    shown += f"; +{len(violations) - 3} more"
+                base.outcome = RunOutcome.INVARIANT
+                base.detail = f"{record.description}; paranoid: {shown}"
             else:
                 base.outcome = RunOutcome.SILENT
                 note = (
@@ -359,6 +454,9 @@ class Campaign:
             "locations": config.locations,
             "seed": config.seed,
             "objects": config.objects,
+            # Paranoid runs classify cells differently (SILENT can become
+            # INVARIANT), so their checkpoints must not mix with plain ones.
+            "paranoid": config.paranoid,
         }
 
     # ------------------------------------------------------------- sweeping
@@ -377,10 +475,15 @@ class Campaign:
     def _cell_key(workload: str, mechanism: str, spec: FaultSpec) -> list:
         return ["cell", workload, mechanism, spec.kind.value, spec.location]
 
+    @staticmethod
+    def _quarantine_key(workload: str, mechanism: str, spec: FaultSpec) -> list:
+        return ["quarantine", workload, mechanism, spec.kind.value, spec.location]
+
     def run(
         self,
         progress: Optional[Callable[[RunResult, bool], None]] = None,
         jobs: int = 1,
+        supervise=None,
     ) -> CampaignResult:
         """Run (or resume) the full sweep; never lets a cell escape the
         outcome taxonomy.
@@ -389,7 +492,17 @@ class Campaign:
         each finished cell to the checkpoint as it lands (a killed parallel
         campaign therefore resumes just like a serial one); the result list
         is assembled in sweep order either way.
+
+        ``supervise`` (a :class:`~repro.supervise.SupervisorConfig`) runs
+        the pending cells under the supervision layer instead: hung or
+        crashing workers are retried with deterministic backoff, repeat
+        offenders are quarantined *in the checkpoint* (a resumed run skips
+        them), and execution degrades pool -> fresh-pool -> serial if
+        workers keep dying.  Results for surviving cells are identical to
+        a serial run.
         """
+        if supervise is not None:
+            return self._run_supervised(progress, jobs, supervise)
         if jobs > 1:
             return self._run_parallel(progress, jobs)
         outcome = CampaignResult()
@@ -439,8 +552,19 @@ class Campaign:
                 }
                 for future in as_completed(futures):
                     index = futures[future]
-                    result = future.result()
                     workload, mechanism, spec = cells[index]
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        # Surface *which* cell killed the worker: a bare
+                        # BrokenProcessPool names no cell, which makes a
+                        # reproduction hunt start from zero.
+                        raise FaultInjectionError(
+                            "parallel campaign worker died on cell "
+                            f"workload={workload} mechanism={mechanism} "
+                            f"kind={spec.kind.value} location={spec.location}: "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from exc
                     if self.checkpoint is not None:
                         self.checkpoint.put(
                             self._cell_key(workload, mechanism, spec),
@@ -450,6 +574,92 @@ class Campaign:
                     if progress is not None:
                         progress(result, False)
         outcome.results = [by_index[index] for index in range(len(cells))]
+        return outcome
+
+    def _run_supervised(
+        self,
+        progress: Optional[Callable[[RunResult, bool], None]],
+        jobs: int,
+        supervise,
+    ) -> CampaignResult:
+        import dataclasses as _dataclasses
+        import json as _json
+
+        from ..supervise import Supervisor
+
+        if supervise.jobs < 1:
+            supervise = _dataclasses.replace(supervise, jobs=max(1, jobs))
+        cells = list(self.cells())
+        outcome = CampaignResult()
+        by_index: Dict[int, RunResult] = {}
+        tasks = []
+        index_by_key: Dict[str, int] = {}
+        skipped_keys: List[str] = []
+        from ..supervise import Task
+
+        for index, (workload, mechanism, spec) in enumerate(cells):
+            key = self._cell_key(workload, mechanism, spec)
+            task_key = _json.dumps(key)
+            if self.checkpoint is not None and key in self.checkpoint:
+                result = RunResult.from_payload(self.checkpoint.get(key))
+                by_index[index] = result
+                outcome.resumed += 1
+                if progress is not None:
+                    progress(result, True)
+                continue
+            quarantine_key = self._quarantine_key(workload, mechanism, spec)
+            if self.checkpoint is not None and quarantine_key in self.checkpoint:
+                stored = self.checkpoint.get(quarantine_key) or {}
+                outcome.quarantined.append(
+                    {
+                        "workload": workload,
+                        "mechanism": mechanism,
+                        "kind": spec.kind.value,
+                        "location": spec.location,
+                        "reason": stored.get("reason", "quarantined"),
+                    }
+                )
+                outcome.skipped_quarantined += 1
+                skipped_keys.append(task_key)
+                continue
+            index_by_key[task_key] = index
+            tasks.append(
+                Task(key=task_key, payload=(self.config, workload, mechanism, spec))
+            )
+
+        def on_result(task_key: str, result: RunResult) -> None:
+            index = index_by_key[task_key]
+            workload, mechanism, spec = cells[index]
+            if self.checkpoint is not None:
+                self.checkpoint.put(
+                    self._cell_key(workload, mechanism, spec), result.to_payload()
+                )
+            by_index[index] = result
+            if progress is not None:
+                progress(result, False)
+
+        supervisor = Supervisor(supervise)
+        _, report = supervisor.run(_cell_worker, tasks, on_result=on_result)
+        report.skipped_quarantined.extend(skipped_keys)
+        for task_key, reason in report.quarantined.items():
+            index = index_by_key[task_key]
+            workload, mechanism, spec = cells[index]
+            if self.checkpoint is not None:
+                self.checkpoint.put(
+                    self._quarantine_key(workload, mechanism, spec),
+                    {"reason": reason},
+                )
+            outcome.quarantined.append(
+                {
+                    "workload": workload,
+                    "mechanism": mechanism,
+                    "kind": spec.kind.value,
+                    "location": spec.location,
+                    "reason": reason,
+                }
+            )
+        outcome.supervision = report
+        outcome.results = [by_index[index] for index in sorted(by_index)]
         return outcome
 
     # ------------------------------------------------------------ one cell

@@ -1,4 +1,4 @@
-"""Append-only JSONL checkpointing for long sweeps.
+"""Crash-atomic JSONL checkpointing for long sweeps.
 
 A :class:`CheckpointStore` persists one JSON record per completed cell of
 a sweep (campaign runs, ``ExperimentSuite`` simulation results) so an
@@ -12,11 +12,17 @@ fingerprint, each following line one completed cell::
     {"k": <json key>, "v": <json value>}
     {"k": <json key>, "v": <json value>}
 
-The store is deliberately append-only: a crash mid-write loses at most the
-last (partial) line, which :meth:`_load` skips, and every earlier cell
-survives.  A header mismatch (different instructions/seed/scale, different
-campaign shape) invalidates the file: resuming with stale results would
-silently mix incompatible measurements, which is worse than recomputing.
+Every :meth:`put` commits the *whole* store to a temp file and atomically
+``os.replace``\\ s it over the previous one, so a crash anywhere inside a
+write leaves the complete previous generation readable — never a torn
+file.  The rewrite is O(cells) per put, which is fine at checkpoint
+granularity (hundreds of multi-second cells; the serialization cost is
+noise next to one simulation).  :meth:`_load` additionally tolerates
+torn/garbage tails, so files appended by pre-atomic versions of this
+class still load.  A header mismatch (different instructions/seed/scale,
+different campaign shape) invalidates the file: resuming with stale
+results would silently mix incompatible measurements, which is worse
+than recomputing.
 """
 
 from __future__ import annotations
@@ -96,13 +102,34 @@ class CheckpointStore:
         self._resumed = len(cells)
 
     def _write_header(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "w") as fh:
-            fh.write(json.dumps({"meta": self.meta}) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
         self._cells = {}
         self._resumed = 0
+        self._commit()
+
+    def _commit(self) -> None:
+        """Atomically replace the file with the current in-memory state.
+
+        The temp file is written, flushed and fsynced in full before the
+        ``os.replace``, so readers (including a crashed-and-restarted
+        process) only ever observe a complete previous or complete new
+        generation.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"meta": self.meta}) + "\n")
+                for key, value in self._cells.values():
+                    fh.write(json.dumps({"k": key, "v": value}) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------ map  API
 
@@ -117,13 +144,23 @@ class CheckpointStore:
         return default if cell is None else cell[1]
 
     def put(self, key: Any, value: Any) -> None:
-        """Record one completed cell, durably (flushed before returning)."""
+        """Record one completed cell, durably and crash-atomically.
+
+        If the commit fails partway (disk full, kill -9 mid-write), the
+        on-disk file still holds the complete previous generation, and
+        the in-memory map is rolled back to match it.
+        """
         canon = _canonical(key)
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps({"k": key, "v": value}) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        previous = self._cells.get(canon)
         self._cells[canon] = (key, value)
+        try:
+            self._commit()
+        except BaseException:
+            if previous is None:
+                self._cells.pop(canon, None)
+            else:
+                self._cells[canon] = previous
+            raise
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         for key, value in self._cells.values():

@@ -1,6 +1,13 @@
-"""Reporting helpers: tables, geometric means, normalisation, coverage."""
+"""Reporting helpers: tables, geomeans, coverage, supervision taxonomy."""
 
 from .coverage import DetectionCoverage
 from .report import TableFormatter, geomean, normalize
+from .supervision import SupervisionSummary
 
-__all__ = ["DetectionCoverage", "TableFormatter", "geomean", "normalize"]
+__all__ = [
+    "DetectionCoverage",
+    "SupervisionSummary",
+    "TableFormatter",
+    "geomean",
+    "normalize",
+]

@@ -33,9 +33,14 @@ class TableFormatter:
         self.name_width = name_width
         self._rows: List[str] = []
 
+    def _width(self, column: str) -> int:
+        # A column never narrower than its own header (plus one space of
+        # separation), so long outcome names don't fuse with the neighbour.
+        return max(self.col_width, len(column) + 1)
+
     def header(self) -> str:
         head = f"{'':{self.name_width}s}" + "".join(
-            f"{c:>{self.col_width}s}" for c in self.columns
+            f"{c:>{self._width(c)}s}" for c in self.columns
         )
         return head + "\n" + "-" * len(head)
 
@@ -43,12 +48,13 @@ class TableFormatter:
         cells = []
         for column in self.columns:
             value = values.get(column)
+            width = self._width(column)
             if value is None:
-                cells.append(f"{'-':>{self.col_width}s}")
+                cells.append(f"{'-':>{width}s}")
             elif isinstance(value, float):
-                cells.append(f"{fmt.format(value):>{self.col_width}s}")
+                cells.append(f"{fmt.format(value):>{width}s}")
             else:
-                cells.append(f"{str(value):>{self.col_width}s}")
+                cells.append(f"{str(value):>{width}s}")
         self._rows.append(f"{name:{self.name_width}s}" + "".join(cells))
 
     def render(self) -> str:

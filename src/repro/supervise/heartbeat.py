@@ -1,0 +1,107 @@
+"""Filesystem heartbeat board shared between supervisor and pool workers.
+
+``ProcessPoolExecutor`` gives the parent no view of *which* submitted task
+a worker is currently executing, so hang detection needs a side channel.
+Each worker wrapper stamps ``<board>/<task digest>.start`` when it picks a
+task up and refreshes ``.beat`` from a daemon thread while the task runs;
+the parent polls those files to distinguish "queued behind a busy pool"
+(no start stamp — not charged against the deadline) from "started and
+silent for too long" (hung or dead).
+
+Files carry ``time.time()`` as text.  Board and workers always share a
+host (process pools are per-machine), so comparing those stamps against
+the parent's clock is sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+
+def _digest(key: str) -> str:
+    return hashlib.sha256(key.encode()).hexdigest()[:24]
+
+
+class HeartbeatBoard:
+    """One directory of start/beat stamps, keyed by task key digest."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ worker side
+
+    def _stamp(self, key: str, suffix: str) -> None:
+        path = self.root / f"{_digest(key)}.{suffix}"
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(repr(time.time()))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a lost beat only makes the parent *more* suspicious
+
+    def start_task(self, key: str) -> None:
+        self._stamp(key, "start")
+        self._stamp(key, "beat")
+
+    def beat(self, key: str) -> None:
+        self._stamp(key, "beat")
+
+    def finish_task(self, key: str) -> None:
+        for suffix in ("start", "beat"):
+            try:
+                (self.root / f"{_digest(key)}.{suffix}").unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ parent side
+
+    def _read(self, key: str, suffix: str) -> Optional[float]:
+        path = self.root / f"{_digest(key)}.{suffix}"
+        try:
+            return float(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def started_at(self, key: str) -> Optional[float]:
+        """Wall-clock time the task was picked up, or None if still queued."""
+        return self._read(key, "start")
+
+    def last_beat(self, key: str) -> Optional[float]:
+        return self._read(key, "beat")
+
+    def clear(self, key: str) -> None:
+        self.finish_task(key)
+
+
+def beat_forever(
+    board: HeartbeatBoard, key: str, interval_s: float, stop: threading.Event
+) -> None:
+    """Daemon-thread body refreshing ``key``'s beat until ``stop`` is set."""
+    while not stop.wait(interval_s):
+        board.beat(key)
+
+
+def start_beat_thread(
+    board: HeartbeatBoard, key: str, interval_s: float
+) -> threading.Event:
+    """Stamp ``key`` as started and refresh its beat from a daemon thread.
+
+    Returns the stop event; the caller sets it (and calls
+    :meth:`HeartbeatBoard.finish_task`) when the task body returns.
+    """
+    board.start_task(key)
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=beat_forever,
+        args=(board, key, interval_s, stop),
+        name=f"heartbeat:{_digest(key)[:8]}",
+        daemon=True,
+    )
+    thread.start()
+    return stop

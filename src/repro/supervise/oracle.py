@@ -1,0 +1,299 @@
+"""The ``--paranoid`` invariant oracle: cross-check simulator state.
+
+The campaign taxonomy classifies what the *mechanism* reported; it cannot
+see simulator state that is silently wrong (the exact failure class the
+paper's MCU/HBT machinery exists to catch in hardware, §IV).  This oracle
+audits that state directly after a cell:
+
+- **MCQ terminal** — every entry left in the memory check queue must be
+  in a terminal FSM state (``DONE``/``FAIL``, Fig. 8); an in-flight entry
+  after quiescence means a lost FSM transition.
+- **HBT occupancy == live allocations** — each live chunk owns exactly
+  one bounds record (§IV-A ``bndstr``/``bndclr`` pairing), so the record
+  count must match the allocator's live count, cross-checked against the
+  chunk registry itself.
+- **HBT well-formedness** — no record may decode to inverted raw bounds,
+  and a non-resizing table must not report a stalled migration.
+- **BWB hints consistent with HBT geometry** — way hints are performance
+  hints (§V-C) but must still point below the current associativity.
+- **Signed-pointer round-trip** — every live tracked pointer re-encodes
+  to itself from its decoded (address, PAC, AHC) fields, carries the AHC
+  Algorithm 1 computes for its (base, size), and is covered by a bounds
+  record in the HBT.
+- **Shadow cross-check** — a (deterministically sampled) subset of cells
+  additionally mirrors the live set into the Watchdog-style
+  :class:`~repro.memory.shadow.ShadowMemory` and verifies each HBT record
+  against the shadow bounds, catching silently widened/narrowed records.
+
+Violations are plain records; callers decide whether to fold them into a
+campaign outcome (:attr:`~repro.faults.campaign.RunOutcome.INVARIANT`) or
+raise :class:`~repro.errors.InvariantViolation` (the experiment-engine
+path does, via :meth:`InvariantOracle.inspector`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ..core.ahc import compute_ahc
+from ..core.bounds import RawBounds
+from ..core.mcq import MCQState
+from ..errors import InvariantViolation
+
+if TYPE_CHECKING:
+    from ..core.hbt import HashedBoundsTable
+    from ..core.mcu import MemoryCheckUnit
+    from ..faults.injector import FaultHarness
+
+#: Terminal Fig. 8 FSM states.
+_TERMINAL = (MCQState.DONE, MCQState.FAIL)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+class InvariantOracle:
+    """Paranoid state auditor for harnesses and simulation runs.
+
+    ``shadow_sample=N`` runs the (more expensive) shadow-memory
+    cross-check on roughly one in N cells, selected by a deterministic
+    hash of the cell's sample token so the same cells are sampled on
+    every rerun.  The structural checks always run.
+    """
+
+    def __init__(self, shadow_sample: int = 1) -> None:
+        self.shadow_sample = max(1, int(shadow_sample))
+
+    # -------------------------------------------------------------- sampling
+
+    def samples_shadow(self, token: str) -> bool:
+        if self.shadow_sample <= 1:
+            return True
+        digest = hashlib.sha256(token.encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.shadow_sample == 0
+
+    # ------------------------------------------------------------ components
+
+    def check_mcq(self, mcu: "MemoryCheckUnit") -> List[Violation]:
+        violations = []
+        for entry in mcu.mcq:
+            if entry.state not in _TERMINAL:
+                violations.append(
+                    Violation(
+                        "mcq-terminal",
+                        f"MCQ entry for {entry.address:#x} stuck in "
+                        f"{entry.state.name} after quiescence",
+                    )
+                )
+        return violations
+
+    def check_hbt(self, hbt: "HashedBoundsTable") -> List[Violation]:
+        violations = []
+        for pac, way, slot in hbt.live_slots():
+            record = hbt.peek(pac, way, slot)
+            if isinstance(record, RawBounds) and record.lower > record.upper:
+                violations.append(
+                    Violation(
+                        "hbt-record",
+                        f"inverted raw bounds [{record.lower:#x}, "
+                        f"{record.upper:#x}) at ({pac:#x}, {way}, {slot})",
+                    )
+                )
+        if hbt.migration_stalled and not hbt.resizing:
+            violations.append(
+                Violation(
+                    "hbt-resize",
+                    "migration reported stalled with no resize in flight",
+                )
+            )
+        return violations
+
+    def check_bwb(self, mcu: "MemoryCheckUnit") -> List[Violation]:
+        bwb = mcu.bwb
+        if bwb is None:
+            return []
+        violations = []
+        for tag in bwb.tags():
+            # peek(), not lookup(): the audit must not perturb the BWB hit
+            # statistics or LRU order it is inspecting.
+            way = bwb.peek(tag)
+            if way is not None and way >= mcu.hbt.ways:
+                violations.append(
+                    Violation(
+                        "bwb-way",
+                        f"BWB hint for tag {tag:#x} points at way {way} "
+                        f"beyond associativity {mcu.hbt.ways}",
+                    )
+                )
+        return violations
+
+    def check_occupancy(self, harness: "FaultHarness") -> List[Violation]:
+        active = harness.allocator.stats.active
+        chunks = len(harness.allocator.live_chunks())
+        records = harness.hbt.total_records()
+        violations = []
+        if active != chunks:
+            violations.append(
+                Violation(
+                    "allocator-consistency",
+                    f"allocator counts {active} active but registry holds "
+                    f"{chunks} live chunks",
+                )
+            )
+        if records != active:
+            violations.append(
+                Violation(
+                    "hbt-occupancy",
+                    f"HBT holds {records} bounds records for {active} live "
+                    "allocations (bndstr/bndclr pairing broken)",
+                )
+            )
+        return violations
+
+    def check_pointers(self, harness: "FaultHarness") -> List[Violation]:
+        layout = harness.layout
+        violations = []
+        for obj in harness.objects:
+            if obj.freed:
+                continue
+            decoded = layout.decode(obj.pointer)
+            if decoded.ahc == 0:
+                violations.append(
+                    Violation(
+                        "pointer-ahc",
+                        f"live pointer {obj.pointer:#x} lost its AHC "
+                        "(looks unsigned to selective checking)",
+                    )
+                )
+                continue
+            expected_ahc = compute_ahc(
+                decoded.address, max(1, obj.size), layout.va_bits
+            )
+            if decoded.ahc != expected_ahc:
+                violations.append(
+                    Violation(
+                        "pointer-ahc",
+                        f"pointer {obj.pointer:#x} carries AHC {decoded.ahc}, "
+                        f"Algorithm 1 derives {expected_ahc} for "
+                        f"({decoded.address:#x}, {obj.size})",
+                    )
+                )
+            resigned = layout.sign(decoded.address, decoded.pac, decoded.ahc)
+            if resigned != obj.pointer:
+                violations.append(
+                    Violation(
+                        "pointer-roundtrip",
+                        f"pointer {obj.pointer:#x} does not re-encode from "
+                        f"its own fields (got {resigned:#x})",
+                    )
+                )
+            if harness.hbt.find_record(decoded.pac, decoded.address) is None:
+                violations.append(
+                    Violation(
+                        "pointer-bounds",
+                        f"no HBT record covers live pointer {obj.pointer:#x} "
+                        f"(pac {decoded.pac:#x}, addr {decoded.address:#x})",
+                    )
+                )
+        return violations
+
+    def check_shadow(self, harness: "FaultHarness") -> List[Violation]:
+        """Mirror the live set into shadow memory, then verify each HBT
+        record against the shadow bounds (in the HBT's comparable address
+        space, which truncates to 33 bits under compression)."""
+        from ..memory.memory import SparseMemory
+        from ..memory.shadow import ShadowMemory, ShadowRecord
+
+        shadow = ShadowMemory(SparseMemory())
+        hbt = harness.hbt
+        layout = harness.layout
+        violations = []
+        live = [obj for obj in harness.objects if not obj.freed]
+        for obj in live:
+            shadow.store(
+                obj.address,
+                ShadowRecord(
+                    key=obj.pattern,
+                    lock_address=0,
+                    lower=obj.address,
+                    upper=obj.address + obj.size,
+                ),
+            )
+        for obj in live:
+            record, _ = shadow.load(obj.address)
+            if record is None:
+                continue  # collision at shadow granularity: not HBT's fault
+            decoded = layout.decode(obj.pointer)
+            coords = hbt.find_record(decoded.pac, decoded.address)
+            if coords is None:
+                continue  # already reported by check_pointers
+            bounds = hbt.peek(decoded.pac, *coords)
+            expected_lower = hbt._comparable_lower(record.lower)
+            expected_size = record.upper - record.lower
+            # ``bndstr`` records the exact (16-aligned base, requested
+            # size) pair (§IV-A), so both fields must match the shadow.
+            if (
+                bounds.lower != expected_lower
+                or bounds.upper - bounds.lower != expected_size
+            ):
+                violations.append(
+                    Violation(
+                        "shadow-bounds",
+                        f"HBT record for object @{obj.address:#x} covers "
+                        f"[{bounds.lower:#x}, {bounds.upper:#x}) but shadow "
+                        f"oracle says [{record.lower:#x}, {record.upper:#x})",
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------- frontends
+
+    def audit_harness(
+        self, harness: "FaultHarness", sample_token: str = ""
+    ) -> List[Violation]:
+        """Full audit of a campaign harness after its probe completed."""
+        violations = []
+        violations += self.check_mcq(harness.mcu)
+        violations += self.check_hbt(harness.hbt)
+        violations += self.check_bwb(harness.mcu)
+        violations += self.check_occupancy(harness)
+        violations += self.check_pointers(harness)
+        if self.samples_shadow(sample_token):
+            violations += self.check_shadow(harness)
+        return violations
+
+    def audit_simulation(
+        self, mcu: Optional["MemoryCheckUnit"], hbt: Optional["HashedBoundsTable"]
+    ) -> List[Violation]:
+        """Structural audit after a timing-simulator run (no harness)."""
+        violations = []
+        if mcu is not None:
+            violations += self.check_mcq(mcu)
+            violations += self.check_bwb(mcu)
+        if hbt is not None:
+            violations += self.check_hbt(hbt)
+        return violations
+
+    def inspector(self, label: str):
+        """A :meth:`Simulator.run` ``inspect`` hook raising on violations."""
+
+        def _inspect(mcu, hbt) -> None:
+            violations = self.audit_simulation(mcu, hbt)
+            if violations:
+                raise InvariantViolation(
+                    f"{label}: {len(violations)} invariant violation(s): "
+                    + "; ".join(str(v) for v in violations),
+                    violations,
+                )
+
+        return _inspect

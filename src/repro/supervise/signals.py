@@ -1,0 +1,46 @@
+"""Graceful SIGINT/SIGTERM handling for long-running CLI commands.
+
+``python -m repro faultinject``/``all`` can run for minutes; killing them
+used to print a bare ``KeyboardInterrupt`` traceback (or, under SIGTERM,
+nothing at all) even though every completed cell was already durable in
+the checkpoint/artifact cache.  :func:`trap_signals` converts SIGTERM
+into the same :class:`KeyboardInterrupt` control flow SIGINT produces, so
+one ``except KeyboardInterrupt`` in the CLI can flush state and print a
+resume hint for both.
+
+Installation is best-effort: outside the main thread (or on platforms
+without the signals) the context manager is a no-op, which is safe —
+the default behaviour is simply unchanged there.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+from typing import Iterator
+
+
+def _raise_keyboard_interrupt(signum, frame) -> None:
+    raise KeyboardInterrupt(f"signal {signum}")
+
+
+@contextlib.contextmanager
+def trap_signals() -> Iterator[None]:
+    """Route SIGTERM through ``KeyboardInterrupt``; restore on exit."""
+    previous = {}
+    for name in ("SIGTERM",):
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, _raise_keyboard_interrupt)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported: leave defaults
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass

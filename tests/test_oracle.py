@@ -1,0 +1,190 @@
+"""Paranoid invariant-oracle tests.
+
+The oracle's contract: a clean harness or simulation audits clean, and
+each seeded corruption class trips the matching invariant — turning a
+silent escape into a first-class ``InvariantViolation`` when the campaign
+runs with ``paranoid=True``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.experiments import CellSpec, RunSettings, simulate_cell
+from repro.faults import (
+    CampaignConfig,
+    Deadline,
+    FaultHarness,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    RunOutcome,
+    run_campaign_cell,
+)
+from repro.supervise import InvariantOracle, Violation
+
+HARNESS_KW = dict(workload="gcc", seed=11, objects=10)
+
+
+def make_harness(**overrides):
+    kwargs = dict(HARNESS_KW)
+    kwargs.update(overrides)
+    harness = FaultHarness(**kwargs)
+    harness.populate()
+    return harness
+
+
+def inject(harness, kind, location=0, seed=11):
+    return FaultInjector().inject(
+        harness, FaultSpec(kind=kind, location=location, seed=seed)
+    )
+
+
+def violated(violations, invariant):
+    return [v for v in violations if v.invariant == invariant]
+
+
+class TestCleanAudits:
+    def test_clean_harness_has_no_violations(self):
+        harness = make_harness()
+        harness.probe(deadline=Deadline(None), churn=2)
+        oracle = InvariantOracle(shadow_sample=1)
+        assert oracle.audit_harness(harness) == []
+
+    def test_clean_pa_aos_harness_has_no_violations(self):
+        harness = make_harness(mechanism="pa+aos")
+        harness.probe(deadline=Deadline(None), churn=2)
+        assert InvariantOracle(shadow_sample=1).audit_harness(harness) == []
+
+    def test_shadow_sampling_is_deterministic(self):
+        oracle = InvariantOracle(shadow_sample=4)
+        tokens = [f"cell-{i}" for i in range(64)]
+        first = [oracle.samples_shadow(t) for t in tokens]
+        assert first == [oracle.samples_shadow(t) for t in tokens]
+        assert any(first) and not all(first)  # a sample, not all-or-nothing
+
+    def test_shadow_sample_one_checks_everything(self):
+        oracle = InvariantOracle(shadow_sample=1)
+        assert all(oracle.samples_shadow(f"cell-{i}") for i in range(16))
+
+
+class TestSeededCorruption:
+    def test_hbt_drop_trips_occupancy_and_pointer_bounds(self):
+        harness = make_harness()
+        inject(harness, FaultKind.HBT_ENTRY_DROP)
+        violations = InvariantOracle().audit_harness(harness)
+        assert violated(violations, "hbt-occupancy")
+        assert violated(violations, "pointer-bounds")
+
+    def test_ahc_zero_trips_pointer_ahc(self):
+        harness = make_harness()
+        inject(harness, FaultKind.PTR_AHC_ZERO)
+        violations = InvariantOracle().audit_harness(harness)
+        assert violated(violations, "pointer-ahc")
+
+    def test_violation_formats_with_invariant_name(self):
+        violation = Violation("pointer-ahc", "live pointer lost its AHC")
+        assert "pointer-ahc" in str(violation)
+
+    def test_bwb_hint_beyond_associativity_trips_bwb_way(self):
+        harness = make_harness()
+        harness.mcu.bwb.update(0x123, harness.hbt.ways + 3)
+        violations = InvariantOracle().check_bwb(harness.mcu)
+        assert violated(violations, "bwb-way")
+
+    def test_inspector_raises_on_corruption(self):
+        harness = make_harness()
+        # Seed a structurally-impossible way hint: beyond associativity.
+        harness.mcu.bwb.update(0x123, harness.hbt.ways + 3)
+        inspect = InvariantOracle().inspector("gcc/test-cell")
+        with pytest.raises(InvariantViolation) as excinfo:
+            inspect(harness.mcu, harness.hbt)
+        assert excinfo.value.violations
+        assert "gcc/test-cell" in str(excinfo.value)
+
+    def test_inspector_passes_clean_state(self):
+        harness = make_harness()
+        inspect = InvariantOracle().inspector("gcc/clean")
+        inspect(harness.mcu, harness.hbt)  # must not raise
+
+    def test_inspector_tolerates_unprotected_mechanisms(self):
+        # Unprotected simulator configs have no MCU/HBT to audit.
+        InvariantOracle().inspector("baseline/cell")(None, None)
+
+
+class TestParanoidCampaign:
+    def _config(self, **overrides):
+        defaults = dict(
+            workloads=("gcc",), mechanisms=("aos",), objects=8, churn=2, seed=3
+        )
+        defaults.update(overrides)
+        return CampaignConfig(**defaults)
+
+    def test_ahc_zero_promoted_from_silent_to_invariant(self):
+        """Acceptance: the §VII-C escape is SILENT under plain AOS, but
+        ``--paranoid`` catches the zeroed AHC as an invariant violation."""
+        spec = FaultSpec(kind=FaultKind.PTR_AHC_ZERO, location=0, seed=11)
+        plain = run_campaign_cell(self._config(), "gcc", "aos", spec)
+        assert plain.outcome is RunOutcome.SILENT
+        assert plain.invariant_violations == 0
+
+        paranoid = run_campaign_cell(
+            self._config(paranoid=True), "gcc", "aos", spec
+        )
+        assert paranoid.outcome is RunOutcome.INVARIANT
+        assert paranoid.invariant_violations >= 1
+        assert "pointer-ahc" in paranoid.detail
+
+    def test_detected_cell_stays_detected_under_paranoid(self):
+        spec = FaultSpec(kind=FaultKind.PTR_PAC_FLIP, location=0, seed=11)
+        result = run_campaign_cell(self._config(paranoid=True), "gcc", "aos", spec)
+        assert result.outcome is RunOutcome.DETECTED
+
+    def test_hbt_corruption_audited_under_paranoid(self):
+        """Acceptance: a seeded HBT-corruption fault registers oracle
+        violations (the detection verdict itself is unchanged)."""
+        spec = FaultSpec(kind=FaultKind.HBT_ENTRY_DROP, location=0, seed=11)
+        result = run_campaign_cell(self._config(paranoid=True), "gcc", "aos", spec)
+        assert result.invariant_violations >= 1
+
+    def test_paranoid_meta_separates_checkpoints(self):
+        from repro.faults import Campaign
+
+        plain = Campaign(self._config())
+        paranoid = Campaign(self._config(paranoid=True))
+        assert plain._meta() != paranoid._meta()
+
+    def test_stable_payload_drops_elapsed_only(self):
+        spec = FaultSpec(kind=FaultKind.PTR_PAC_FLIP, location=0, seed=11)
+        result = run_campaign_cell(self._config(), "gcc", "aos", spec)
+        payload = result.to_payload()
+        stable = result.stable_payload()
+        payload.pop("elapsed")
+        assert stable == payload
+
+
+class TestParanoidSimulation:
+    SETTINGS = RunSettings(instructions=3000, seed=7, scale=8)
+
+    def test_paranoid_run_matches_plain_payload(self):
+        cell = CellSpec("gcc", "aos")
+        plain = simulate_cell(self.SETTINGS, cell)
+        paranoid = simulate_cell(self.SETTINGS, cell, paranoid=True)
+        assert dataclasses.asdict(paranoid) == dataclasses.asdict(plain)
+
+    def test_paranoid_clean_for_unprotected_mechanism(self):
+        cell = CellSpec("gcc", "baseline")
+        paranoid = simulate_cell(self.SETTINGS, cell, paranoid=True)
+        plain = simulate_cell(self.SETTINGS, cell)
+        assert dataclasses.asdict(paranoid) == dataclasses.asdict(plain)
+
+
+class TestInvariantViolationError:
+    def test_carries_violations_and_pickles(self):
+        import pickle
+
+        err = InvariantViolation("cell X: 2 violations", ["a", "b"])
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.violations == ["a", "b"]
+        assert str(clone) == str(err)

@@ -1,0 +1,517 @@
+"""Supervised execution layer tests.
+
+Covers the PR-level guarantees: deterministic retry backoff, hang
+detection + quarantine, the pool -> fresh-pool -> serial degradation
+ladder, crash-atomic checkpoint writes, campaign integration (quarantine
+persisted and skipped at resume, non-quarantined results byte-identical
+to a fault-free serial run), worker-exception surfacing, and the
+SIGTERM/SIGINT flush path.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import CheckpointError, FaultInjectionError, SupervisionError
+from repro.faults import (
+    Campaign,
+    CampaignConfig,
+    CheckpointStore,
+    FaultKind,
+    FaultSpec,
+)
+from repro.stats import SupervisionSummary
+from repro.supervise import (
+    ExecutionLevel,
+    HeartbeatBoard,
+    LADDER,
+    RetryPolicy,
+    SupervisionReport,
+    Supervisor,
+    SupervisorConfig,
+    Task,
+    trap_signals,
+)
+from repro.supervise.heartbeat import start_beat_thread
+
+# ----------------------------------------------------------- module workers
+# Pool/fresh-pool workers must be module-level so they pickle by reference.
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _raise(payload):
+    raise ValueError(f"boom on {payload!r}")
+
+
+def _sleep_forever(payload):
+    if payload == "hang":
+        time.sleep(120)
+    return payload
+
+
+def _crash_once(sentinel):
+    """Hard-crash the first time, succeed once the sentinel file exists."""
+    if os.path.exists(sentinel):
+        return "recovered"
+    with open(sentinel, "w") as fh:
+        fh.write("seen")
+    os._exit(3)
+
+
+def _ok_only_in_parent(parent_pid):
+    """Succeeds in-process, hard-crashes any worker subprocess."""
+    if os.getpid() != parent_pid:
+        os._exit(3)
+    return "serial-ok"
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        jobs=2,
+        deadline_s=2.0,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=10.0,
+        poll_interval_s=0.02,
+        retry=RetryPolicy(max_retries=1, backoff_base_s=0.01, backoff_cap_s=0.05),
+        strikes_per_level=2,
+    )
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+# ------------------------------------------------------------- retry policy
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay("cell-a", 1) == policy.delay("cell-a", 1)
+
+    def test_delay_varies_by_key_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay("cell-a", 1) != policy.delay("cell-b", 1)
+        assert policy.delay("cell-a", 1) != policy.delay("cell-a", 2)
+
+    def test_delay_respects_cap_and_jitter_band(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_cap_s=0.4, jitter=0.25
+        )
+        for attempt in range(1, 8):
+            raw = min(0.1 * 2.0 ** (attempt - 1), 0.4)
+            delay = policy.delay("k", attempt)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_different_seeds_differ(self):
+        assert RetryPolicy(seed=1).delay("k", 1) != RetryPolicy(seed=2).delay("k", 1)
+
+    def test_max_attempts(self):
+        assert RetryPolicy(max_retries=2).max_attempts == 3
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(SupervisionError):
+            RetryPolicy(max_retries=-1).delay("k", 1)
+        with pytest.raises(SupervisionError):
+            SupervisorConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(SupervisionError):
+            SupervisorConfig(deadline_s=0.0)
+        # jobs < 1 is legal: it means "decided by the caller at run time".
+        assert SupervisorConfig(jobs=0).effective_jobs(fallback=4) == 4
+
+
+# ---------------------------------------------------------------- heartbeat
+
+
+class TestHeartbeat:
+    def test_start_beat_finish_roundtrip(self, tmp_path):
+        board = HeartbeatBoard(tmp_path)
+        assert board.started_at("k") is None
+        board.start_task("k")
+        board.beat("k")
+        assert board.started_at("k") is not None
+        assert board.last_beat("k") is not None
+        board.finish_task("k")
+        assert board.started_at("k") is None
+        assert board.last_beat("k") is None
+
+    def test_beat_thread_stops(self, tmp_path):
+        board = HeartbeatBoard(tmp_path)
+        stop = start_beat_thread(board, "k", 0.01)
+        time.sleep(0.05)
+        assert board.last_beat("k") is not None
+        stop.set()
+        time.sleep(0.05)
+        last = board.last_beat("k")
+        time.sleep(0.05)
+        assert board.last_beat("k") == last  # no more beats after stop
+
+
+# --------------------------------------------------------------- supervisor
+
+
+class TestSupervisorLevels:
+    def test_pool_runs_all_tasks(self):
+        tasks = [Task(key=f"t{i}", payload=i) for i in range(6)]
+        results, report = Supervisor(_fast_config()).run(_double, tasks)
+        assert results == {f"t{i}": i * 2 for i in range(6)}
+        assert report.quarantined == {}
+        assert report.final_level == ExecutionLevel.POOL.value
+        assert report.accounts_for([t.key for t in tasks])
+
+    def test_serial_level_retries_then_quarantines(self):
+        config = _fast_config(start_level=ExecutionLevel.SERIAL)
+        results, report = Supervisor(config).run(_raise, [Task(key="bad", payload=0)])
+        assert results == {}
+        assert "bad" in report.quarantined
+        assert "ValueError" in report.quarantined["bad"]
+        # max_retries=1 -> exactly two attempts, both recorded.
+        assert [a.attempt for a in report.attempts] == [1, 2]
+        assert all(a.outcome == "error" for a in report.attempts)
+        assert report.accounts_for(["bad"])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SupervisionError):
+            Supervisor(_fast_config()).run(
+                _double, [Task(key="same", payload=1), Task(key="same", payload=2)]
+            )
+
+    def test_hang_detected_retried_quarantined(self):
+        """Satellite: a sleeping worker is detected, retried, quarantined —
+        and the bystander cells still complete."""
+        config = _fast_config(deadline_s=0.6)
+        tasks = [
+            Task(key="ok1", payload="a"),
+            Task(key="hangs", payload="hang"),
+            Task(key="ok2", payload="b"),
+        ]
+        results, report = Supervisor(config).run(_sleep_forever, tasks)
+        assert results == {"ok1": "a", "ok2": "b"}
+        assert "hangs" in report.quarantined
+        assert "hang" in report.quarantined["hangs"]
+        hang_attempts = [a for a in report.attempts if a.key == "hangs"]
+        assert [a.attempt for a in hang_attempts] == [1, 2]
+        assert all(a.outcome == "hang" for a in hang_attempts)
+        assert report.accounts_for([t.key for t in tasks])
+
+    def test_crash_retried_then_succeeds(self, tmp_path):
+        """A worker that dies hard once recovers on retry."""
+        sentinel = str(tmp_path / "crashed-once")
+        config = _fast_config(jobs=1, retry=RetryPolicy(max_retries=3,
+                                                        backoff_base_s=0.01))
+        results, report = Supervisor(config).run(
+            _crash_once, [Task(key="flaky", payload=sentinel)]
+        )
+        assert results == {"flaky": "recovered"}
+        outcomes = [a.outcome for a in report.attempts if a.key == "flaky"]
+        assert outcomes[-1] == "ok"
+        assert "crash" in outcomes
+
+    def test_degrades_down_ladder_to_serial(self):
+        """A task every subprocess dies on only completes in-process, two
+        rungs down the ladder — and both fallbacks are recorded."""
+        config = _fast_config(
+            jobs=1,
+            strikes_per_level=1,
+            retry=RetryPolicy(max_retries=4, backoff_base_s=0.01),
+        )
+        results, report = Supervisor(config).run(
+            _ok_only_in_parent, [Task(key="picky", payload=os.getpid())]
+        )
+        assert results == {"picky": "serial-ok"}
+        assert report.final_level == ExecutionLevel.SERIAL.value
+        assert len(report.fallbacks) == 2
+        levels = [a.level for a in report.attempts if a.outcome == "ok"]
+        assert levels == [ExecutionLevel.SERIAL.value]
+
+    def test_on_result_streams_successes(self):
+        seen = []
+        config = _fast_config(jobs=1)
+        Supervisor(config).run(
+            _double,
+            [Task(key="a", payload=1), Task(key="b", payload=2)],
+            on_result=lambda key, value: seen.append((key, value)),
+        )
+        assert sorted(seen) == [("a", 2), ("b", 4)]
+
+
+class TestSupervisionReport:
+    def test_payload_roundtrip_shape(self):
+        config = _fast_config(start_level=ExecutionLevel.SERIAL)
+        _, report = Supervisor(config).run(_double, [Task(key="a", payload=1)])
+        payload = report.to_payload()
+        assert payload["attempts"][0]["key"] == "a"
+        assert payload["final_level"] == "serial"
+        assert json.dumps(payload)  # JSON-able for checkpoints
+
+    def test_accounts_for_missing_key(self):
+        report = SupervisionReport()
+        assert not report.accounts_for(["never-ran"])
+
+    def test_format_mentions_quarantine(self):
+        config = _fast_config(start_level=ExecutionLevel.SERIAL)
+        _, report = Supervisor(config).run(_raise, [Task(key="bad", payload=0)])
+        text = report.format()
+        assert "quarantined: bad" in text
+
+
+class TestSupervisionSummary:
+    def test_taxonomy_classification(self):
+        report = SupervisionReport(final_level="serial")
+        from repro.supervise import AttemptRecord
+
+        report.attempts = [
+            AttemptRecord("clean", 1, "pool", "ok"),
+            AttemptRecord("retried", 1, "pool", "error"),
+            AttemptRecord("retried", 2, "pool", "ok"),
+            AttemptRecord("degraded", 1, "pool", "hang"),
+            AttemptRecord("degraded", 2, "serial", "ok"),
+            AttemptRecord("dead", 1, "pool", "crash"),
+        ]
+        report.quarantined = {"dead": "crash on attempt 1"}
+        report.skipped_quarantined = ["old-poison"]
+        summary = SupervisionSummary.from_report(report)
+        assert summary.per_task == {
+            "clean": "clean",
+            "retried": "retried",
+            "degraded": "degraded",
+            "dead": "quarantined",
+            "old-poison": "skipped",
+        }
+        counts = summary.counts()
+        assert counts == {
+            "clean": 1, "retried": 1, "degraded": 1, "quarantined": 1, "skipped": 1,
+        }
+        assert summary.by_level["pool"]["ok"] == 2
+        text = summary.format()
+        assert "quarantined: 1" in text and "pool" in text
+
+
+# --------------------------------------------------- crash-atomic checkpoint
+
+
+class TestCheckpointAtomicity:
+    def test_failed_replace_leaves_previous_generation(self, tmp_path, monkeypatch):
+        """Satellite: a crash mid-commit must leave the previous complete
+        file on disk and roll the in-memory map back to match it."""
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, meta={"v": 1})
+        store.put(["a"], {"n": 1})
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk detached mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.put(["b"], {"n": 2})
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        # In-memory state rolled back; on-disk file is the old generation.
+        assert ["b"] not in store
+        assert store.get(["a"]) == {"n": 1}
+        reopened = CheckpointStore(path, meta={"v": 1})
+        assert reopened.get(["a"]) == {"n": 1}
+        assert len(reopened) == 1
+
+    def test_failed_overwrite_rolls_back_to_previous_value(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, meta={})
+        store.put(["a"], {"n": 1})
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("full"))
+        )
+        with pytest.raises(OSError):
+            store.put(["a"], {"n": 2})
+        assert store.get(["a"]) == {"n": 1}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, meta={})
+        store.put(["a"], 1)
+        store.put(["b"], 2)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "ck.jsonl"]
+        assert leftovers == []
+
+    def test_interrupted_legacy_append_still_loads(self, tmp_path):
+        """Files torn by the old append-only writer must still open."""
+        path = tmp_path / "ck.jsonl"
+        store = CheckpointStore(path, meta={"v": 1})
+        store.put(["a"], {"n": 1})
+        with open(path, "a") as fh:
+            fh.write('{"k": ["b"], "v": {"n"')  # torn tail, no newline
+        reopened = CheckpointStore(path, meta={"v": 1})
+        assert reopened.get(["a"]) == {"n": 1}
+        assert ["b"] not in reopened
+
+    def test_header_mismatch_error_policy_unchanged(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointStore(path, meta={"v": 1}).put(["a"], 1)
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path, meta={"v": 2}, on_mismatch="error")
+
+
+# ------------------------------------------------------ campaign integration
+
+
+def _tiny_campaign_config(**overrides):
+    defaults = dict(
+        workloads=("gcc",),
+        mechanisms=("aos",),
+        kinds=(FaultKind.PTR_PAC_FLIP, FaultKind.USE_AFTER_FREE),
+        locations=1,
+        objects=8,
+        churn=2,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def _tiny_supervise(**overrides):
+    defaults = dict(
+        jobs=2,
+        deadline_s=1.5,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=10.0,
+        poll_interval_s=0.02,
+        retry=RetryPolicy(max_retries=1, backoff_base_s=0.01),
+    )
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+def _boom_cell(args):
+    raise RuntimeError("simulated dead worker")
+
+
+class TestSupervisedCampaign:
+    def test_hang_quarantined_and_resume_skips(self, tmp_path):
+        """Satellite: injected hang -> detected -> retried -> quarantined;
+        a resumed run skips the poison cell without re-running it."""
+        config = _tiny_campaign_config(
+            hang_cells=("gcc:aos:ptr-pac-flip:0",), hang_s=60.0
+        )
+        ck = tmp_path / "ck.jsonl"
+        outcome = Campaign(config, checkpoint=ck).run(
+            jobs=2, supervise=_tiny_supervise()
+        )
+        assert len(outcome.quarantined) == 1
+        cell = outcome.quarantined[0]
+        assert (cell["workload"], cell["kind"]) == ("gcc", "ptr-pac-flip")
+        assert "hang" in cell["reason"]
+        # The healthy cell still produced a verdict.
+        assert [r.kind for r in outcome.results] == ["use-after-free"]
+
+        start = time.monotonic()
+        resumed = Campaign(config, checkpoint=ck).run(
+            jobs=2, supervise=_tiny_supervise()
+        )
+        # Skipping means no 60s sleep and no retry loop: near-instant.
+        assert time.monotonic() - start < 5.0
+        assert resumed.skipped_quarantined == 1
+        assert len(resumed.quarantined) == 1
+        assert resumed.resumed == 1  # the healthy cell came from checkpoint
+
+    def test_supervised_matches_serial_for_healthy_cells(self, tmp_path):
+        """Acceptance: non-quarantined cells are byte-identical to a
+        fault-free serial campaign (modulo wall-clock ``elapsed``)."""
+        hang = _tiny_campaign_config(
+            hang_cells=("gcc:aos:ptr-pac-flip:0",), hang_s=60.0
+        )
+        supervised = Campaign(hang, checkpoint=tmp_path / "ck.jsonl").run(
+            jobs=2, supervise=_tiny_supervise()
+        )
+        serial = Campaign(_tiny_campaign_config()).run()
+        serial_by_cell = {
+            (r.workload, r.mechanism, r.kind, r.location): r.stable_payload()
+            for r in serial.results
+        }
+        assert supervised.results  # at least the healthy cell
+        for result in supervised.results:
+            key = (result.workload, result.mechanism, result.kind, result.location)
+            assert result.stable_payload() == serial_by_cell[key]
+
+    def test_report_accounts_for_every_cell(self, tmp_path):
+        config = _tiny_campaign_config(
+            hang_cells=("gcc:aos:ptr-pac-flip:0",), hang_s=60.0
+        )
+        outcome = Campaign(config, checkpoint=tmp_path / "ck.jsonl").run(
+            jobs=2, supervise=_tiny_supervise()
+        )
+        report = outcome.supervision
+        assert report is not None
+        assert len(outcome.results) + len(outcome.quarantined) == 2
+        assert report.retries >= 1
+
+    def test_supervised_without_faults_matches_plain_parallel(self, tmp_path):
+        config = _tiny_campaign_config()
+        supervised = Campaign(config, checkpoint=tmp_path / "ck.jsonl").run(
+            jobs=2, supervise=_tiny_supervise()
+        )
+        plain = Campaign(config).run(jobs=2)
+        assert [r.stable_payload() for r in supervised.results] == [
+            r.stable_payload() for r in plain.results
+        ]
+        assert supervised.quarantined == []
+
+    def test_hang_pattern_validation(self):
+        config = _tiny_campaign_config(hang_cells=("too:few:parts",))
+        spec = FaultSpec(kind=FaultKind.PTR_PAC_FLIP, location=0)
+        with pytest.raises(FaultInjectionError):
+            config.matches_hang("gcc", "aos", spec)
+
+    def test_hang_pattern_wildcards(self):
+        config = _tiny_campaign_config(hang_cells=("*:*:ptr-pac-flip:*",))
+        spec = FaultSpec(kind=FaultKind.PTR_PAC_FLIP, location=3)
+        other = FaultSpec(kind=FaultKind.USE_AFTER_FREE, location=3)
+        assert config.matches_hang("povray", "aos", spec)
+        assert not config.matches_hang("povray", "aos", other)
+
+    def test_parallel_worker_exception_names_cell(self, monkeypatch):
+        """Satellite: a dying parallel worker must name the cell it died
+        on, not surface as a bare pool error."""
+        import repro.faults.campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod, "_cell_worker", _boom_cell)
+        campaign = Campaign(_tiny_campaign_config())
+        with pytest.raises(FaultInjectionError) as excinfo:
+            campaign.run(jobs=2)
+        message = str(excinfo.value)
+        assert "workload=gcc" in message
+        assert "kind=" in message and "location=" in message
+        assert "RuntimeError" in message
+
+
+# ------------------------------------------------------------------ signals
+
+
+class TestSignals:
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            with trap_signals():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(2.0)  # interrupted long before this expires
+
+    def test_previous_handler_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        try:
+            with trap_signals():
+                assert signal.getsignal(signal.SIGTERM) is not before
+        except KeyboardInterrupt:  # pragma: no cover - no signal sent
+            pass
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+# ------------------------------------------------------------------- ladder
+
+
+def test_ladder_order_is_fixed():
+    assert [level.value for level in LADDER] == ["pool", "fresh-pool", "serial"]

@@ -1,16 +1,21 @@
-"""Perf-trajectory runner: time a fixed sweep serial vs parallel vs cached.
+"""Perf-trajectory runner: time a fixed sweep serial/parallel/cached/supervised.
 
-Runs the same reduced figure sweep three ways —
+Runs the same reduced figure sweep four ways —
 
 1. **serial**: a fresh ``ExperimentSuite`` with one process and no cache,
 2. **parallel**: a fresh suite with ``--jobs`` workers and a cold cache,
 3. **cached**: a fresh suite rerun against the now-warm artifact cache,
+4. **supervised**: the parallel shape wrapped in the supervision layer
+   (heartbeats, deadlines, retry machinery) to measure its overhead,
 
-verifies the parallel and cached results are cell-for-cell identical to the
-serial ones (exiting non-zero with a diff summary if they diverge), and
+verifies the parallel/cached/supervised results are cell-for-cell identical
+to the serial ones (exiting non-zero with a diff summary if they diverge —
+a fault-free supervised sweep must also quarantine nothing), times a quick
+fault campaign with the ``--paranoid`` invariant oracle off vs on, and
 writes a machine-readable ``BENCH_experiments.json`` with wall-clock per
-artifact, speedups and the cache-hit rate.  CI uploads that file on every
-PR, turning the parallel engine's speedup into a tracked perf trajectory.
+artifact, speedups, cache-hit rate, and both supervision overheads.  CI
+uploads that file on every PR, turning the engine's speedup and the
+supervisor's cost into a tracked perf trajectory.
 
 Usage::
 
@@ -87,8 +92,9 @@ def _run_sweep(
     workloads: List[str],
     jobs: int,
     cache: Optional[str],
+    supervise=None,
 ) -> Dict:
-    suite = ExperimentSuite(settings, jobs=jobs, cache=cache)
+    suite = ExperimentSuite(settings, jobs=jobs, cache=cache, supervise=supervise)
     timings: Dict[str, float] = {}
     for name in artifacts:
         start = time.perf_counter()
@@ -99,7 +105,18 @@ def _run_sweep(
         "total_s": sum(timings.values()),
         "payloads": suite.result_payloads(),
         "cache": suite.cache.info() if suite.cache is not None else None,
+        "reports": suite.supervision_reports,
     }
+
+
+def _time_quick_campaign(paranoid: bool, seed: int) -> float:
+    """One ``faultinject --quick``-shaped campaign, timed."""
+    from repro.faults import Campaign, CampaignConfig
+
+    config = CampaignConfig.quick(seed=seed, paranoid=paranoid)
+    start = time.perf_counter()
+    Campaign(config).run()
+    return time.perf_counter() - start
 
 
 def _divergence(serial: Dict, other: Dict, label: str) -> List[str]:
@@ -140,9 +157,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         cached = _run_sweep(settings, args.artifacts, args.workloads, jobs, cache_dir)
         print(f"  {cached['total_s']:.2f}s")
 
-        problems = _divergence(serial, parallel, "parallel") + _divergence(
-            serial, cached, "cached"
+        print(f"supervised sweep (jobs={jobs}, no cache, supervisor wrapped)...")
+        from repro.supervise import SupervisorConfig
+
+        supervised = _run_sweep(
+            settings,
+            args.artifacts,
+            args.workloads,
+            jobs,
+            None,
+            supervise=SupervisorConfig(jobs=jobs),
         )
+        print(f"  {supervised['total_s']:.2f}s")
+
+        print("paranoid overhead (quick fault campaign, oracle off vs on)...")
+        campaign_plain_s = _time_quick_campaign(paranoid=False, seed=args.seed)
+        campaign_paranoid_s = _time_quick_campaign(paranoid=True, seed=args.seed)
+        paranoid_overhead = campaign_paranoid_s / max(campaign_plain_s, 1e-9)
+        print(
+            f"  plain {campaign_plain_s:.2f}s, paranoid {campaign_paranoid_s:.2f}s "
+            f"({paranoid_overhead:.2f}x)"
+        )
+
+        problems = (
+            _divergence(serial, parallel, "parallel")
+            + _divergence(serial, cached, "cached")
+            + _divergence(serial, supervised, "supervised")
+        )
+        quarantined = sum(len(r.quarantined) for r in supervised["reports"])
+        if quarantined:
+            problems.append(
+                f"supervised: {quarantined} cell(s) quarantined in a "
+                "fault-free sweep"
+            )
         if problems:
             print(
                 "FATAL: parallel/cached results diverge from the serial sweep —"
@@ -189,6 +236,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     cached["total_s"] / max(parallel["total_s"], 1e-9), 3
                 ),
             },
+            "supervision": {
+                "supervised_s": round(supervised["total_s"], 4),
+                "overhead_vs_parallel": round(
+                    supervised["total_s"] / max(parallel["total_s"], 1e-9), 3
+                ),
+                "retries": sum(r.retries for r in supervised["reports"]),
+                "quarantined": quarantined,
+                "final_levels": sorted({r.final_level for r in supervised["reports"]}),
+            },
+            "paranoid": {
+                "campaign_plain_s": round(campaign_plain_s, 4),
+                "campaign_paranoid_s": round(campaign_paranoid_s, 4),
+                "overhead": round(paranoid_overhead, 3),
+            },
             "cache": {
                 "hits": cache_stats["hits"],
                 "misses": cache_stats["misses"],
@@ -202,7 +263,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote {args.output}: parallel speedup "
             f"{report['totals']['parallel_speedup']}x, cached rerun "
             f"{report['totals']['cached_fraction_of_cold']}x of cold, "
-            f"cache-hit rate {report['cache']['hit_rate']:.0%}"
+            f"cache-hit rate {report['cache']['hit_rate']:.0%}, "
+            f"supervisor overhead "
+            f"{report['supervision']['overhead_vs_parallel']}x, "
+            f"paranoid overhead {report['paranoid']['overhead']}x"
         )
         return 0
     finally:
