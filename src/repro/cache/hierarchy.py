@@ -118,3 +118,22 @@ class MemoryHierarchy:
             "l2_dram_bytes": self.traffic.l2_dram_bytes,
             "dram_accesses": self.dram_accesses,
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Harvest cache/traffic stats into a ``MetricsRegistry``.
+
+        Called once after the pipeline drains, so instrumentation adds
+        nothing to the per-access hot path.
+        """
+        caches = {"l1d": self.l1d, "l2": self.l2}
+        if self.l1b is not None:
+            caches["l1b"] = self.l1b
+        for name, cache in caches.items():
+            registry.count(f"cache.{name}.accesses", cache.stats.accesses)
+            registry.count(f"cache.{name}.hits", cache.stats.hits)
+            registry.count(f"cache.{name}.misses", cache.stats.misses)
+            registry.count(f"cache.{name}.evictions", cache.stats.evictions)
+            registry.set_gauge(f"cache.{name}.hit_rate", cache.stats.hit_rate)
+        registry.count("traffic.l1_l2_bytes", self.traffic.l1_l2_bytes)
+        registry.count("traffic.l2_dram_bytes", self.traffic.l2_dram_bytes)
+        registry.count("dram.accesses", self.dram_accesses)

@@ -47,6 +47,7 @@ from .experiments.ablations import (
     ablation_quarantine,
     ablation_resize,
 )
+from .obs import ObsSettings, PhaseProfiler
 from .security import run_security_analysis
 from .supervise import trap_signals
 
@@ -65,6 +66,7 @@ ARTIFACTS = {
     "ablations": "design-choice ablations (BWB, MCQ, resize, entropy)",
     "mte": "extended comparison vs memory tagging (§X)",
     "faultinject": "fault-injection campaign + detection coverage (§VII)",
+    "trace": "cycle-stamped event trace + metrics (Chrome/Perfetto export)",
 }
 
 
@@ -78,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=list(ARTIFACTS) + ["all"],
         help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="trace only: the workload to trace (default gcc)",
     )
     parser.add_argument(
         "--workloads", nargs="+", default=None,
@@ -105,6 +111,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced sweep: 3 workloads, short windows, small fig11 sample, "
         "quick faultinject campaign (CI smoke shape)",
+    )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-cell metrics during timing sweeps and print the "
+        "merged registry after the artifacts",
+    )
+    obs.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the (deterministic) metrics snapshot as JSON",
+    )
+    obs.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="trace only: Chrome trace-event output path (default trace.json)",
+    )
+    obs.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="trace only: also write the raw event ring as JSONL",
+    )
+    obs.add_argument(
+        "--mechanism", default="aos",
+        help="trace only: mechanism to trace (default aos)",
+    )
+    obs.add_argument(
+        "--trace-capacity", type=int, default=None, metavar="N",
+        help="trace only: event ring capacity (default 65536)",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="print the engine's per-phase wall-clock profile at exit",
     )
     cache = parser.add_argument_group("artifact cache options")
     cache.add_argument(
@@ -244,6 +280,85 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
     raise ValueError(f"unknown artifact {name!r}")
 
 
+def run_trace(args, profiler: PhaseProfiler) -> str:
+    """The ``trace`` artifact: one observed run -> Chrome trace + metrics.
+
+    Everything written derives from simulated state only (cycle stamps,
+    event/metric counts — never wall clock or PIDs), so both output files
+    are byte-identical across runs at the same settings and seed.
+    """
+    import json
+
+    from .compiler import lower_trace
+    from .cpu.core import Simulator
+    from .experiments.common import scaled_config
+    from .obs import (
+        DEFAULT_TRACE_CAPACITY,
+        EventTracer,
+        Observability,
+        dump_chrome_trace,
+        validate_chrome_trace_file,
+    )
+    from .workloads import generate_trace, get_profile
+
+    workload = args.target or "gcc"
+    capacity = args.trace_capacity or DEFAULT_TRACE_CAPACITY
+    trace_out = args.trace_out or "trace.json"
+    metrics_out = args.metrics_out or "metrics.json"
+
+    obs = Observability(tracer=EventTracer(capacity))
+    config = scaled_config(args.mechanism, args.scale)
+    with profiler.phase("trace-gen"):
+        trace = generate_trace(
+            get_profile(workload),
+            instructions=args.instructions,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    with profiler.phase("lower"):
+        lowered = lower_trace(trace, args.mechanism, config=config)
+    with profiler.phase("simulate"):
+        result = Simulator(config, obs=obs).run(lowered)
+    with profiler.phase("report"):
+        tracer = obs.tracer
+        dump_chrome_trace(
+            trace_out,
+            tracer.events(),
+            metadata={
+                "workload": workload,
+                "mechanism": args.mechanism,
+                "instructions": args.instructions,
+                "seed": args.seed,
+                "scale": args.scale,
+                "events_emitted": tracer.stats.emitted,
+                "events_dropped": tracer.stats.dropped,
+            },
+        )
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        if args.events_out:
+            tracer.to_jsonl(args.events_out)
+
+    problems = validate_chrome_trace_file(trace_out)
+    lines = [
+        f"traced {workload}/{args.mechanism}: {result.instructions} "
+        f"instructions, {result.cycles:.0f} cycles (IPC {result.ipc:.2f})",
+        f"events: {tracer.stats.emitted} emitted, "
+        f"{tracer.stats.dropped} dropped, {len(tracer)} retained",
+        f"chrome trace -> {trace_out} "
+        + ("(schema OK)" if not problems else f"(SCHEMA PROBLEMS: {problems[:3]})"),
+        f"metrics      -> {metrics_out} "
+        f"({len(result.metrics.get('counters', {}))} counters, "
+        f"{len(result.metrics.get('gauges', {}))} gauges, "
+        f"{len(result.metrics.get('histograms', {}))} histograms)",
+    ]
+    if args.events_out:
+        lines.append(f"events jsonl -> {args.events_out}")
+    lines.append("open the trace in https://ui.perfetto.dev ('Open trace file')")
+    return "\n".join(lines)
+
+
 #: The ``--quick`` timing subset: cheap but behaviourally distinct, and it
 #: keeps gcc — the paper's worst-case AOS workload — in every smoke run.
 QUICK_WORKLOADS = ["gcc", "povray", "gobmk"]
@@ -273,27 +388,56 @@ def _resume_hint(args) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    profiler = PhaseProfiler()
     if args.quick:
         args.workloads = args.workloads or list(QUICK_WORKLOADS)
         args.instructions = min(args.instructions, 12_000)
         args.pac_samples = min(args.pac_samples, 1 << 16)
     # ``all`` always bounds its faultinject leg, even without ``--quick``.
     args.fault_quick = args.quick or args.artifact == "all"
+
+    if args.artifact == "trace":
+        try:
+            with trap_signals():
+                print(run_trace(args, profiler))
+        except KeyboardInterrupt:
+            print(_resume_hint(args), file=sys.stderr)
+            return 130
+        if args.profile:
+            print()
+            print(profiler.format())
+        return 0
+
     suite = ExperimentSuite(
-        RunSettings(instructions=args.instructions, seed=args.seed, scale=args.scale),
+        RunSettings(
+            instructions=args.instructions,
+            seed=args.seed,
+            scale=args.scale,
+            # Metric sweeps collect counters only (no event ring): cheaper,
+            # and keeps cell results JSON-able for the cache/checkpoint.
+            obs=ObsSettings(enabled=True, tracing=False)
+            if args.metrics
+            else ObsSettings(),
+        ),
         jobs=args.jobs,
         cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
         supervise=supervisor_config(args),
         paranoid=args.paranoid,
     )
-    names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    # ``trace`` writes files and is excluded from the ``all`` sweep.
+    names = (
+        [n for n in ARTIFACTS if n != "trace"]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
     try:
         # SIGTERM lands as KeyboardInterrupt, so a killed run flushes and
         # prints the same resume hint as a ^C one.
         with trap_signals():
             for name in names:
                 start = time.time()
-                print(run_artifact(name, suite, args))
+                with profiler.phase(name):
+                    print(run_artifact(name, suite, args))
                 print(f"[{name}: {time.time() - start:.1f}s]\n")
     except KeyboardInterrupt:
         print(_resume_hint(args), file=sys.stderr)
@@ -301,12 +445,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     for report in suite.supervision_reports:
         print(report.format())
         print()
+    if args.metrics:
+        from .stats import MetricsReport
+
+        snapshot = suite.metrics_snapshot()
+        print(MetricsReport(snapshot, title="suite metrics (merged cells)").format())
+        print()
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, sort_keys=True, indent=1)
+                fh.write("\n")
+            print(f"[metrics -> {args.metrics_out}]")
     if suite.cache is not None:
         stats = suite.cache.stats
         print(
             f"[artifact cache @ {suite.cache.root}: {stats.hits} hits, "
             f"{stats.misses} misses, {stats.stores} stores]"
         )
+    if args.profile:
+        print(profiler.format())
     return 0
 
 

@@ -57,6 +57,7 @@ class AOSRuntime:
         config: Optional[SystemConfig] = None,
         address_layout: AddressSpaceLayout = DEFAULT_LAYOUT,
         pac_mode: str = "qarma",
+        obs=None,
     ) -> None:
         self.config = config or default_config("aos")
         self.address_layout = address_layout
@@ -75,12 +76,18 @@ class AOSRuntime:
             layout=address_layout,
             compression=self.config.aos.bounds_compression,
         )
+        #: Optional :class:`repro.obs.Observability` threaded through the
+        #: MCU and HBT (functional runs have no pipeline, so events are
+        #: stamped at whatever cycle the caller publishes — 0 by default).
+        self.obs = obs
+        self.hbt.set_obs(obs)
         self.mcu = MemoryCheckUnit(
             hbt=self.hbt,
             layout=pointer_layout,
             options=self.config.aos,
             bwb_config=self.config.bwb,
             mcq_capacity=self.config.core.mcq_entries,
+            obs=obs,
         )
         self.stats = AOSRuntimeStats()
         #: The stack-pointer modifier used by pacma at malloc sites (§IV-C).
@@ -163,3 +170,16 @@ class AOSRuntime:
         """Pointer arithmetic: the PAC/AHC ride along with the address,
         exactly the no-extra-instructions propagation of §III-B."""
         return pointer + delta
+
+    def publish_metrics(self) -> None:
+        """Harvest runtime + allocator + MCU stats into ``obs.registry``."""
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        registry.count("runtime.mallocs", self.stats.mallocs)
+        registry.count("runtime.frees", self.stats.frees)
+        registry.count("runtime.loads", self.stats.loads)
+        registry.count("runtime.stores", self.stats.stores)
+        registry.count("runtime.faults_raised", self.stats.faults_raised)
+        self.allocator.publish_metrics(registry)
+        self.mcu.publish_metrics(registry)

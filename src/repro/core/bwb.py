@@ -59,11 +59,22 @@ class BoundsWayBuffer:
         self.stats = BWBStats()
         self._table: "OrderedDict[int, int]" = OrderedDict()
 
-    def lookup(self, tag: int) -> Optional[int]:
-        """Return the way hint for ``tag``, or None on a BWB miss."""
+    def lookup(self, tag: int, max_way: Optional[int] = None) -> Optional[int]:
+        """Return the way hint for ``tag``, or None on a BWB miss.
+
+        ``max_way`` is the current HBT associativity: a stored hint the
+        table geometry cannot use (``way >= max_way``) is treated as a
+        miss and evicted, so :attr:`BWBStats.hit_rate` counts exactly the
+        hints the MCU consumed.  (Previously such hints were counted as
+        hits while the walk silently restarted from way 0, inflating the
+        Fig. 17 hit-rate column.)
+        """
         self.stats.lookups += 1
         way = self._table.get(tag)
         if way is None:
+            return None
+        if max_way is not None and way >= max_way:
+            del self._table[tag]
             return None
         self.stats.hits += 1
         if self.eviction == "lru":

@@ -23,11 +23,14 @@ lines live in the normal cache hierarchy (§V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..errors import SimulationError
 from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT
 from .bounds import CompressedBounds, RawBounds, compress_bounds
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 BoundsRecord = Union[CompressedBounds, RawBounds]
 
@@ -72,6 +75,9 @@ class HashedBoundsTable:
         self.layout = layout
         self.max_ways = max_ways
         self.stats = HBTStats()
+        #: Optional observability handle (set by the simulator before a
+        #: run); ``None`` costs one attribute test per resize-path event.
+        self._obs: Optional["Observability"] = None
 
         #: Logical storage: pac -> flat slot list of length ways*slots_per_way.
         #: Rows materialise lazily; missing rows are all-empty.
@@ -152,38 +158,71 @@ class HashedBoundsTable:
             return CompressedBounds(raw=compress_bounds(lower, size))
         return RawBounds(lower=lower, upper=lower + size)
 
-    def insert(self, pac: int, lower: int, size: int) -> Tuple[int, int, int]:
+    def insert(
+        self, pac: int, lower: int, size: int, way: Optional[int] = None
+    ) -> Tuple[int, int, int]:
         """``bndstr``'s occupancy walk: returns (way, slot, ways_searched).
+
+        ``way``, when given, is a way the caller's FSM walk already loaded
+        and verified to hold a free slot (``MCQEntry.result_way``); the
+        record is placed there without re-reading way lines, so the walk's
+        line loads are not double-counted into :attr:`HBTStats.lines_loaded`.
 
         Raises :class:`SimulationError` if every way is full — the caller
         (MCU) converts that into a :class:`BoundsStoreFault` for the OS.
         """
         self.stats.inserts += 1
         record = self.make_record(lower, size)
-        for way in range(self.ways):
-            slots = self.read_way(pac, way)
+        if way is not None and 0 <= way < self.ways:
+            row = self._row(pac)
+            start = way * self.slots_per_way
+            for slot in range(self.slots_per_way):
+                if row[start + slot] is None:
+                    row[start + slot] = record
+                    return way, slot, 0
+            # Stale hint (cannot happen single-threaded): fall back to the
+            # counted full walk below.
+        for candidate in range(self.ways):
+            slots = self.read_way(pac, candidate)
             for slot, existing in enumerate(slots):
                 if existing is None:
-                    self._store_slot(pac, way, slot, record)
-                    return way, slot, way + 1
+                    self._store_slot(pac, candidate, slot, record)
+                    return candidate, slot, candidate + 1
         self.stats.insert_failures += 1
+        if self._obs is not None:
+            self._obs.emit("hbt.insert.fail", pac=pac, ways=self.ways)
         raise SimulationError(f"HBT row {pac:#x} full at associativity {self.ways}")
 
-    def clear_matching(self, pac: int, address: int) -> Tuple[Optional[int], int]:
+    def clear_matching(
+        self, pac: int, address: int, way: Optional[int] = None
+    ) -> Tuple[Optional[int], int]:
         """``bndclr``'s walk: zero the record whose lower bound == address.
 
         Returns (way or None, ways_searched).  ``None`` signals a
         bounds-clear failure: double free or an invalid/crafted pointer.
+        Like :meth:`insert`, a ``way`` verified by the caller's FSM walk is
+        cleared directly without re-counting its line loads.
         """
         self.stats.clears += 1
-        for way in range(self.ways):
-            slots = self.read_way(pac, way)
+        target = self._comparable_lower(address)
+        if way is not None and 0 <= way < self.ways:
+            row = self._rows.get(pac)
+            if row is not None:
+                start = way * self.slots_per_way
+                for slot in range(self.slots_per_way):
+                    record = row[start + slot]
+                    if record is not None and record.lower == target:
+                        row[start + slot] = None
+                        return way, 0
+            # Stale hint: fall through to the counted full walk.
+        for candidate in range(self.ways):
+            slots = self.read_way(pac, candidate)
             for slot, record in enumerate(slots):
                 if record is None:
                     continue
-                if record.lower == self._comparable_lower(address):
-                    self._store_slot(pac, way, slot, None)
-                    return way, way + 1
+                if record.lower == target:
+                    self._store_slot(pac, candidate, slot, None)
+                    return candidate, candidate + 1
         return None, self.ways
 
     def find_valid(
@@ -238,6 +277,10 @@ class HashedBoundsTable:
         self.ways *= 2
         self._row_ptr = 0
         self._resizing = True
+        if self._obs is not None:
+            self._obs.emit(
+                "hbt.resize", phase="B", old_ways=self._old_ways, new_ways=self.ways
+            )
 
     def advance_migration(self, rows: int) -> int:
         """Migrate up to ``rows`` rows old->new; returns rows actually moved.
@@ -254,6 +297,8 @@ class HashedBoundsTable:
             self._resizing = False
             self._old_base = None
             self._old_ways = self.ways
+            if self._obs is not None:
+                self._obs.emit("hbt.resize", phase="E", ways=self.ways)
         return moved
 
     def finish_resize(self) -> None:
@@ -352,6 +397,11 @@ class HashedBoundsTable:
         self._migration_stalled = False
 
     # ------------------------------------------------------------ inspection
+
+    def set_obs(self, obs: Optional["Observability"]) -> None:
+        """Attach an observability handle (the HBT is built at lowering
+        time, before the run's obs exists, so the simulator injects it)."""
+        self._obs = obs
 
     def row_occupancy(self, pac: int) -> int:
         row = self._rows.get(pac)

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 from ..config import AOSOptions, BWBConfig
 from ..errors import SimulationError
@@ -93,6 +96,7 @@ class MemoryCheckUnit:
         bwb_config: BWBConfig = BWBConfig(),
         mcq_capacity: int = 48,
         bounds_access: Optional[Callable[[int, bool], int]] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.hbt = hbt
         self.layout = layout
@@ -100,6 +104,19 @@ class MemoryCheckUnit:
         self.bwb = BoundsWayBuffer(bwb_config.entries, bwb_config.eviction) if options.bwb_enabled else None
         self.mcq = MemoryCheckQueue(mcq_capacity)
         self.stats = MCUStats()
+        #: Observability handle; None (the default) keeps every hot path
+        #: down to a single ``is None`` test.
+        self._obs = obs
+        #: Bounds-line loads per signed check (the Fig. 17 distribution,
+        #: not just its mean).  Bucket edges cover hint-hit (1 line) up to
+        #: deep way walks after resizes.
+        self._h_lines = (
+            None
+            if obs is None
+            else obs.registry.histogram(
+                "mcu.lines_per_signed_check", (0, 1, 2, 4, 8, 16, 32)
+            )
+        )
         #: Callable (line_address, is_write) -> latency; defaults to 1 cycle
         #: per line when no cache hierarchy is attached.
         self._bounds_access = bounds_access or (lambda addr, is_write: 1)
@@ -190,10 +207,14 @@ class MemoryCheckUnit:
         bwb_hit = False
         tag = bwb_tag(decoded.address, decoded.ahc, decoded.pac)
         if self.bwb is not None:
-            hint = self.bwb.lookup(tag)
-            if hint is not None and hint < self.hbt.ways:
+            # max_way: a hint beyond the current associativity is counted
+            # (and evicted) as a miss, keeping the Fig. 17 hit rate honest.
+            hint = self.bwb.lookup(tag, max_way=self.hbt.ways)
+            if hint is not None:
                 start_way = hint
                 bwb_hit = True
+            elif self._obs is not None:
+                self._obs.emit("bwb.miss", pac=decoded.pac, ahc=decoded.ahc)
 
         entry = MCQEntry(
             entry_type=MCQType.STORE if is_store else MCQType.LOAD,
@@ -203,9 +224,19 @@ class MemoryCheckUnit:
             way=start_way,
         )
         latency = self.CHECK_PIPELINE_CYCLES + self._drive(entry)
+        if self._h_lines is not None:
+            self._h_lines.observe(len(entry.lines_accessed))
 
         if entry.state is MCQState.FAIL:
             self.stats.faults += 1
+            if self._obs is not None:
+                self._obs.emit(
+                    "aos.exception",
+                    kind="bounds-check",
+                    address=decoded.address,
+                    pac=decoded.pac,
+                    store=is_store,
+                )
             fault = BoundsCheckFault(
                 FaultInfo(
                     pointer=pointer,
@@ -263,7 +294,12 @@ class MemoryCheckUnit:
             latency += self._drive(entry)
             lines += len(entry.lines_accessed)
             if entry.state is MCQState.DONE:
-                way, slot, _searched = self.hbt.insert(decoded.pac, decoded.address, size)
+                # result_way was verified free by the FSM walk, whose line
+                # loads are already counted: insert there directly instead
+                # of re-walking (and re-counting) from way 0.
+                way, slot, _searched = self.hbt.insert(
+                    decoded.pac, decoded.address, size, way=entry.result_way
+                )
                 latency += self._bounds_access(self.hbt.line_address(decoded.pac, way), True)
                 self._note_store(decoded.pac, decoded.address, size)
                 self._replay_younger(decoded.pac)
@@ -276,6 +312,13 @@ class MemoryCheckUnit:
             # FAIL: insufficient capacity — AOS exception, OS resizes (§IV-D).
             self.stats.resizes += 1
             resized = True
+            if self._obs is not None:
+                self._obs.emit(
+                    "aos.exception",
+                    kind="bounds-store",
+                    pac=decoded.pac,
+                    ways=self.hbt.ways,
+                )
             if self.bwb is not None:
                 self.bwb.flush()  # way geometry changed
             old_ways = self.hbt.ways
@@ -320,6 +363,13 @@ class MemoryCheckUnit:
 
         if entry.state is MCQState.FAIL:
             self.stats.faults += 1
+            if self._obs is not None:
+                self._obs.emit(
+                    "aos.exception",
+                    kind="bounds-clear",
+                    address=decoded.address,
+                    pac=decoded.pac,
+                )
             fault = BoundsClearFault(
                 FaultInfo(
                     pointer=pointer,
@@ -335,7 +385,11 @@ class MemoryCheckUnit:
                 ok=False, latency=latency, lines_accessed=len(entry.lines_accessed), fault=fault
             )
 
-        way, _searched = self.hbt.clear_matching(decoded.pac, decoded.address)
+        # result_way was located by the FSM walk (its line loads are already
+        # counted): clear that way directly instead of re-walking from way 0.
+        way, _searched = self.hbt.clear_matching(
+            decoded.pac, decoded.address, way=entry.result_way
+        )
         if way is None:
             raise SimulationError("bndclr FSM succeeded but clear found no record")
         latency += self._bounds_access(self.hbt.line_address(decoded.pac, way), True)
@@ -344,6 +398,40 @@ class MemoryCheckUnit:
         return ValidationResult(
             ok=True, latency=latency, lines_accessed=len(entry.lines_accessed)
         )
+
+    def publish_metrics(self, registry) -> None:
+        """Harvest MCU/HBT/BWB stats into a ``MetricsRegistry``.
+
+        One bulk pass after the pipeline drains — the per-operation hot
+        paths above only pay for live events (histogram/tracer), never for
+        these counters.
+        """
+        s = self.stats
+        registry.count("mcu.checks", s.checks)
+        registry.count("mcu.signed_checks", s.signed_checks)
+        registry.count("mcu.table_ops", s.table_ops)
+        registry.count("mcu.lines_accessed", s.lines_accessed)
+        registry.count("mcu.forwards", s.forwards)
+        registry.count("mcu.replays", s.replays)
+        registry.count("mcu.faults", s.faults)
+        registry.count("mcu.resizes", s.resizes)
+        registry.count("mcu.dropped_stores", s.dropped_stores)
+        registry.set_gauge("mcu.accesses_per_check", s.accesses_per_check)
+        h = self.hbt.stats
+        registry.count("hbt.inserts", h.inserts)
+        registry.count("hbt.clears", h.clears)
+        registry.count("hbt.checks", h.checks)
+        registry.count("hbt.lines_loaded", h.lines_loaded)
+        registry.count("hbt.insert_failures", h.insert_failures)
+        registry.count("hbt.resizes", h.resizes)
+        registry.count("hbt.migrated_rows", h.migrated_rows)
+        registry.set_gauge("hbt.ways", self.hbt.ways)
+        registry.set_gauge("hbt.table_bytes", self.hbt.table_bytes)
+        registry.set_gauge("hbt.records", self.hbt.total_records())
+        if self.bwb is not None:
+            registry.count("bwb.lookups", self.bwb.stats.lookups)
+            registry.count("bwb.hits", self.bwb.stats.hits)
+            registry.set_gauge("bwb.hit_rate", self.bwb.stats.hit_rate)
 
     def _replay_younger(self, pac: int) -> None:
         """Store-load replay (§V-E): younger same-PAC MCQ entries restart.

@@ -10,13 +10,16 @@ statistics, BWB hit rate, and HBT resize counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..config import SystemConfig
 from ..cache.hierarchy import MemoryHierarchy
 from ..core.mcu import MemoryCheckUnit
 from ..isa.program import Program
 from .pipeline import PipelineModel, PipelineResult
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 
 @dataclass
@@ -38,6 +41,10 @@ class SimulationResult:
     hbt_resizes: int = 0
     bounds_forwards: int = 0
     validation_faults: int = 0
+    #: Metrics snapshot (``MetricsRegistry.snapshot()``) when the run was
+    #: observed; empty otherwise.  JSON-able, so it survives the pickle
+    #: trip back from parallel workers and the artifact cache.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -51,8 +58,13 @@ class SimulationResult:
 class Simulator:
     """Runs lowered workloads on the Table IV machine."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self, config: SystemConfig, obs: Optional["Observability"] = None
+    ) -> None:
         self.config = config
+        #: Observability handle threaded into every component of a run;
+        #: ``None`` (the default) keeps the simulator uninstrumented.
+        self.obs = obs
 
     def run(self, lowered, inspect=None) -> SimulationResult:
         """Simulate one lowered workload; returns the full measurement set.
@@ -84,6 +96,7 @@ class Simulator:
             use_l1b=uses_aos and self.config.aos.l1b_cache,
         )
 
+        obs = self.obs
         mcu: Optional[MemoryCheckUnit] = None
         va_mask = (1 << 46) - 1
         if uses_aos:
@@ -95,9 +108,15 @@ class Simulator:
                 bwb_config=self.config.bwb,
                 mcq_capacity=self.config.core.mcq_entries,
                 bounds_access=hierarchy.access_bounds,
+                obs=obs,
             )
+            # The HBT is built at lowering time, before this run's obs
+            # exists; attach it here so resize events are cycle-stamped.
+            hbt.set_obs(obs)
 
-        pipeline = PipelineModel(self.config, hierarchy, mcu=mcu, va_mask=va_mask)
+        pipeline = PipelineModel(
+            self.config, hierarchy, mcu=mcu, va_mask=va_mask, obs=obs
+        )
         result = pipeline.run(program)
         if inspect is not None:
             inspect(mcu, hbt)
@@ -121,4 +140,23 @@ class Simulator:
             # and in-window resizes — matching the paper's whole-run count.
             sim.hbt_resizes = hbt.stats.resizes
             sim.bounds_forwards = mcu.stats.forwards
+
+        if obs is not None:
+            # Bulk harvest: one pass over the components' stats dataclasses
+            # after the pipeline drains, then a JSON-able snapshot.
+            registry = obs.registry
+            hierarchy.publish_metrics(registry)
+            result.publish_metrics(registry)
+            if mcu is not None:
+                mcu.publish_metrics(registry)
+            if obs.tracer is not None:
+                # Stamp any post-run events at the final commit cycle.
+                obs.tracer.cycle = result.cycles
+                obs.tracer.emit(
+                    "run.done",
+                    instructions=result.instructions,
+                    mechanism=self.config.mechanism,
+                    workload=name,
+                )
+            sim.metrics = obs.snapshot()
         return sim

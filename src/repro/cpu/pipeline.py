@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..config import SystemConfig
 from ..cache.hierarchy import MemoryHierarchy
@@ -36,12 +36,20 @@ from ..core.mcu import MemoryCheckUnit
 from ..isa.instructions import DEFAULT_LATENCY, Op
 from ..isa.program import Program
 
+if TYPE_CHECKING:
+    from ..obs import Observability
+
 #: Ring size for completion-time lookback; deps must be closer than this.
 _RING = 512
 _RING_MASK = _RING - 1
 
 #: Pipeline depth from fetch to issue (front-end stages).
 _FRONTEND_DEPTH = 4
+
+#: Instructions between MCQ-occupancy counter samples in a traced run —
+#: frequent enough to plot back-pressure, sparse enough not to dominate
+#: the event ring.
+_MCQ_SAMPLE_MASK = 511
 
 #: Concurrent bounds-check walks the MCU sustains (its bounds-line ports).
 #: A port is busy from check start until the bounds data returns, so both
@@ -67,6 +75,17 @@ class PipelineResult:
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    def publish_metrics(self, registry) -> None:
+        """Harvest the timing outcome into a ``MetricsRegistry``."""
+        registry.count("pipeline.instructions", self.instructions)
+        registry.count("pipeline.branch_mispredicts", self.branch_mispredicts)
+        registry.count("pipeline.validation_faults", self.validation_faults)
+        registry.set_gauge("pipeline.cycles", self.cycles)
+        registry.set_gauge("pipeline.ipc", self.ipc)
+        registry.set_gauge("pipeline.mcq_stall_cycles", self.mcq_stall_cycles)
+        registry.set_gauge("pipeline.rob_stall_cycles", self.rob_stall_cycles)
+        registry.set_gauge("pipeline.lsq_stall_cycles", self.lsq_stall_cycles)
+
 
 class PipelineModel:
     """Scoreboard OoO model parameterised by a :class:`SystemConfig`."""
@@ -77,11 +96,13 @@ class PipelineModel:
         hierarchy: MemoryHierarchy,
         mcu: Optional[MemoryCheckUnit] = None,
         va_mask: int = (1 << 46) - 1,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.mcu = mcu
         self.va_mask = va_mask
+        self.obs = obs
 
     def run(self, program: Program) -> PipelineResult:
         core = self.config.core
@@ -91,6 +112,10 @@ class PipelineModel:
         mcu = self.mcu
         hierarchy = self.hierarchy
         va_mask = self.va_mask
+        # Hot-loop locals: tracing costs nothing when no tracer is attached
+        # (one `is not None` test per memory instruction).
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
 
         completion_ring = [0.0] * _RING
         rob = deque()
@@ -165,13 +190,20 @@ class PipelineModel:
                     ready = head
 
             issue = ready
+            if tracer is not None:
+                # The pipeline owns "now": every event the MCU emits while
+                # validating this instruction stamps at its issue cycle.
+                tracer.cycle = issue
+                if enters_mcu:
+                    tracer.emit("mcq.enqueue", occupancy=len(mcq), op=op.name)
+                if (i & _MCQ_SAMPLE_MASK) == 0:
+                    tracer.emit("mcq.occupancy", phase="C", entries=len(mcq))
 
             # ---- execute -------------------------------------------------
             check_done = issue
             if is_load:
                 latency = hierarchy.access_data(inst.address & va_mask, False)
                 completion = issue + latency
-                last_load_addr = inst.address & va_mask
             elif is_store:
                 hierarchy.access_data(inst.address & va_mask, True)
                 completion = issue + 1.0

@@ -39,6 +39,7 @@ from ..compiler import LoweredWorkload, lower_trace
 from ..cpu.core import SimulationResult, Simulator
 from ..cpu.pipeline import PipelineResult
 from ..faults.checkpoint import CheckpointStore
+from ..obs import ObsSettings, merge_snapshots
 from ..workloads import WorkloadTrace, generate_trace, get_profile
 
 #: The 16 SPEC CPU 2006 workloads, in the paper's presentation order.
@@ -60,11 +61,17 @@ class RunSettings:
     the preamble live set (and the PAC space with it).  The defaults keep
     a full 16-workload x 5-mechanism sweep to a few minutes in pure
     Python; larger values sharpen the statistics.
+
+    ``obs`` selects per-cell observability (disabled by default).  It is
+    part of the settings — and therefore of every cache fingerprint — so
+    metric-bearing results are never conflated with plain ones in the
+    artifact cache or a checkpoint.
     """
 
     instructions: int = 60_000
     seed: int = 7
     scale: int = 8
+    obs: ObsSettings = ObsSettings()
 
 
 def scaled_config(mechanism: str, scale: int) -> SystemConfig:
@@ -244,7 +251,11 @@ class ExperimentSuite:
                     inspect = InvariantOracle().inspector(
                         f"{workload}/{key or mechanism}"
                     )
-                result = Simulator(config).run(lowered, inspect=inspect)
+                # A fresh Observability per cell: metric snapshots stay
+                # per-cell and identical to what a pool worker returns.
+                result = Simulator(config, obs=self.settings.obs.create()).run(
+                    lowered, inspect=inspect
+                )
                 self._store_in_cache(workload, mechanism, config, key, result)
             self._admit(cache_key, result)
         return self._results[cache_key]
@@ -387,6 +398,28 @@ class ExperimentSuite:
         return {
             key: _result_to_payload(result)
             for key, result in sorted(self._results.items())
+        }
+
+    def metrics_snapshot(self, workloads: Optional[Iterable[str]] = None) -> dict:
+        """Suite-level metrics: every memoised cell's snapshot, merged.
+
+        Counters and histogram buckets sum across cells; gauges keep the
+        maximum.  Cells simulated without observability contribute nothing.
+        Deterministic: cells merge in sorted key order.
+        """
+        wanted = None if workloads is None else set(workloads)
+        return merge_snapshots(
+            result.metrics
+            for (workload, _), result in sorted(self._results.items())
+            if wanted is None or workload in wanted
+        )
+
+    def cell_metrics(self) -> Dict[Tuple[str, str], dict]:
+        """Per-cell metric snapshots for cells that carry them."""
+        return {
+            key: result.metrics
+            for key, result in sorted(self._results.items())
+            if result.metrics
         }
 
     # ------------------------------------------------------ cache management

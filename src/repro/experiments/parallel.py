@@ -294,6 +294,11 @@ def simulate_cell(
     invariant oracle before the result is accepted; a violated invariant
     raises :class:`~repro.errors.InvariantViolation` instead of returning
     a silently-corrupt measurement.
+
+    ``settings.obs`` travels as picklable :class:`~repro.obs.ObsSettings`;
+    each worker builds its own live :class:`~repro.obs.Observability` here
+    and returns only the JSON-able snapshot in ``SimulationResult.metrics``
+    — live registries and tracers never cross the process boundary.
     """
     config = cell.resolved_config(settings)
     if trace is None:
@@ -304,7 +309,7 @@ def simulate_cell(
         from ..supervise.oracle import InvariantOracle
 
         inspect = InvariantOracle().inspector(supervised_cell_key(cell))
-    return Simulator(config).run(lowered, inspect=inspect)
+    return Simulator(config, obs=settings.obs.create()).run(lowered, inspect=inspect)
 
 
 def _cell_worker(args: Tuple) -> SimulationResult:

@@ -281,14 +281,32 @@ class FaultHarness:
 
 
 class FaultInjector:
-    """Applies one :class:`FaultSpec` to a live :class:`FaultHarness`."""
+    """Applies one :class:`FaultSpec` to a live :class:`FaultHarness`.
+
+    ``obs``, when given, records every injection as a ``fault.inject``
+    trace event and a per-kind counter, so a campaign's metrics snapshot
+    shows exactly what was corrupted where.
+    """
+
+    def __init__(self, obs=None) -> None:
+        self.obs = obs
 
     def inject(self, harness: FaultHarness, spec: FaultSpec) -> InjectionRecord:
         handler = self._HANDLERS.get(spec.kind)
         if handler is None:
             raise FaultInjectionError(f"unknown fault kind {spec.kind!r}")
         rng = random.Random(f"{spec.seed}:{spec.kind.value}:{spec.location}")
-        return handler(self, harness, spec, rng)
+        record = handler(self, harness, spec, rng)
+        if self.obs is not None:
+            self.obs.registry.count("fault.injected")
+            self.obs.registry.count(f"fault.injected.{spec.kind.value}")
+            self.obs.emit(
+                "fault.inject",
+                kind=spec.kind.value,
+                location=spec.location,
+                expect_detection=record.expect_detection,
+            )
+        return record
 
     # ---------------------------------------------------------------- victims
 

@@ -343,6 +343,16 @@ class HeapAllocator:
     def live_chunks(self) -> List[Chunk]:
         return [c for c in self._chunks.values() if c.in_use]
 
+    def publish_metrics(self, registry) -> None:
+        """Harvest the Table II/III profile into a ``MetricsRegistry``."""
+        registry.count("alloc.mallocs", self.stats.allocations)
+        registry.count("alloc.frees", self.stats.deallocations)
+        registry.count("alloc.bytes_allocated", self.stats.bytes_allocated)
+        registry.count("alloc.bytes_freed", self.stats.bytes_freed)
+        registry.set_gauge("alloc.active", self.stats.active)
+        registry.set_gauge("alloc.max_active", self.stats.max_active)
+        registry.set_gauge("alloc.heap_used", self.heap_used)
+
     # ------------------------------------------------------- fault injection
 
     def corrupt_chunk_header(self, payload: int, raw_size: int) -> int:

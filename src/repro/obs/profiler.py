@@ -1,0 +1,92 @@
+"""Per-phase wall-clock profiler for the experiment engine itself.
+
+The simulator's observability is cycle-stamped and deterministic; the
+*engine* around it (trace generation, lowering, simulation, reporting,
+cache I/O) is ordinary Python whose wall-clock split is what a "why is
+``python -m repro all`` slow" question needs.  :class:`PhaseProfiler`
+accumulates seconds per named phase with negligible overhead.
+
+Wall-clock numbers are intentionally kept **out** of the deterministic
+trace/metrics artifacts — the profiler prints its own summary (and can
+export its own separate Chrome trace) so cached artifacts stay
+byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named engine phase."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._start = clock()
+        #: phase -> accumulated seconds, in first-seen order.
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        #: (phase, start, end) spans for the Chrome export.
+        self._spans: List[tuple] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one engine phase; phases may repeat and accumulate."""
+        begin = self._clock()
+        try:
+            yield self
+        finally:
+            end = self._clock()
+            self._seconds[name] = self._seconds.get(name, 0.0) + (end - begin)
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._spans.append((name, begin, end))
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold in an externally timed duration (e.g. a subprocess)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    # ------------------------------------------------------------ reporting
+
+    def summary(self) -> Dict[str, float]:
+        """phase -> seconds, in first-seen order."""
+        return dict(self._seconds)
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def format(self) -> str:
+        """A compact phase table: seconds, share, call count."""
+        total = self.total()
+        lines = ["engine phase profile (wall clock)"]
+        for name, seconds in self._seconds.items():
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"  {name:<18s} {seconds:8.3f}s  {share:6.1%}  "
+                f"x{self._calls[name]}"
+            )
+        lines.append(f"  {'total':<18s} {total:8.3f}s")
+        return "\n".join(lines)
+
+    def chrome_events(self) -> List[dict]:
+        """The engine phases as Chrome ``X`` (complete) events.
+
+        Timestamps are microseconds since profiler creation — wall clock,
+        so this export is for engine profiling only and is never merged
+        into the deterministic simulation trace.
+        """
+        events = []
+        for name, begin, end in self._spans:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": (begin - self._start) * 1e6,
+                    "dur": (end - begin) * 1e6,
+                    "pid": 2,
+                    "tid": 1,
+                }
+            )
+        return events

@@ -1,0 +1,201 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every simulator structure the paper's evaluation dissects — MCQ occupancy
+(§V-A/§V-E), HBT occupancy and resize migration (§V-B), BWB hit rates
+(§V-C), B-cache pollution (§IX-B) — reports through one
+:class:`MetricsRegistry` per simulated cell, so "why is this workload
+slow" questions can be answered from a metrics snapshot instead of ad-hoc
+print debugging.
+
+Design constraints:
+
+- **Determinism** — snapshots contain only simulation-derived values
+  (cycle counts, event counts), never wall-clock time, and serialise with
+  sorted keys, so two runs at the same seed produce byte-identical
+  metrics files that are safe to cache, diff and check in as goldens.
+- **Near-zero cost when disabled** — components hold an ``obs`` handle
+  that is ``None`` by default; every hot-path instrumentation point is
+  guarded by a single attribute-load + ``is None`` test, and the bulk of
+  the registry is populated by harvesting the existing per-component
+  stats dataclasses once, after the pipeline drains.
+- **Mergeable** — :func:`merge_snapshots` folds per-cell snapshots into
+  suite-level aggregates (counters and histograms sum, gauges keep the
+  maximum), which is what the ``--metrics`` report tables show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (occupancy, rate, footprint)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark (for occupancy-style gauges)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-boundary histogram (cumulative-free, one overflow bucket).
+
+    ``bounds`` are the *upper* edges of the finite buckets; an observation
+    ``v`` lands in the first bucket with ``v <= bound``, or in the final
+    overflow bucket.  Boundaries are fixed at creation so per-cell
+    histograms from different workers merge bucket-by-bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Factory and container for all metrics of one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        elif metric.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return metric
+
+    # ---------------------------------------------------------- convenience
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """A JSON-able, deterministically ordered view of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "counts": list(self._histograms[name].counts),
+                    "total": self._histograms[name].total,
+                    "count": self._histograms[name].count,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+def empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Fold per-cell snapshots into one suite-level aggregate.
+
+    Counters and histogram buckets sum; gauges keep the maximum (they are
+    levels, and the interesting suite question is the high-water mark).
+    ``None`` entries and empty dicts (cells simulated without obs) are
+    skipped, so a partially instrumented sweep still aggregates cleanly.
+    """
+    merged = empty_snapshot()
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if name not in merged["gauges"] or value > merged["gauges"][name]:
+                merged["gauges"][name] = value
+        for name, hist in snapshot.get("histograms", {}).items():
+            into = merged["histograms"].get(name)
+            if into is None:
+                merged["histograms"][name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "total": hist["total"],
+                    "count": hist["count"],
+                }
+                continue
+            if into["bounds"] != list(hist["bounds"]):
+                raise ValueError(f"histogram {name!r} bounds mismatch in merge")
+            into["counts"] = [a + b for a, b in zip(into["counts"], hist["counts"])]
+            into["total"] += hist["total"]
+            into["count"] += hist["count"]
+    # Deterministic key order for serialisation/diffing.
+    merged["counters"] = dict(sorted(merged["counters"].items()))
+    merged["gauges"] = dict(sorted(merged["gauges"].items()))
+    merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    return merged

@@ -1,0 +1,165 @@
+"""Structured event tracing: a bounded ring buffer of cycle-stamped events.
+
+The tracer records what the simulator's mechanism seams *did* — an MCQ
+enqueue, an HBT resize beginning and ending, a BWB miss, an AOS exception
+— each stamped with the simulated cycle at which it happened, never with
+wall-clock time.  The pipeline owns the notion of "now" and publishes it
+through :attr:`EventTracer.cycle`; components just call :meth:`emit`.
+
+The buffer is a fixed-capacity ring: a trace-everything run cannot grow
+without bound, the *latest* events survive (the ones you want when a run
+misbehaves at the end), and the number of dropped events is counted so a
+truncated trace is visibly truncated.
+
+Sinks are pluggable: :meth:`events` hands the in-memory ring to tests,
+:meth:`to_jsonl` streams one JSON object per line for offline tooling, and
+:func:`repro.obs.chrome.chrome_trace` converts the same events to the
+Chrome trace-event format Perfetto loads.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Tuple
+
+#: Chrome trace-event phases the tracer emits: instant, begin, end, counter.
+PHASES = ("i", "B", "E", "C")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One cycle-stamped structured event."""
+
+    cycle: float
+    name: str
+    phase: str = "i"
+    #: Sorted (key, value) pairs — hashable, deterministic, JSON-able.
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "name": self.name,
+            "phase": self.phase,
+            "args": dict(self.args),
+        }
+
+
+@dataclass
+class TracerStats:
+    emitted: int = 0
+    dropped: int = 0
+
+    @property
+    def retained(self) -> int:
+        return self.emitted - self.dropped
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent` values."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        #: The simulated cycle events are stamped with; the pipeline (or
+        #: whichever driver owns time) updates this before driving
+        #: instrumented components.
+        self.cycle: float = 0.0
+        self.stats = TracerStats()
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    # ---------------------------------------------------------------- emit
+
+    def emit(self, name: str, phase: str = "i", **args: object) -> None:
+        """Record one event at the current cycle.
+
+        ``args`` must be JSON-able scalars; they are stored sorted by key
+        so identical runs produce identical traces.
+        """
+        if phase not in PHASES:
+            raise ValueError(f"unknown trace phase {phase!r}")
+        if len(self._ring) == self.capacity:
+            self.stats.dropped += 1
+        self.stats.emitted += 1
+        self._ring.append(
+            TraceEvent(
+                cycle=self.cycle,
+                name=name,
+                phase=phase,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    def begin(self, name: str, **args: object) -> None:
+        """Open a duration span (Chrome phase ``B``)."""
+        self.emit(name, phase="B", **args)
+
+    def end(self, name: str, **args: object) -> None:
+        """Close a duration span (Chrome phase ``E``)."""
+        self.emit(name, phase="E", **args)
+
+    def sample(self, name: str, **args: object) -> None:
+        """Emit a counter sample (Chrome phase ``C``): numeric args only."""
+        self.emit(name, phase="C", **args)
+
+    # ---------------------------------------------------------------- sinks
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (the in-memory sink)."""
+        return list(self._ring)
+
+    def to_jsonl(self, path) -> int:
+        """Write one JSON object per retained event; returns events written.
+
+        Output is deterministic: insertion order, sorted keys, no
+        timestamps other than the simulated cycle.
+        """
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return len(events)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load events written by :meth:`EventTracer.to_jsonl` (test round-trips)."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(
+                TraceEvent(
+                    cycle=data["cycle"],
+                    name=data["name"],
+                    phase=data["phase"],
+                    args=tuple(sorted(data["args"].items())),
+                )
+            )
+    return events
+
+
+def span_pairs(events: Iterable[TraceEvent]) -> List[Tuple[TraceEvent, TraceEvent]]:
+    """Match ``B``/``E`` events by name, in order (analysis helper)."""
+    open_spans: dict = {}
+    pairs: List[Tuple[TraceEvent, TraceEvent]] = []
+    for event in events:
+        if event.phase == "B":
+            open_spans.setdefault(event.name, []).append(event)
+        elif event.phase == "E":
+            stack = open_spans.get(event.name)
+            if stack:
+                pairs.append((stack.pop(), event))
+    return pairs

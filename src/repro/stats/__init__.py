@@ -1,13 +1,16 @@
 """Reporting helpers: tables, geomeans, coverage, supervision taxonomy."""
 
 from .coverage import DetectionCoverage
+from .metrics_report import MetricsReport, format_cell_metrics
 from .report import TableFormatter, geomean, normalize
 from .supervision import SupervisionSummary
 
 __all__ = [
     "DetectionCoverage",
+    "MetricsReport",
     "SupervisionSummary",
     "TableFormatter",
+    "format_cell_metrics",
     "geomean",
     "normalize",
 ]

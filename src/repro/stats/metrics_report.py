@@ -1,0 +1,94 @@
+"""Render metric snapshots as report tables.
+
+A :class:`MetricsReport` formats one snapshot (a single cell's, or a
+suite-level merge from
+:meth:`~repro.experiments.common.ExperimentSuite.metrics_snapshot`) into
+the same fixed-width text style as the figure tables, grouped by metric
+namespace (``mcu.*``, ``hbt.*``, ``cache.*``, ...).  Histograms render as
+one row per bucket edge so way-walk distributions are readable without
+external tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _split(name: str) -> Tuple[str, str]:
+    """``mcu.lines_accessed`` -> (``mcu``, ``lines_accessed``)."""
+    head, _, tail = name.partition(".")
+    return (head, tail) if tail else ("misc", head)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return f"{int(value):,}"
+
+
+class MetricsReport:
+    """Human-readable view of one metrics snapshot."""
+
+    def __init__(self, snapshot: dict, title: str = "metrics") -> None:
+        self.snapshot = snapshot or {}
+        self.title = title
+
+    # ------------------------------------------------------------ sections
+
+    def _grouped(self, kind: str) -> Dict[str, List[Tuple[str, object]]]:
+        groups: Dict[str, List[Tuple[str, object]]] = {}
+        for name, value in self.snapshot.get(kind, {}).items():
+            group, leaf = _split(name)
+            groups.setdefault(group, []).append((leaf, value))
+        return groups
+
+    def format(self) -> str:
+        lines = [self.title, "=" * len(self.title)]
+        counters = self._grouped("counters")
+        gauges = self._grouped("gauges")
+        if not counters and not gauges and not self.snapshot.get("histograms"):
+            lines.append("(no metrics collected — run with observability on)")
+            return "\n".join(lines)
+        for group in sorted(set(counters) | set(gauges)):
+            lines.append(f"\n[{group}]")
+            for leaf, value in counters.get(group, []):
+                lines.append(f"  {leaf:<28s} {_format_value(value):>16s}")
+            for leaf, value in gauges.get(group, []):
+                lines.append(f"  {leaf:<28s} {_format_value(value):>16s}  (gauge)")
+        for name, hist in self.snapshot.get("histograms", {}).items():
+            lines.append(f"\n[histogram] {name}")
+            count = hist.get("count", 0)
+            lines.append(
+                f"  observations {count:,}  mean "
+                f"{(hist.get('total', 0.0) / count if count else 0.0):.3f}"
+            )
+            bounds = list(hist.get("bounds", []))
+            counts = list(hist.get("counts", []))
+            edges = [f"<= {b:g}" for b in bounds] + [f"> {bounds[-1]:g}" if bounds else "all"]
+            for edge, bucket in zip(edges, counts):
+                bar = "#" * min(40, round(40 * bucket / count)) if count else ""
+                lines.append(f"  {edge:>10s} {bucket:>12,d}  {bar}")
+        return "\n".join(lines)
+
+
+def format_cell_metrics(
+    cell_metrics: Dict[Tuple[str, str], dict],
+    counter: str,
+    limit: Optional[int] = None,
+) -> str:
+    """A compact per-cell table of one counter across a sweep's cells."""
+    rows = []
+    for (workload, key), snapshot in sorted(cell_metrics.items()):
+        value = snapshot.get("counters", {}).get(counter)
+        if value is None:
+            value = snapshot.get("gauges", {}).get(counter)
+        if value is not None:
+            rows.append((f"{workload}/{key}", value))
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return f"(no cells carry metric {counter!r})"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(
+        f"{name:<{width}s}  {_format_value(value):>16s}" for name, value in rows
+    )

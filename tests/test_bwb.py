@@ -103,3 +103,46 @@ class TestBuffer:
             BoundsWayBuffer(entries=0)
         with pytest.raises(ValueError):
             BoundsWayBuffer(entries=4, eviction="mru")
+
+
+class TestStaleHintPinned:
+    """Pin the max_way fix: a stored way hint the current HBT geometry
+    cannot use is a miss (and is evicted), never a counted hit."""
+
+    def test_unusable_hint_is_a_miss(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 5)
+        assert bwb.lookup(0x1, max_way=2) is None
+        assert bwb.stats.lookups == 1
+        assert bwb.stats.hits == 0
+
+    def test_unusable_hint_is_evicted(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 5)
+        bwb.lookup(0x1, max_way=2)
+        assert bwb.peek(0x1) is None  # gone, not just skipped
+
+    def test_usable_hint_still_hits(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 1)
+        assert bwb.lookup(0x1, max_way=2) == 1
+        assert bwb.stats.hits == 1
+
+    def test_boundary_way_equal_to_max_is_unusable(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 2)
+        assert bwb.lookup(0x1, max_way=2) is None  # ways are 0..max_way-1
+
+    def test_no_max_way_preserves_legacy_behaviour(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 9)
+        assert bwb.lookup(0x1) == 9
+        assert bwb.stats.hits == 1
+
+    def test_hit_rate_reflects_consumed_hints_only(self):
+        bwb = BoundsWayBuffer(entries=4)
+        bwb.update(0x1, 5)     # stale after a (simulated) resize shrink
+        bwb.update(0x2, 0)     # usable
+        bwb.lookup(0x1, max_way=2)
+        bwb.lookup(0x2, max_way=2)
+        assert bwb.stats.hit_rate == 0.5

@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import ARTIFACTS, build_parser, main
@@ -101,3 +103,77 @@ class TestMain:
         ]
         assert main(argv) == 0
         assert "artifact cache @" not in capsys.readouterr().out
+
+
+class TestTraceArtifact:
+    def test_trace_options_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "trace", "gcc", "--trace-out", "t.json", "--metrics-out", "m.json",
+            "--events-out", "e.jsonl", "--mechanism", "aos",
+            "--trace-capacity", "1024",
+        ])
+        assert args.artifact == "trace"
+        assert args.target == "gcc"
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.events_out == "e.jsonl"
+        assert args.trace_capacity == 1024
+
+    def test_trace_writes_valid_artifacts(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace_file
+
+        trace_out = tmp_path / "trace.json"
+        metrics_out = tmp_path / "metrics.json"
+        events_out = tmp_path / "events.jsonl"
+        assert main([
+            "trace", "gobmk", "--quick", "--instructions", "6000",
+            "--trace-out", str(trace_out), "--metrics-out", str(metrics_out),
+            "--events-out", str(events_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert validate_chrome_trace_file(trace_out) == []
+
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["counters"]  # non-empty: the run was observed
+        assert metrics["counters"]["pipeline.instructions"] > 0
+        assert events_out.read_text().strip()  # JSONL sink populated
+
+    def test_trace_outputs_byte_identical_across_runs(self, tmp_path):
+        outs = []
+        for tag in ("one", "two"):
+            trace_out = tmp_path / f"trace-{tag}.json"
+            metrics_out = tmp_path / f"metrics-{tag}.json"
+            assert main([
+                "trace", "gobmk", "--quick", "--instructions", "6000",
+                "--trace-out", str(trace_out), "--metrics-out", str(metrics_out),
+            ]) == 0
+            outs.append((trace_out.read_bytes(), metrics_out.read_bytes()))
+        assert outs[0] == outs[1]
+
+    def test_metrics_flag_prints_suite_report(self, capsys):
+        assert main([
+            "fig17", "--workloads", "gobmk", "--instructions", "8000",
+            "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "suite metrics (merged cells)" in out
+        assert "[mcu]" in out
+        assert "lines_per_signed_check" in out
+
+    def test_metrics_out_writes_merged_snapshot(self, capsys, tmp_path):
+        metrics_out = tmp_path / "suite-metrics.json"
+        assert main([
+            "fig17", "--workloads", "gobmk", "--instructions", "8000",
+            "--metrics", "--metrics-out", str(metrics_out),
+        ]) == 0
+        snapshot = json.loads(metrics_out.read_text())
+        assert snapshot["counters"]["mcu.checks"] > 0
+
+    def test_profile_flag_prints_phase_table(self, capsys):
+        assert main([
+            "table2", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine phase profile" in out

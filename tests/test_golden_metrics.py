@@ -1,0 +1,121 @@
+"""Golden-metrics regression test.
+
+Pins the full metric snapshot of one reference cell (``gcc`` at the
+``--quick`` trace settings) against a checked-in fixture, so any change to
+instruction accounting, HBT/BWB bookkeeping, cache modelling or the
+metrics plumbing shows up as a reviewable diff instead of a silent drift.
+
+To regenerate the fixture after an *intended* accounting change:
+
+    PYTHONPATH=src python tests/test_golden_metrics.py
+
+and commit the updated ``tests/golden/metrics_gcc_quick.json`` together
+with the change that explains it.
+"""
+
+import json
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics_gcc_quick.json"
+
+#: The ``python -m repro trace gcc --quick`` settings (cli.py).
+WORKLOAD = "gcc"
+MECHANISM = "aos"
+INSTRUCTIONS = 12_000
+SEED = 7
+SCALE = 8
+
+
+def compute_quick_metrics() -> dict:
+    """The metric snapshot of the reference cell, via the same path the
+    ``trace`` CLI artifact uses (metrics only; tracing does not affect
+    the registry — see test_differential.py)."""
+    from repro.compiler import lower_trace
+    from repro.cpu.core import Simulator
+    from repro.experiments.common import scaled_config
+    from repro.obs import Observability
+    from repro.workloads import generate_trace, get_profile
+
+    config = scaled_config(MECHANISM, SCALE)
+    trace = generate_trace(
+        get_profile(WORKLOAD), instructions=INSTRUCTIONS, seed=SEED, scale=SCALE
+    )
+    lowered = lower_trace(trace, MECHANISM, config=config)
+    result = Simulator(config, obs=Observability()).run(lowered)
+    return result.metrics
+
+
+def _flatten(snapshot: dict) -> dict:
+    """``{"kind.name": value}`` pairs for readable diffing."""
+    flat = {}
+    for kind in ("counters", "gauges"):
+        for name, value in snapshot.get(kind, {}).items():
+            flat[f"{kind}.{name}"] = value
+    for name, hist in snapshot.get("histograms", {}).items():
+        flat[f"histograms.{name}.bounds"] = hist["bounds"]
+        flat[f"histograms.{name}.counts"] = hist["counts"]
+        flat[f"histograms.{name}.count"] = hist["count"]
+        flat[f"histograms.{name}.total"] = hist["total"]
+    return flat
+
+
+def diff_snapshots(expected: dict, actual: dict) -> list:
+    """Human-readable per-metric differences (empty when identical)."""
+    want, got = _flatten(expected), _flatten(actual)
+    lines = []
+    for name in sorted(set(want) | set(got)):
+        if name not in got:
+            lines.append(f"- {name} = {want[name]!r}  (metric disappeared)")
+        elif name not in want:
+            lines.append(f"+ {name} = {got[name]!r}  (new metric)")
+        elif want[name] != got[name]:
+            lines.append(f"~ {name}: expected {want[name]!r}, got {got[name]!r}")
+    return lines
+
+
+class TestGoldenMetrics:
+    def test_fixture_exists_and_is_sorted_json(self):
+        raw = GOLDEN.read_text()
+        snapshot = json.loads(raw)
+        assert raw == json.dumps(snapshot, sort_keys=True, indent=1) + "\n"
+
+    def test_reference_cell_matches_golden(self):
+        expected = json.loads(GOLDEN.read_text())
+        actual = compute_quick_metrics()
+        differences = diff_snapshots(expected, actual)
+        assert not differences, (
+            "metric snapshot drifted from the golden fixture:\n  "
+            + "\n  ".join(differences)
+            + "\nIf this change is intended, regenerate with:\n"
+            + "  PYTHONPATH=src python tests/test_golden_metrics.py"
+        )
+
+    def test_golden_covers_every_subsystem(self):
+        counters = json.loads(GOLDEN.read_text())["counters"]
+        for prefix in ("mcu.", "hbt.", "bwb.", "cache.", "traffic.", "pipeline."):
+            assert any(name.startswith(prefix) for name in counters), prefix
+
+
+class TestDiffHelper:
+    def test_identical_snapshots_diff_empty(self):
+        snap = {"counters": {"a": 1}, "gauges": {}, "histograms": {}}
+        assert diff_snapshots(snap, snap) == []
+
+    def test_changed_missing_and_new_metrics_reported(self):
+        want = {"counters": {"a": 1, "gone": 2}, "gauges": {}, "histograms": {}}
+        got = {"counters": {"a": 3, "new": 4}, "gauges": {}, "histograms": {}}
+        lines = diff_snapshots(want, got)
+        assert any(line.startswith("~ counters.a") for line in lines)
+        assert any("disappeared" in line for line in lines)
+        assert any("new metric" in line for line in lines)
+
+
+def _regenerate() -> None:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = compute_quick_metrics()
+    GOLDEN.write_text(json.dumps(snapshot, sort_keys=True, indent=1) + "\n")
+    print(f"wrote {GOLDEN} ({len(_flatten(snapshot))} metrics)")
+
+
+if __name__ == "__main__":
+    _regenerate()

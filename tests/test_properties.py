@@ -1,0 +1,222 @@
+"""Property round-trip tests: bounds compression, pointer signing, binenc.
+
+Each property drives ~1000 seeded-random cases through an encode/decode
+pair and asserts the algebraic invariant the paper's hardware relies on.
+Plain ``random.Random`` loops (not hypothesis) keep the case count and
+the failure inputs exactly reproducible from the printed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bounds import (
+    CompressedBounds,
+    compress_bounds,
+    decompress_bounds,
+    truncate_address,
+)
+from repro.core.signing import AuthenticationFault, PointerSigner
+from repro.crypto.pac import PACGenerator
+from repro.errors import EncodingError
+from repro.isa import binenc
+from repro.isa.encoding import PointerLayout
+
+SEED = 0xA05
+CASES = 1000
+
+
+def _cases(seed=SEED, count=CASES):
+    rng = random.Random(seed)
+    return rng, range(count)
+
+
+class TestBoundsCompression:
+    """Fig. 9: 29-bit LowBnd + 32-bit Size with carry compensation."""
+
+    def test_compress_decompress_round_trip(self):
+        rng, cases = _cases()
+        for _ in cases:
+            lower = rng.randrange(0, 1 << 32) & ~0xF
+            size = rng.randrange(1, 1 << 32)
+            bounds = decompress_bounds(compress_bounds(lower, size))
+            assert bounds.lower == lower, (lower, size)
+            assert bounds.size == size, (lower, size)
+            assert bounds.upper == lower + size
+
+    def test_containment_within_allocation(self):
+        rng, cases = _cases(seed=SEED + 1)
+        for _ in cases:
+            lower = rng.randrange(0, 1 << 32) & ~0xF
+            size = rng.randrange(1, 1 << 32)
+            bounds = decompress_bounds(compress_bounds(lower, size))
+            assert bounds.contains(lower), (lower, size)
+            assert bounds.contains(lower + size - 1), (lower, size)
+            interior = lower + rng.randrange(size)
+            assert bounds.contains(interior), (lower, size, interior)
+
+    def test_rejection_outside_allocation(self):
+        rng, cases = _cases(seed=SEED + 2)
+        for _ in cases:
+            lower = rng.randrange(1 << 10, 1 << 32) & ~0xF
+            size = rng.randrange(1, 1 << 20)
+            bounds = decompress_bounds(compress_bounds(lower, size))
+            assert not bounds.contains(lower + size), (lower, size)
+            assert not bounds.contains(lower - 1), (lower, size)
+
+    def test_carry_compensation_across_bit32(self):
+        """Fig. 9b's C bit: allocations straddling the 2^33 boundary keep
+        their upper half in bounds even though tAddr drops bit 33."""
+        rng, cases = _cases(seed=SEED + 3)
+        for _ in cases:
+            # Lower bound just below 2^33 (bit 32 set), size crossing it.
+            lower = ((1 << 33) - rng.randrange(16, 1 << 16)) & ~0xF
+            size = rng.randrange(1 << 17, 1 << 20)
+            bounds = decompress_bounds(compress_bounds(lower, size))
+            crossing = (1 << 33) + rng.randrange(size - ((1 << 33) - lower))
+            assert crossing < lower + size
+            assert bounds.contains(crossing), (lower, size, crossing)
+
+    def test_truncate_address_identity_below_bit33(self):
+        rng, cases = _cases(seed=SEED + 4)
+        for _ in cases:
+            address = rng.randrange(0, 1 << 33)
+            low_field = rng.randrange(0, 1 << 28)  # bit 32 of LowBnd clear
+            assert truncate_address(address, low_field) == address
+
+    def test_empty_record_contains_nothing(self):
+        bounds = CompressedBounds(raw=0)
+        assert bounds.is_empty
+        assert not bounds.contains(0)
+
+    def test_compress_validates_inputs(self):
+        with pytest.raises(EncodingError):
+            compress_bounds(0x1008, 64)  # not 16-byte aligned
+        with pytest.raises(EncodingError):
+            compress_bounds(0x1000, 0)  # zero size
+        with pytest.raises(EncodingError):
+            compress_bounds(0x1000, 1 << 32)  # size field overflow
+
+
+class TestPointerLayout:
+    """§IV-A pointer format: VA(46) | AHC(2) | PAC(16)."""
+
+    def test_sign_decode_round_trip(self):
+        layout = PointerLayout()
+        rng, cases = _cases(seed=SEED + 5)
+        for _ in cases:
+            address = rng.randrange(0, 1 << layout.va_bits)
+            pac = rng.randrange(0, 1 << layout.pac_bits)
+            ahc = rng.randrange(0, 4)
+            pointer = layout.sign(address, pac, ahc)
+            assert layout.address(pointer) == address
+            assert layout.pac(pointer) == pac
+            assert layout.ahc(pointer) == ahc
+            assert layout.is_signed(pointer) == (ahc != 0)
+            decoded = layout.decode(pointer)
+            assert (decoded.address, decoded.pac, decoded.ahc) == (
+                address, pac, ahc,
+            )
+
+    def test_strip_removes_metadata_and_is_idempotent(self):
+        layout = PointerLayout()
+        rng, cases = _cases(seed=SEED + 6)
+        for _ in cases:
+            address = rng.randrange(0, 1 << layout.va_bits)
+            pointer = layout.sign(
+                address, rng.randrange(1 << layout.pac_bits), rng.randrange(4)
+            )
+            stripped = layout.strip(pointer)
+            assert stripped == address
+            assert layout.strip(stripped) == stripped
+            assert not layout.is_signed(stripped)
+
+    def test_sign_validates_field_widths(self):
+        layout = PointerLayout()
+        with pytest.raises(EncodingError):
+            layout.sign(1 << layout.va_bits, 0, 0)
+        with pytest.raises(EncodingError):
+            layout.sign(0, 1 << layout.pac_bits, 0)
+        with pytest.raises(EncodingError):
+            layout.sign(0, 0, 4)
+
+
+class TestSignerRoundTrip:
+    """pacma -> xpacm/autm semantics over random pointers (fast PAC mode)."""
+
+    def setup_method(self):
+        self.signer = PointerSigner(generator=PACGenerator(mode="fast"))
+
+    def test_pacma_xpacm_restores_address(self):
+        rng, cases = _cases(seed=SEED + 7)
+        va_bits = self.signer.layout.va_bits
+        for _ in cases:
+            address = rng.randrange(0, 1 << va_bits) & ~0xF
+            modifier = rng.randrange(0, 1 << 64)
+            size = rng.randrange(1, 1 << 32)
+            signed = self.signer.pacma(address, modifier, size)
+            assert self.signer.xpacm(signed) == address
+            assert self.signer.is_signed(signed)
+
+    def test_pacma_deterministic(self):
+        rng, cases = _cases(seed=SEED + 8, count=200)
+        for _ in cases:
+            address = rng.randrange(0, 1 << 40) & ~0xF
+            modifier = rng.randrange(0, 1 << 64)
+            size = rng.randrange(1, 1 << 20)
+            assert self.signer.pacma(address, modifier, size) == (
+                self.signer.pacma(address, modifier, size)
+            )
+
+    def test_autm_passes_signed_and_faults_unsigned(self):
+        rng, cases = _cases(seed=SEED + 9, count=200)
+        for _ in cases:
+            address = rng.randrange(0, 1 << 40) & ~0xF
+            signed = self.signer.pacma(address, rng.randrange(1 << 32), 64)
+            assert self.signer.autm(signed) == signed  # autm does not strip
+            with pytest.raises(AuthenticationFault):
+                self.signer.autm(self.signer.xpacm(signed))
+
+
+class TestBinencRoundTrip:
+    """Table: every AOS mnemonic encodes/decodes losslessly; everything
+    outside the reserved group decodes to None."""
+
+    def test_encode_decode_round_trip_all_mnemonics(self):
+        rng, cases = _cases(seed=SEED + 10)
+        mnemonics = sorted(binenc.OPCODES)
+        for _ in cases:
+            mnemonic = rng.choice(mnemonics)
+            xd, xn, xm = (rng.randrange(32) for _ in range(3))
+            word = binenc.encode(mnemonic, xd=xd, xn=xn, xm=xm)
+            decoded = binenc.decode(word)
+            assert decoded is not None
+            assert (decoded.mnemonic, decoded.xd, decoded.xn, decoded.xm) == (
+                mnemonic, xd, xn, xm,
+            )
+
+    def test_decoded_words_reencode_identically(self):
+        rng, cases = _cases(seed=SEED + 11)
+        for _ in cases:
+            word = rng.randrange(0, 1 << 32)
+            decoded = binenc.decode(word)
+            if decoded is None:
+                continue
+            assert binenc.encode(
+                decoded.mnemonic, xd=decoded.xd, xn=decoded.xn, xm=decoded.xm
+            ) == word
+
+    def test_non_group_words_decode_to_none(self):
+        rng, cases = _cases(seed=SEED + 12)
+        for _ in cases:
+            word = rng.randrange(0, 1 << 32)
+            if (word >> 21) != binenc.GROUP_TAG:
+                assert binenc.decode(word) is None
+
+    def test_encode_validates_registers(self):
+        with pytest.raises(EncodingError):
+            binenc.encode("bndstr", xd=32)
+        with pytest.raises(EncodingError):
+            binenc.encode("not-an-op")
+        with pytest.raises(EncodingError):
+            binenc.decode(1 << 32)
