@@ -22,7 +22,7 @@ from ..config import MemoryHierarchyConfig
 from .sram import Cache
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficCounters:
     """Bytes moved per link (the Fig. 18 metric)."""
 
@@ -40,6 +40,17 @@ class TrafficCounters:
 
 class MemoryHierarchy:
     """Two-level cache hierarchy with an optional bounds cache and DRAM."""
+
+    __slots__ = (
+        "config",
+        "l1i",
+        "l1d",
+        "l1b",
+        "l2",
+        "traffic",
+        "line_bytes",
+        "dram_accesses",
+    )
 
     def __init__(self, config: MemoryHierarchyConfig, use_l1b: bool = True) -> None:
         self.config = config

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from ..config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a single cache access."""
 
@@ -17,7 +17,7 @@ class AccessResult:
     writeback: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     accesses: int = 0
     hits: int = 0
@@ -37,6 +37,8 @@ class Cache:
     order (first item = least recently used).  The cache is a timing/state
     model only — data contents live in :class:`repro.memory.SparseMemory`.
     """
+
+    __slots__ = ("config", "line_bits", "num_sets", "assoc", "stats", "_sets")
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config

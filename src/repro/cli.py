@@ -47,6 +47,7 @@ from .experiments.ablations import (
     ablation_quarantine,
     ablation_resize,
 )
+from .kernel import KERNELS
 from .obs import ObsSettings, PhaseProfiler
 from .security import run_security_analysis
 from .supervise import trap_signals
@@ -111,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced sweep: 3 workloads, short windows, small fig11 sample, "
         "quick faultinject campaign (CI smoke shape)",
+    )
+    parser.add_argument(
+        "--kernel", choices=list(KERNELS), default="reference",
+        help="simulation kernel: 'reference' (readable scoreboard model) or "
+        "'fast' (flattened transcription, byte-identical results, ~2x+ "
+        "faster; see tests/test_kernel_equivalence.py)",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -318,7 +325,10 @@ def run_trace(args, profiler: PhaseProfiler) -> str:
     with profiler.phase("lower"):
         lowered = lower_trace(trace, args.mechanism, config=config)
     with profiler.phase("simulate"):
-        result = Simulator(config, obs=obs).run(lowered)
+        # The trace artifact needs the event ring, which only the reference
+        # kernel feeds; Simulator routes traced runs there regardless of
+        # --kernel, so pass the flag through for the untraced portions.
+        result = Simulator(config, obs=obs, kernel=args.kernel).run(lowered)
     with profiler.phase("report"):
         tracer = obs.tracer
         dump_chrome_trace(
@@ -418,6 +428,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs=ObsSettings(enabled=True, tracing=False)
             if args.metrics
             else ObsSettings(),
+            kernel=args.kernel,
         ),
         jobs=args.jobs,
         cache=None if args.no_cache else args.cache_dir or default_cache_dir(),

@@ -437,29 +437,41 @@ class AOSLowering(_LoweringBase):
         )
         self.signer = PointerSigner(generator=generator, layout=self.pointer_layout)
         self.sp = address_layout.stack_top - 0x100
-        #: (signed pointer, size) pairs pre-inserted into every fresh HBT.
+        #: (pac, address, size) triples pre-inserted into every fresh HBT.
         self._preamble_bounds: List[tuple] = []
+        #: Preamble-warmed HBT the factory clones per run (built lazily on
+        #: the first run instead of re-walking every preamble insert).
+        self._hbt_prototype: Optional[HashedBoundsTable] = None
 
     # ------------------------------------------------------------- preamble
 
     def setup_preamble(self) -> None:
-        for obj, size in self.trace.preamble:
-            raw = self.allocator.malloc(size)
-            signed = self.signer.pacma(raw, self.sp, size)
+        # Allocate first (malloc order defines the address layout), then
+        # sign the whole preamble in one batch: QARMA mode vectorises the
+        # PAC computation instead of one scalar permutation per object.
+        sizes = [size for _, size in self.trace.preamble]
+        raws = [self.allocator.malloc(size) for size in sizes]
+        layout = self.pointer_layout
+        for (obj, size), signed in zip(
+            self.trace.preamble, self.signer.pacma_batch(raws, self.sp, sizes)
+        ):
             self.pointers[obj] = signed
-            self._preamble_bounds.append((signed, size))
+            self._preamble_bounds.append(
+                (layout.pac(signed), layout.address(signed), size)
+            )
 
     def _make_hbt(self) -> HashedBoundsTable:
-        hbt = HashedBoundsTable(
-            pac_bits=self.pac_bits,
-            initial_ways=self.config.hbt.initial_ways,
-            layout=self.address_layout,
-            compression=self.config.aos.bounds_compression,
-        )
-        for signed, size in self._preamble_bounds:
-            decoded = self.pointer_layout.decode(signed)
-            self._insert_with_resize(hbt, decoded.pac, decoded.address, size)
-        return hbt
+        if self._hbt_prototype is None:
+            hbt = HashedBoundsTable(
+                pac_bits=self.pac_bits,
+                initial_ways=self.config.hbt.initial_ways,
+                layout=self.address_layout,
+                compression=self.config.aos.bounds_compression,
+            )
+            for pac, address, size in self._preamble_bounds:
+                self._insert_with_resize(hbt, pac, address, size)
+            self._hbt_prototype = hbt
+        return self._hbt_prototype.clone()
 
     @staticmethod
     def _insert_with_resize(

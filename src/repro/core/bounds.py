@@ -31,7 +31,17 @@ LOWBND_SHIFT = 4
 class CompressedBounds:
     """A decoded 8-byte bounds record."""
 
+    __slots__ = ("raw",)
+
     raw: int
+
+    # frozen + __slots__ breaks default pickling (the default __setstate__
+    # hits the frozen __setattr__); spell out the state protocol instead.
+    def __getstate__(self):
+        return self.raw
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "raw", state)
 
     @property
     def low_field(self) -> int:
@@ -102,8 +112,17 @@ class RawBounds:
     """Uncompressed 16-byte (lower, upper) bounds — the Fig. 15 'no
     compression' ablation, where each record costs two HBT slots."""
 
+    __slots__ = ("lower", "upper")
+
     lower: int
     upper: int
+
+    def __getstate__(self):
+        return (self.lower, self.upper)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "lower", state[0])
+        object.__setattr__(self, "upper", state[1])
 
     def contains(self, address: int) -> bool:
         return self.lower <= address < self.upper

@@ -36,7 +36,7 @@ def bwb_tag(address: int, ahc: int, pac: int) -> int:
     return ((pac & 0xFFFF) << 16) | (window << 2) | (ahc & 0x3)
 
 
-@dataclass
+@dataclass(slots=True)
 class BWBStats:
     lookups: int = 0
     hits: int = 0
@@ -48,6 +48,8 @@ class BWBStats:
 
 class BoundsWayBuffer:
     """64-entry (default) LRU tag buffer mapping tags to last-used HBT ways."""
+
+    __slots__ = ("entries", "eviction", "stats", "_table")
 
     def __init__(self, entries: int = 64, eviction: str = "lru") -> None:
         if entries < 1:

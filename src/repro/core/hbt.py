@@ -22,7 +22,7 @@ lines live in the normal cache hierarchy (§V-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..errors import SimulationError
@@ -37,7 +37,7 @@ BoundsRecord = Union[CompressedBounds, RawBounds]
 LINE_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class HBTStats:
     """Counters for the Fig. 17 / §IX-A.1 analyses."""
 
@@ -52,6 +52,26 @@ class HBTStats:
 
 class HashedBoundsTable:
     """The functional HBT: slot storage plus Fig. 10 addressing."""
+
+    __slots__ = (
+        "pac_bits",
+        "num_rows",
+        "ways",
+        "compression",
+        "slots_per_way",
+        "lines_per_way",
+        "layout",
+        "max_ways",
+        "stats",
+        "_obs",
+        "_rows",
+        "_base",
+        "_old_base",
+        "_old_ways",
+        "_row_ptr",
+        "_resizing",
+        "_migration_stalled",
+    )
 
     def __init__(
         self,
@@ -93,6 +113,36 @@ class HashedBoundsTable:
         #: rows until :meth:`resume_migration`, freezing the Fig. 10
         #: steering split between old and new tables.
         self._migration_stalled = False
+
+    def clone(self) -> "HashedBoundsTable":
+        """An independent copy for one simulation run.
+
+        Rows are copied shallowly (bounds records are immutable and safely
+        shared); geometry, resize/steering state and statistics are
+        snapshotted; the observability handle is *not* carried over (each
+        run attaches its own via :meth:`set_obs`).  The AOS lowering builds
+        one preamble-warmed prototype and clones it per run instead of
+        re-executing every preamble insert.
+        """
+        other = object.__new__(HashedBoundsTable)
+        other.pac_bits = self.pac_bits
+        other.num_rows = self.num_rows
+        other.ways = self.ways
+        other.compression = self.compression
+        other.slots_per_way = self.slots_per_way
+        other.lines_per_way = self.lines_per_way
+        other.layout = self.layout
+        other.max_ways = self.max_ways
+        other.stats = replace(self.stats)
+        other._obs = None
+        other._rows = {pac: list(row) for pac, row in self._rows.items()}
+        other._base = self._base
+        other._old_base = self._old_base
+        other._old_ways = self._old_ways
+        other._row_ptr = self._row_ptr
+        other._resizing = self._resizing
+        other._migration_stalled = self._migration_stalled
+        return other
 
     # ------------------------------------------------------------ addressing
 
@@ -259,6 +309,12 @@ class HashedBoundsTable:
     @property
     def row_ptr(self) -> int:
         return self._row_ptr
+
+    @property
+    def old_ways(self) -> int:
+        """Associativity of the table being migrated away from (equals
+        :attr:`ways` when no resize is in flight)."""
+        return self._old_ways
 
     def begin_resize(self) -> None:
         """Start a gradual resize: double the associativity (§V-B)."""

@@ -52,9 +52,13 @@ class MCQType(Enum):
     BNDCLR = auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class MCQEntry:
-    """One in-flight bounds operation (the fields of §V-A.1)."""
+    """One in-flight bounds operation (the fields of §V-A.1).
+
+    ``slots=True``: one entry is allocated per table op / reference-kernel
+    signed check, so the per-instance ``__dict__`` is measurable overhead.
+    """
 
     entry_type: MCQType
     #: Stripped pointer address being validated / managed.
@@ -168,6 +172,8 @@ class MCQEntry:
 
 class MemoryCheckQueue:
     """The 48-entry (Table IV) FIFO holding in-flight bounds operations."""
+
+    __slots__ = ("capacity", "_entries")
 
     def __init__(self, capacity: int = 48) -> None:
         if capacity < 1:

@@ -36,7 +36,7 @@ from .hbt import HashedBoundsTable
 from .mcq import MCQEntry, MCQState, MCQType, MemoryCheckQueue
 
 
-@dataclass
+@dataclass(slots=True)
 class ValidationResult:
     """Outcome of one MCU operation."""
 
@@ -52,7 +52,7 @@ class ValidationResult:
     fault: Optional[Exception] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MCUStats:
     """Counters behind Fig. 17 and the §IX discussion."""
 
@@ -87,6 +87,20 @@ class MemoryCheckUnit:
     #: line accesses.  This is what "delayed retirement" costs even on a
     #: 100 % L1-B-hit workload like hmmer (§IX-A).
     CHECK_PIPELINE_CYCLES = 1
+
+    __slots__ = (
+        "hbt",
+        "layout",
+        "options",
+        "bwb",
+        "mcq",
+        "stats",
+        "_obs",
+        "_h_lines",
+        "_bounds_access",
+        "_recent_stores",
+        "_inject_dropped_stores",
+    )
 
     def __init__(
         self,
@@ -321,6 +335,18 @@ class MemoryCheckUnit:
                 )
             if self.bwb is not None:
                 self.bwb.flush()  # way geometry changed
+            if self.hbt.resizing and not self.hbt.migration_stalled:
+                # A second capacity failure while the previous gradual
+                # resize is still migrating: the OS completes the in-flight
+                # migration before allocating the next doubling (§IV-D),
+                # charged like the blocking copy (~2 rows/cycle) over the
+                # rows that had not yet moved.  A *stalled* migration
+                # (fault injection) cannot be completed — begin_resize
+                # below surfaces the fault.
+                latency += (
+                    (self.hbt.num_rows - self.hbt.row_ptr) * self.hbt.old_ways // 2
+                )
+                self.hbt.finish_resize()
             old_ways = self.hbt.ways
             self.hbt.begin_resize()
             if not self.options.nonblocking_resize:

@@ -42,6 +42,26 @@ class PointerSigner:
     def pacmb(self, pointer: int, modifier: int, size: int) -> int:
         return self.pacma(pointer, modifier, size, key="mb")
 
+    def pacma_batch(self, pointers, modifier: int, sizes, key: str = "ma") -> list:
+        """Sign many pointers under one modifier (preamble bulk signing).
+
+        Element-for-element identical to calling :meth:`pacma` in a loop —
+        pinned by ``tests/test_properties.py`` — but routes PAC generation
+        through :meth:`PACGenerator.compute_batch`, which vectorises QARMA
+        mode over the whole batch.
+        """
+        layout = self.layout
+        addresses = [layout.address(p) for p in pointers]
+        pacs = self.generator.compute_batch(addresses, modifier, key_name=key)
+        return [
+            layout.sign(
+                address,
+                pac,
+                compute_ahc(address, size if size > 0 else 1, layout.va_bits),
+            )
+            for address, pac, size in zip(addresses, pacs, sizes)
+        ]
+
     def xpacm(self, pointer: int) -> int:
         """Strip both PAC and AHC from the pointer."""
         return self.layout.strip(pointer)

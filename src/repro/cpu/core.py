@@ -16,6 +16,8 @@ from ..config import SystemConfig
 from ..cache.hierarchy import MemoryHierarchy
 from ..core.mcu import MemoryCheckUnit
 from ..isa.program import Program
+from ..kernel import validate_kernel
+from ..kernel.fast import run_fast
 from .pipeline import PipelineModel, PipelineResult
 
 if TYPE_CHECKING:
@@ -59,12 +61,20 @@ class Simulator:
     """Runs lowered workloads on the Table IV machine."""
 
     def __init__(
-        self, config: SystemConfig, obs: Optional["Observability"] = None
+        self,
+        config: SystemConfig,
+        obs: Optional["Observability"] = None,
+        kernel: str = "reference",
     ) -> None:
         self.config = config
         #: Observability handle threaded into every component of a run;
         #: ``None`` (the default) keeps the simulator uninstrumented.
         self.obs = obs
+        #: Which simulation kernel executes the program: ``"reference"``
+        #: (the readable PipelineModel) or ``"fast"`` (the flattened
+        #: transcription in :mod:`repro.kernel.fast`; byte-identical
+        #: results, enforced by tests/test_kernel_equivalence.py).
+        self.kernel = validate_kernel(kernel)
 
     def run(self, lowered, inspect=None) -> SimulationResult:
         """Simulate one lowered workload; returns the full measurement set.
@@ -114,10 +124,16 @@ class Simulator:
             # exists; attach it here so resize events are cycle-stamped.
             hbt.set_obs(obs)
 
-        pipeline = PipelineModel(
-            self.config, hierarchy, mcu=mcu, va_mask=va_mask, obs=obs
-        )
-        result = pipeline.run(program)
+        # Event tracing is only wired through the reference kernel (a traced
+        # run is a debugging run, not a perf run); the fast kernel covers
+        # untraced and metrics-only observability.
+        if self.kernel == "fast" and (obs is None or obs.tracer is None):
+            result = run_fast(self.config, hierarchy, mcu, va_mask, obs, program)
+        else:
+            pipeline = PipelineModel(
+                self.config, hierarchy, mcu=mcu, va_mask=va_mask, obs=obs
+            )
+            result = pipeline.run(program)
         if inspect is not None:
             inspect(mcu, hbt)
 

@@ -95,6 +95,7 @@ class PACGenerator:
         if self.mode not in ("qarma", "fast"):
             raise ValueError("PAC mode must be 'qarma' or 'fast'")
         self._ciphers: Dict[str, Qarma64] = {}
+        self._batch_ciphers: Dict[str, object] = {}
 
     def _cipher(self, key_name: str) -> Qarma64:
         cipher = self._ciphers.get(key_name)
@@ -120,6 +121,32 @@ class PACGenerator:
         else:
             full = self._cipher(key_name).encrypt(pointer & MASK64, modifier & MASK64)
         return full & ((1 << self.pac_bits) - 1)
+
+    def compute_batch(self, pointers, modifier: int, key_name: str = "ma") -> list:
+        """Truncated PACs for many pointers under one modifier.
+
+        Semantically ``[self.compute(p, modifier, key_name) for p in
+        pointers]`` — the property tests in ``tests/test_properties.py`` pin
+        that equivalence — but QARMA mode runs the NumPy-vectorised
+        :class:`~repro.crypto.qarma_batch.Qarma64Batch` instead of one
+        scalar permutation per pointer.  Fast mode stays scalar: SplitMix64
+        is already two multiplies per pointer.
+        """
+        if self.mode == "fast" or not pointers:
+            return [self.compute(p, modifier, key_name=key_name) for p in pointers]
+        batch = self._batch_ciphers.get(key_name)
+        if batch is None:
+            from .qarma_batch import Qarma64Batch
+
+            batch = Qarma64Batch(
+                self.keys.key_for(key_name), rounds=self.rounds, sbox=self.sbox
+            )
+            self._batch_ciphers[key_name] = batch
+        import numpy as np
+
+        plaintexts = np.array([p & MASK64 for p in pointers], dtype=np.uint64)
+        pacs = batch.pacs(plaintexts, modifier & MASK64, pac_bits=self.pac_bits)
+        return [int(p) for p in pacs]
 
     @property
     def pac_space(self) -> int:

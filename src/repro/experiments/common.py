@@ -39,6 +39,7 @@ from ..compiler import LoweredWorkload, lower_trace
 from ..cpu.core import SimulationResult, Simulator
 from ..cpu.pipeline import PipelineResult
 from ..faults.checkpoint import CheckpointStore
+from ..kernel import validate_kernel
 from ..obs import ObsSettings, merge_snapshots
 from ..workloads import WorkloadTrace, generate_trace, get_profile
 
@@ -66,12 +67,22 @@ class RunSettings:
     part of the settings — and therefore of every cache fingerprint — so
     metric-bearing results are never conflated with plain ones in the
     artifact cache or a checkpoint.
+
+    ``kernel`` selects the simulation kernel (``"reference"`` or
+    ``"fast"``, see :mod:`repro.kernel`).  Being a settings field it flows
+    into workers and cache fingerprints, so cached artifacts are keyed by
+    the kernel that produced them even though the kernels are
+    result-equivalent by contract.
     """
 
     instructions: int = 60_000
     seed: int = 7
     scale: int = 8
     obs: ObsSettings = ObsSettings()
+    kernel: str = "reference"
+
+    def __post_init__(self) -> None:
+        validate_kernel(self.kernel)
 
 
 def scaled_config(mechanism: str, scale: int) -> SystemConfig:
@@ -174,6 +185,7 @@ class ExperimentSuite:
                         "instructions": settings.instructions,
                         "seed": settings.seed,
                         "scale": settings.scale,
+                        "kernel": settings.kernel,
                     },
                 )
             for key, payload in self._checkpoint.items():
@@ -253,7 +265,11 @@ class ExperimentSuite:
                     )
                 # A fresh Observability per cell: metric snapshots stay
                 # per-cell and identical to what a pool worker returns.
-                result = Simulator(config, obs=self.settings.obs.create()).run(
+                result = Simulator(
+                    config,
+                    obs=self.settings.obs.create(),
+                    kernel=self.settings.kernel,
+                ).run(
                     lowered, inspect=inspect
                 )
                 self._store_in_cache(workload, mechanism, config, key, result)

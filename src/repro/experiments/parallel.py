@@ -309,7 +309,9 @@ def simulate_cell(
         from ..supervise.oracle import InvariantOracle
 
         inspect = InvariantOracle().inspector(supervised_cell_key(cell))
-    return Simulator(config, obs=settings.obs.create()).run(lowered, inspect=inspect)
+    return Simulator(config, obs=settings.obs.create(), kernel=settings.kernel).run(
+        lowered, inspect=inspect
+    )
 
 
 def _cell_worker(args: Tuple) -> SimulationResult:

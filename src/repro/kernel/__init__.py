@@ -1,0 +1,30 @@
+"""Simulation kernels: the reference semantics and the fast path.
+
+Two kernels execute a lowered program:
+
+- ``"reference"`` — :class:`repro.cpu.pipeline.PipelineModel`, the readable
+  scoreboard model that defines the simulator's semantics;
+- ``"fast"``      — :func:`repro.kernel.fast.run_fast`, a flattened/inlined
+  transcription of the same arithmetic, byte-identical by contract
+  (``tests/test_kernel_equivalence.py``) and ~2x+ faster.
+
+The kernel is selected per run via ``RunSettings.kernel`` (or the
+``--kernel`` CLI flag) and participates in artifact-cache fingerprints, so
+cached results never silently mix kernels.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: Valid kernel names, reference first (the default).
+KERNELS = ("reference", "fast")
+
+
+def validate_kernel(name: str) -> str:
+    """Return ``name`` if it names a kernel, else raise :class:`ConfigError`."""
+    if name not in KERNELS:
+        raise ConfigError(
+            f"unknown simulation kernel {name!r}; expected one of {', '.join(KERNELS)}"
+        )
+    return name

@@ -45,6 +45,11 @@ class BoundsTableManager:
         migration proceeds in the background; the blocking ablation copies
         the whole table before returning.
         """
+        if self.hbt.resizing and not self.hbt.migration_stalled:
+            # Back-to-back failure: the previous migration is still in
+            # flight, so the manager finishes it before the next doubling
+            # (its traffic was already accounted by its own event).
+            self.hbt.finish_resize()
         old_ways = self.hbt.ways
         self.hbt.begin_resize()
         migration_bytes = self.hbt.num_rows * old_ways * LINE_BYTES * 2

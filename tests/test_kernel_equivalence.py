@@ -1,0 +1,265 @@
+"""Conformance harness: the fast kernel is byte-identical to the reference.
+
+``repro.kernel.fast`` is a flattened transcription of the reference
+scoreboard (:mod:`repro.cpu.pipeline`); its contract is *bit-exact*
+equivalence, not statistical agreement.  Every test here runs the same
+lowered workload through both kernels and compares the JSON-serialised
+:class:`SimulationResult` payloads byte for byte — cycles (floats included),
+cache summaries, traffic, MCU/HBT/BWB statistics and metrics snapshots.
+
+Coverage axes:
+
+- every workload profile (SPEC 2006 + real-world) x {baseline, aos};
+- one workload x every protection mechanism;
+- every AOS ablation flag (Fig. 15 axes) plus BWB eviction policy;
+- metrics-bearing observability (the fast path must publish the same
+  counters) and tracing observability (the fast kernel must *delegate*);
+- fault-injected cells through the standard seams (dropped ``bndstr``,
+  stalled migration, dropped HBT record);
+- the experiment-suite plumbing (``RunSettings.kernel`` -> workers/cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.compiler import lower_trace
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.mcu import MemoryCheckUnit
+from repro.cpu.core import Simulator
+from repro.cpu.pipeline import PipelineModel
+from repro.errors import ConfigError, SimulationError
+from repro.experiments.common import (
+    MECHANISMS,
+    ExperimentSuite,
+    RunSettings,
+    _result_to_payload,
+    scaled_config,
+)
+from repro.kernel import KERNELS
+from repro.kernel.fast import run_fast
+from repro.obs import ObsSettings
+from repro.workloads import generate_trace, get_profile
+from repro.workloads.profiles import ALL_PROFILES
+
+SEED = 7
+SCALE = 8
+
+#: Fig. 14 mechanisms plus the §X extension baselines.
+ALL_MECHANISMS = MECHANISMS + ["mte", "rest"]
+
+# ----------------------------------------------------------------- helpers
+
+_traces: dict = {}
+_lowered: dict = {}
+
+
+def get_trace(workload: str, instructions: int):
+    key = (workload, instructions)
+    if key not in _traces:
+        _traces[key] = generate_trace(
+            get_profile(workload), instructions=instructions, seed=SEED, scale=SCALE
+        )
+    return _traces[key]
+
+
+def get_lowered(workload: str, mechanism: str, instructions: int, config, key=None):
+    cache_key = (workload, mechanism, instructions, key)
+    if cache_key not in _lowered:
+        _lowered[cache_key] = lower_trace(
+            get_trace(workload, instructions), mechanism, config=config
+        )
+    return _lowered[cache_key]
+
+
+def payload(result) -> str:
+    """Canonical byte string of everything a run measured."""
+    return json.dumps(_result_to_payload(result), sort_keys=True)
+
+
+def simulate(kernel, workload, mechanism, instructions, config=None, key=None, obs=None):
+    config = config or scaled_config(mechanism, SCALE)
+    lowered = get_lowered(workload, mechanism, instructions, config, key=key)
+    return Simulator(config, obs=obs, kernel=kernel).run(lowered)
+
+
+def assert_equivalent(workload, mechanism, instructions, config=None, key=None):
+    reference = simulate("reference", workload, mechanism, instructions, config, key)
+    fast = simulate("fast", workload, mechanism, instructions, config, key)
+    assert payload(fast) == payload(reference), (
+        f"kernel divergence: {workload}/{mechanism} ({key or 'default'})"
+    )
+    return reference
+
+
+# ------------------------------------------------- all profiles, both modes
+
+
+@pytest.mark.parametrize("workload", sorted(ALL_PROFILES))
+def test_equivalence_all_profiles(workload):
+    """Every workload profile, unprotected and fully protected."""
+    for mechanism in ("baseline", "aos"):
+        assert_equivalent(workload, mechanism, instructions=2500)
+
+
+# ------------------------------------------------------------ all mechanisms
+
+
+@pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+def test_equivalence_all_mechanisms(mechanism):
+    """One cache-stressing workload through every protection mechanism."""
+    assert_equivalent("gcc", mechanism, instructions=6000)
+
+
+# ------------------------------------------------------------- AOS ablations
+
+
+def ablated(key: str):
+    base = scaled_config("aos", SCALE)
+    if key == "fifo-bwb":
+        return dataclasses.replace(
+            base, bwb=dataclasses.replace(base.bwb, eviction="fifo")
+        )
+    flags = {
+        "no-l1b": {"l1b_cache": False},
+        "no-compression": {"bounds_compression": False},
+        "no-forwarding": {"bounds_forwarding": False},
+        "no-bwb": {"bwb_enabled": False},
+        "blocking-resize": {"nonblocking_resize": False},
+    }[key]
+    return dataclasses.replace(base, aos=dataclasses.replace(base.aos, **flags))
+
+
+@pytest.mark.parametrize(
+    "ablation",
+    ["no-l1b", "no-compression", "no-forwarding", "no-bwb", "blocking-resize", "fifo-bwb"],
+)
+def test_equivalence_ablations(ablation):
+    """The Fig. 15 ablation axes flow through both kernels identically."""
+    assert_equivalent("gcc", "aos", instructions=6000, config=ablated(ablation), key=ablation)
+
+
+# ------------------------------------------------------------- observability
+
+
+def test_equivalence_with_metrics():
+    """Metrics-only observability: the fast path itself runs (no tracer)
+    and must publish byte-identical ``publish_metrics`` counters."""
+    obs_settings = ObsSettings(enabled=True, tracing=False)
+    results = {}
+    for kernel in KERNELS:
+        results[kernel] = simulate(
+            kernel, "gcc", "aos", instructions=5000, obs=obs_settings.create()
+        )
+    assert results["fast"].metrics, "metrics snapshot missing"
+    assert payload(results["fast"]) == payload(results["reference"])
+
+
+def test_fast_kernel_delegates_when_tracing():
+    """A tracer forces the reference path; results still match exactly."""
+    obs_settings = ObsSettings(enabled=True, tracing=True)
+    results = {
+        kernel: simulate(
+            kernel, "gcc", "aos", instructions=4000, obs=obs_settings.create()
+        )
+        for kernel in KERNELS
+    }
+    assert payload(results["fast"]) == payload(results["reference"])
+
+
+def test_run_fast_refuses_tracer():
+    """Calling the fast kernel directly with a tracer is a usage error —
+    only :class:`Simulator` knows how to delegate."""
+    config = scaled_config("aos", SCALE)
+    lowered = get_lowered("gcc", "aos", 2500, config)
+    hierarchy = MemoryHierarchy(config.memory, use_l1b=True)
+    obs = ObsSettings(enabled=True, tracing=True).create()
+    with pytest.raises(SimulationError):
+        run_fast(config, hierarchy, None, (1 << 46) - 1, obs, lowered.program)
+
+
+# ---------------------------------------------------------- fault injection
+
+
+def run_wired(kernel, lowered, config, arm=None) -> str:
+    """Mirror :meth:`Simulator.run`'s wiring so fault seams can be armed
+    on the components *before* the kernel executes; returns the canonical
+    byte string of everything the run touched."""
+    program = lowered.program
+    hbt = lowered.hbt  # fresh pre-warmed clone per call
+    layout = lowered.pointer_layout
+    hierarchy = MemoryHierarchy(config.memory, use_l1b=config.aos.l1b_cache)
+    va_mask = layout.va_mask
+    mcu = MemoryCheckUnit(
+        hbt=hbt,
+        layout=layout,
+        options=config.aos,
+        bwb_config=config.bwb,
+        mcq_capacity=config.core.mcq_entries,
+        bounds_access=hierarchy.access_bounds,
+    )
+    if arm is not None:
+        arm(mcu, hbt)
+    if kernel == "fast":
+        result = run_fast(config, hierarchy, mcu, va_mask, None, program)
+    else:
+        result = PipelineModel(
+            config, hierarchy, mcu=mcu, va_mask=va_mask, obs=None
+        ).run(program)
+    state = {
+        "pipeline": dataclasses.asdict(result),
+        "cache": hierarchy.summary(),
+        "mcu": dataclasses.asdict(mcu.stats),
+        "hbt": dataclasses.asdict(hbt.stats),
+        "bwb": None if mcu.bwb is None else dataclasses.asdict(mcu.bwb.stats),
+        "records": hbt.total_records(),
+        "ways": hbt.ways,
+        "resizing": hbt.resizing,
+    }
+    return json.dumps(state, sort_keys=True)
+
+
+FAULT_SCENARIOS = {
+    # A lost table write: allocations go live with no bounds, later checks
+    # on them fault.
+    "drop-bndstr": lambda mcu, hbt: mcu.inject_drop_bndstr(3),
+    # Table manager dies mid-resize: Fig. 10 steering splits accesses
+    # between old and new tables for the whole run.
+    "stalled-migration": lambda mcu, hbt: hbt.interrupt_migration(),
+    # A flipped valid bit / lost line: one live record vanishes.
+    "dropped-record": lambda mcu, hbt: hbt.drop_record(*hbt.live_slots()[0]),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+def test_equivalence_under_fault_injection(scenario):
+    """Fault-injected cells (the campaign seams) diverge in *behaviour*
+    but never between kernels."""
+    config = scaled_config("aos", SCALE)
+    lowered = get_lowered("gcc", "aos", 5000, config)
+    arm = FAULT_SCENARIOS[scenario]
+    reference = run_wired("reference", lowered, config, arm=arm)
+    fast = run_wired("fast", lowered, config, arm=arm)
+    assert fast == reference, f"kernel divergence under fault {scenario!r}"
+
+
+# --------------------------------------------------------- suite / settings
+
+
+def test_equivalence_through_experiment_suite():
+    """RunSettings.kernel drives the suite path (workers, cache keys)."""
+    payloads = {}
+    for kernel in KERNELS:
+        suite = ExperimentSuite(RunSettings(instructions=4000, kernel=kernel))
+        payloads[kernel] = payload(suite.result("mcf", "aos"))
+    assert payloads["fast"] == payloads["reference"]
+
+
+def test_invalid_kernel_rejected():
+    with pytest.raises(ConfigError):
+        RunSettings(kernel="bogus")
+    with pytest.raises(ConfigError):
+        Simulator(scaled_config("aos", SCALE), kernel="turbo")

@@ -8,6 +8,7 @@ the failure inputs exactly reproducible from the printed seed.
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.core.bounds import (
@@ -17,7 +18,9 @@ from repro.core.bounds import (
     truncate_address,
 )
 from repro.core.signing import AuthenticationFault, PointerSigner
-from repro.crypto.pac import PACGenerator
+from repro.crypto.pac import PACGenerator, PAKeys
+from repro.crypto.qarma import MASK64, Qarma64
+from repro.crypto.qarma_batch import Qarma64Batch
 from repro.errors import EncodingError
 from repro.isa import binenc
 from repro.isa.encoding import PointerLayout
@@ -220,3 +223,87 @@ class TestBinencRoundTrip:
             binenc.encode("not-an-op")
         with pytest.raises(EncodingError):
             binenc.decode(1 << 32)
+
+
+class TestBatchQarmaEquivalence:
+    """The NumPy-vectorised QARMA (``repro.crypto.qarma_batch``) must be
+    element-for-element identical to the scalar reference cipher — the
+    invariant the batched preamble signing (and therefore the fast-kernel
+    lowering path) rests on."""
+
+    #: Degenerate and published key material: all-zero, all-ones (128-bit),
+    #: and the paper's §VI study key.
+    EDGE_KEYS = (0, (1 << 128) - 1, PAKeys().apma)
+    EDGE_TWEAKS = (0, MASK64)
+    EDGE_PLAINTEXTS = (0, 1, MASK64, 1 << 63)
+
+    def test_encrypt_matches_scalar(self):
+        rng, cases = _cases(seed=SEED + 20)
+        key = PAKeys().apma
+        scalar = Qarma64(key)
+        batch = Qarma64Batch(key)
+        plaintexts = [rng.randrange(0, 1 << 64) for _ in cases]
+        for start in range(0, CASES, 250):  # 4 tweaks x 250 points
+            tweak = rng.randrange(0, 1 << 64)
+            chunk = plaintexts[start : start + 250]
+            got = batch.encrypt(np.array(chunk, dtype=np.uint64), tweak)
+            want = [scalar.encrypt(p, tweak) for p in chunk]
+            assert [int(x) for x in got] == want, (tweak, start)
+
+    def test_encrypt_edge_values(self):
+        rng, _ = _cases(seed=SEED + 21)
+        for key in self.EDGE_KEYS:
+            scalar = Qarma64(key)
+            batch = Qarma64Batch(key)
+            points = list(self.EDGE_PLAINTEXTS) + [
+                rng.randrange(0, 1 << 64) for _ in range(8)
+            ]
+            for tweak in self.EDGE_TWEAKS:
+                got = batch.encrypt(np.array(points, dtype=np.uint64), tweak)
+                want = [scalar.encrypt(p, tweak) for p in points]
+                assert [int(x) for x in got] == want, (key, tweak)
+
+    def test_pacs_are_truncated_encryptions(self):
+        rng, _ = _cases(seed=SEED + 22)
+        key = PAKeys().apmb
+        scalar = Qarma64(key)
+        batch = Qarma64Batch(key)
+        for pac_bits in (11, 16, 32):
+            pointers = [rng.randrange(0, 1 << 64) for _ in range(100)]
+            tweak = rng.randrange(0, 1 << 64)
+            got = batch.pacs(
+                np.array(pointers, dtype=np.uint64), tweak, pac_bits=pac_bits
+            )
+            mask = (1 << pac_bits) - 1
+            want = [scalar.encrypt(p, tweak) & mask for p in pointers]
+            assert [int(x) for x in got] == want, pac_bits
+
+    def test_generator_compute_batch_matches_compute(self):
+        rng, _ = _cases(seed=SEED + 23)
+        for mode, count in (("qarma", 200), ("fast", 800)):
+            generator = PACGenerator(mode=mode)
+            pointers = [rng.randrange(0, 1 << 64) for _ in range(count)]
+            modifier = rng.randrange(0, 1 << 64)
+            for key_name in ("ma", "mb"):
+                got = generator.compute_batch(pointers, modifier, key_name=key_name)
+                want = [
+                    generator.compute(p, modifier, key_name=key_name)
+                    for p in pointers
+                ]
+                assert got == want, (mode, key_name)
+        assert PACGenerator().compute_batch([], 42) == []
+
+    def test_signer_pacma_batch_matches_pacma(self):
+        rng, _ = _cases(seed=SEED + 24)
+        for mode, count in (("qarma", 150), ("fast", 850)):
+            signer = PointerSigner(generator=PACGenerator(mode=mode))
+            va_limit = 1 << signer.layout.va_bits
+            pointers = [rng.randrange(0, va_limit) for _ in range(count)]
+            # Sizes cover the zero-means-one re-signing convention (§IV-C).
+            sizes = [rng.choice((0, 1, 16, rng.randrange(1, 1 << 20))) for _ in pointers]
+            modifier = rng.randrange(0, 1 << 64)
+            got = signer.pacma_batch(pointers, modifier, sizes)
+            want = [
+                signer.pacma(p, modifier, s) for p, s in zip(pointers, sizes)
+            ]
+            assert got == want, mode

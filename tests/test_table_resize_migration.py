@@ -1,0 +1,213 @@
+"""Gradual-resize migration coverage (Fig. 10, §V-F3) and the
+resize-during-migration regression.
+
+The Fig. 10 steering rule splits accesses between the old and the new table
+while the table manager migrates rows in the background::
+
+    way >= old_ways or pac < row_ptr  ->  new table
+    otherwise                         ->  old table
+
+These tests pin the mid-migration behaviours the original suite never
+exercised: accesses/inserts/clears landing on *both* sides of ``row_ptr``
+while a migration is in flight, and — the regression — a second capacity
+failure arriving before the previous migration has finished.
+"""
+
+import pytest
+
+from repro.config import AOSOptions
+from repro.core.hbt import HashedBoundsTable
+from repro.core.mcu import MemoryCheckUnit
+from repro.errors import SimulationError
+from repro.isa.encoding import PointerLayout
+from repro.os.table_manager import BoundsTableManager
+
+PAC_BITS = 16
+LAYOUT = PointerLayout(pac_bits=PAC_BITS)
+
+#: 16-byte-aligned heap addresses (the §V-D malloc invariant).
+BASE = 0x10000
+
+
+def make_hbt(initial_ways: int = 1) -> HashedBoundsTable:
+    return HashedBoundsTable(pac_bits=PAC_BITS, initial_ways=initial_ways)
+
+
+def make_mcu(hbt: HashedBoundsTable, **options) -> MemoryCheckUnit:
+    return MemoryCheckUnit(
+        hbt=hbt, layout=LAYOUT, options=AOSOptions(**options)
+    )
+
+
+def signed_ptr(pac: int, address: int, ahc: int = 1) -> int:
+    return LAYOUT.sign(address, pac, ahc)
+
+
+# --------------------------------------------------------------- steering
+
+
+def test_line_address_steering_mid_migration():
+    """Fig. 10: migrated rows and beyond-old-geometry ways hit the new
+    table; unmigrated rows within the old geometry hit the old table."""
+    hbt = make_hbt(initial_ways=2)
+    old_base = hbt._base
+    hbt.begin_resize()  # ways 2 -> 4
+    new_base = hbt._base
+    assert new_base != old_base
+    row_ptr = 100
+    hbt.advance_migration(row_ptr)
+    assert hbt.resizing and hbt.row_ptr == row_ptr
+
+    migrated_pac, unmigrated_pac = row_ptr - 1, row_ptr
+
+    def addr(base, assoc, pac, way):
+        # Eq. 1: base + pac * (assoc ways * 64 B) + way * 64 B.
+        return base + (pac << (assoc.bit_length() - 1 + 6)) + (way << 6)
+
+    # Migrated row: every way reads the new table at new geometry.
+    for way in range(hbt.ways):
+        assert hbt.line_address(migrated_pac, way) == addr(
+            new_base, hbt.ways, migrated_pac, way
+        )
+    # Unmigrated row: ways the old geometry had read the old table at the
+    # *old* row stride...
+    for way in range(hbt.old_ways):
+        assert hbt.line_address(unmigrated_pac, way) == addr(
+            old_base, hbt.old_ways, unmigrated_pac, way
+        )
+    # ...and the new ways (which never existed in the old table) read new.
+    for way in range(hbt.old_ways, hbt.ways):
+        assert hbt.line_address(unmigrated_pac, way) == addr(
+            new_base, hbt.ways, unmigrated_pac, way
+        )
+
+
+def test_check_access_mid_migration_both_sides():
+    """Bounds checks validate records on both sides of RowPtr mid-flight."""
+    hbt = make_hbt()
+    low_pac, high_pac = 10, 60000
+    hbt.insert(low_pac, BASE, 64)
+    hbt.insert(high_pac, BASE + 0x1000, 64)
+    hbt.begin_resize()
+    hbt.advance_migration(1024)  # low_pac migrated, high_pac not
+    assert hbt.row_ptr <= high_pac
+
+    mcu = make_mcu(hbt, nonblocking_resize=False)  # freeze migration state
+    ok_low = mcu.check_access(signed_ptr(low_pac, BASE + 8))
+    ok_high = mcu.check_access(signed_ptr(high_pac, BASE + 0x1000 + 8))
+    assert ok_low.ok and ok_high.ok
+    # Out-of-bounds still faults mid-migration.
+    assert not mcu.check_access(signed_ptr(low_pac, BASE + 4096)).ok
+
+
+def test_insert_and_clear_mid_migration_both_sides():
+    """bndstr/bndclr land correctly on migrated and unmigrated rows."""
+    hbt = make_hbt()
+    hbt.begin_resize()
+    hbt.advance_migration(1024)
+    mcu = make_mcu(hbt, nonblocking_resize=False)
+
+    low_pac, high_pac = 5, 50000  # below / above the frozen row_ptr
+    assert hbt.row_ptr <= high_pac
+    for pac, address in ((low_pac, BASE), (high_pac, BASE + 0x2000)):
+        store = mcu.bounds_store(signed_ptr(pac, address), 64)
+        assert store.ok
+        assert mcu.check_access(signed_ptr(pac, address + 8)).ok
+        clear = mcu.bounds_clear(signed_ptr(pac, address))
+        assert clear.ok
+        mcu.drain_recent_stores()
+        assert not mcu.check_access(signed_ptr(pac, address + 8)).ok
+
+
+# ------------------------------------------- resize during migration (bug)
+
+
+def _fill_row(mcu: MemoryCheckUnit, pac: int, start: int, count: int) -> int:
+    """Issue ``count`` bndstr ops with distinct addresses; returns faults."""
+    faults = 0
+    for i in range(count):
+        outcome = mcu.bounds_store(signed_ptr(pac, start + 0x100 * i), 64)
+        if not outcome.ok:
+            faults += 1
+    return faults
+
+
+def test_mcu_second_resize_during_migration():
+    """Regression: a capacity failure while the previous gradual resize is
+    still migrating must complete that migration and start the next
+    doubling — not crash with 'resize already in progress'."""
+    hbt = make_hbt()
+    mcu = make_mcu(hbt, nonblocking_resize=True, bounds_forwarding=False)
+    pac = 1234
+    # Fill ways=1 (8 slots); the 9th store triggers the first resize.
+    assert _fill_row(mcu, pac, BASE, 9) == 0
+    assert hbt.ways == 2
+    assert hbt.resizing  # 65536 rows, only ~1-2k migrated so far
+    # Fill the remaining slots of ways=2; the 17th store hits a full row
+    # while the first migration is still in flight.
+    assert _fill_row(mcu, pac, BASE + 0x10000, 8) == 0
+    assert hbt.ways == 4
+    assert mcu.stats.resizes == 2
+    # The forced completion plus the new begin leave exactly one resize
+    # in flight and every record still reachable.
+    assert hbt.resizing
+    assert hbt.row_occupancy(pac) == 17
+    mcu.drain_recent_stores()
+    assert mcu.check_access(signed_ptr(pac, BASE)).ok
+
+
+def test_mcu_second_resize_charges_completion_latency():
+    """The forced migration completion is charged like the blocking copy
+    (~2 rows per cycle over the remaining rows)."""
+    hbt = make_hbt()
+    mcu = make_mcu(hbt, nonblocking_resize=True, bounds_forwarding=False)
+    pac = 99
+    _fill_row(mcu, pac, BASE, 9)
+    remaining = hbt.num_rows - hbt.row_ptr
+    outcomes = [
+        mcu.bounds_store(signed_ptr(pac, BASE + 0x20000 + 0x100 * i), 64)
+        for i in range(8)
+    ]
+    assert all(o.ok for o in outcomes)
+    # The 8th of these stores (17th overall) forced the completion.
+    assert outcomes[-1].latency >= (remaining - 8 * mcu.MIGRATION_ROWS_PER_OP) // 2
+
+
+def test_mcu_resize_with_stalled_migration_still_faults():
+    """A stalled (fault-injected) migration cannot be force-completed; the
+    capacity failure surfaces as the injected fault, not silent repair."""
+    hbt = make_hbt()
+    mcu = make_mcu(hbt, nonblocking_resize=True, bounds_forwarding=False)
+    pac = 7
+    _fill_row(mcu, pac, BASE, 8)
+    hbt.interrupt_migration()  # begins a resize and stalls it
+    # Row full at old_ways=1... way 2 exists now, so fill it too.
+    _fill_row(mcu, pac, BASE + 0x40000, 8)
+    with pytest.raises(SimulationError):
+        mcu.bounds_store(signed_ptr(pac, BASE + 0x80000), 64)
+
+
+def test_manager_second_resize_during_migration():
+    """Regression: BoundsTableManager services a failure mid-migration by
+    completing the in-flight migration before the next doubling."""
+    hbt = make_hbt()
+    manager = BoundsTableManager(hbt, nonblocking=True)
+    first = manager.on_bounds_store_failure()
+    assert first.new_ways == 2
+    manager.tick(100)
+    assert hbt.resizing and hbt.row_ptr == 100
+    second = manager.on_bounds_store_failure()
+    assert second.old_ways == 2 and second.new_ways == 4
+    assert hbt.ways == 4
+    assert manager.resize_count == 2
+    # The new migration starts from row zero.
+    assert hbt.resizing and hbt.row_ptr == 0
+
+
+def test_manager_blocking_mode_unaffected():
+    hbt = make_hbt()
+    manager = BoundsTableManager(hbt, nonblocking=False)
+    manager.on_bounds_store_failure()
+    assert not hbt.resizing
+    manager.on_bounds_store_failure()
+    assert hbt.ways == 4 and not hbt.resizing

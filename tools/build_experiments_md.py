@@ -223,8 +223,53 @@ def main() -> None:
                 parts.append(p.read_text().rstrip())
                 parts.append("")
         parts.append("```\n")
+    parts.append(kernel_bench_section())
     (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
     print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+def kernel_bench_section() -> str:
+    """Render the fast-kernel timing table from the committed
+    ``BENCH_kernel.json`` (written by ``tools/bench_kernel.py``, gated in
+    the CI ``kernel-smoke`` job)."""
+    lines = [
+        "## Engineering — simulation-kernel timings",
+        "",
+        "Both simulation kernels (`repro.kernel`) produce byte-identical",
+        "results (`tests/test_kernel_equivalence.py`); the fast kernel exists",
+        "purely to cut sweep wall-clock.  Timings below are min-of-N runs from",
+        "the committed `BENCH_kernel.json` (refresh with",
+        "`python tools/bench_kernel.py`; CI fails on a >10% speedup",
+        "regression or an aggregate below 2x).",
+        "",
+    ]
+    bench = ROOT / "BENCH_kernel.json"
+    if not bench.exists():
+        lines.append("*(run `python tools/bench_kernel.py` to generate the table)*")
+        lines.append("")
+        return "\n".join(lines)
+    import json
+
+    report = json.loads(bench.read_text())
+    settings = report["settings"]
+    lines.append(
+        f"{settings['instructions']} instructions/cell, seed {settings['seed']}, "
+        f"scale {settings['scale']}, min of {settings['repeats']} runs:"
+    )
+    lines.append("")
+    lines.append("| workload | mechanism | reference (s) | fast (s) | speedup |")
+    lines.append("|---|---|---:|---:|---:|")
+    for cell in report["cells"]:
+        lines.append(
+            f"| {cell['workload']} | {cell['mechanism']} "
+            f"| {cell['reference_s']:.3f} | {cell['fast_s']:.3f} "
+            f"| {cell['speedup']:.2f}x |"
+        )
+    lines.append(
+        f"\n**Aggregate (total time ratio): {report['aggregate_speedup']:.2f}x.**"
+    )
+    lines.append("")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":
