@@ -1,0 +1,57 @@
+"""Adversarial scenario corpus and chaos campaigns (§VII, ROADMAP item 4).
+
+:mod:`~repro.adversary.scenarios` is the corpus: named, seeded exploit
+recipes (overflow, OOB, UAF, double free, PAC forgery/replay, the §VII-C
+AHC-zeroing escape) each carrying an expected-verdict oracle per mechanism
+and a compilation path to a runnable :class:`~repro.isa.program.Program`.
+
+:mod:`~repro.adversary.chaos` sweeps the corpus across every mechanism
+adapter under the supervision layer and classifies each cell's observed
+outcome against the oracle; ``python -m repro attack`` is the CLI.
+"""
+
+from .chaos import (
+    ChaosCampaign,
+    ChaosConfig,
+    ScenarioMatrix,
+    ScenarioOutcome,
+    ScenarioRun,
+    UnsupportedScenario,
+    VERDICTS,
+    classify_verdict,
+    execute_scenario,
+    run_quick_chaos,
+    run_scenario_cell,
+)
+from .scenarios import (
+    SCENARIOS,
+    Expectation,
+    ScenarioInstance,
+    Step,
+    build_scenario,
+    compile_scenario,
+    parse_scenarios,
+    scenario_trace,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "VERDICTS",
+    "ChaosCampaign",
+    "ChaosConfig",
+    "Expectation",
+    "ScenarioInstance",
+    "ScenarioMatrix",
+    "ScenarioOutcome",
+    "ScenarioRun",
+    "Step",
+    "UnsupportedScenario",
+    "build_scenario",
+    "classify_verdict",
+    "compile_scenario",
+    "execute_scenario",
+    "parse_scenarios",
+    "run_quick_chaos",
+    "run_scenario_cell",
+    "scenario_trace",
+]

@@ -1,0 +1,538 @@
+"""The adversarial scenario corpus: named exploits with expected verdicts.
+
+Where :mod:`repro.faults` perturbs *simulator state* at random seams, this
+module takes the attacker's seat (ROADMAP item: adversarial scenario
+corpus): each scenario is a deterministic, seeded recipe for one named
+exploit from the paper's §VII security analysis — heap overflow into the
+adjacent chunk, linear and non-linear OOB, use-after-free with and without
+reallocation of the freed slot, double free, intra-object overflow, PAC
+forgery and replay, and the §VII-C AHC-zeroing escape as a first-class
+named scenario.
+
+A scenario *instance* carries two executable forms:
+
+- an adapter-level **step recipe** the chaos campaign interprets against
+  any :mod:`repro.security.adapters` mechanism to obtain an observed
+  verdict (the attack really runs: allocate, corrupt, dereference);
+- a **trace compilation** (:func:`scenario_trace` /
+  :func:`compile_scenario`) lowering the same access pattern to a
+  :class:`~repro.isa.program.Program`, so the timing kernels can run the
+  exploit and the kernel-equivalence suite can assert byte-identical
+  verdicts (``validation_faults`` included) across kernels.
+
+Every instance also carries an **expected-verdict oracle**: for each
+mechanism, whether the scenario *must* be detected (the paper or the
+mechanism's model claims it), *may* be detected (probabilistic, e.g. MTE's
+4-bit tags), is a *known escape* (the mechanism's documented blind spot —
+never a silent pass, always reported by name), or is *unsupported* (the
+adapter does not model the required attacker primitive).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..workloads import get_profile
+from ..workloads.generator import WorkloadTrace
+
+
+class Expectation(str, Enum):
+    """What the expected-verdict oracle claims for (scenario, mechanism)."""
+
+    #: The mechanism's model detects this; an undetected run is a failure.
+    MUST_DETECT = "must-detect"
+    #: Detection is probabilistic or allocator-layout dependent.
+    MAY_DETECT = "may-detect"
+    #: Documented blind spot: the scenario is *expected* to land silently,
+    #: and the campaign must report it by name (never a silent pass).
+    KNOWN_ESCAPE = "known-escape"
+    #: The adapter does not model the attacker primitive this recipe needs.
+    UNSUPPORTED = "unsupported"
+
+
+#: Step opcodes the chaos interpreter understands.
+STEP_OPS = (
+    "malloc",     # env[obj] = adapter.malloc(size)
+    "free",       # adapter.free(env[obj]); env keeps the stale copy
+    "load",       # adapter.load(adapter.offset(env[obj], offset))
+    "store",      # adapter.store(adapter.offset(env[obj], offset), value)
+    "alias",      # env[obj] = env[src]  (capture a dangling/replayable copy)
+    "zero-ahc",   # env[obj] = adapter.forge_ahc_zero(env[obj])   [signing]
+    "forge-pac",  # env[obj] = adapter.forge_pac(env[obj], wrong) [signing]
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One attacker action, interpreted against a mechanism adapter."""
+
+    op: str
+    obj: Optional[str] = None
+    src: Optional[str] = None
+    offset: int = 0
+    size: int = 0
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in STEP_OPS:
+            raise WorkloadError(f"unknown scenario step op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """One seeded, fully materialised exploit scenario."""
+
+    name: str
+    #: Violation class: "spatial" | "temporal" | "metadata".
+    category: str
+    description: str
+    steps: Tuple[Step, ...]
+    #: mechanism name -> expectation; mechanisms not listed get ``default``.
+    expectations: Mapping[str, Expectation] = field(default_factory=dict)
+    default: Expectation = Expectation.KNOWN_ESCAPE
+    seed: int = 7
+    paper_ref: str = ""
+
+    def expected(self, mechanism: str) -> Expectation:
+        return self.expectations.get(mechanism, self.default)
+
+
+#: The signing mechanisms (adapters with forge_pac/forge_ahc_zero/autm).
+_SIGNING = ("aos", "pa+aos")
+
+#: Shorthand: detection claims shared by the object-granularity checkers.
+def _spatial_expectations(**overrides) -> Dict[str, Expectation]:
+    base = {
+        "aos": Expectation.MUST_DETECT,
+        "pa+aos": Expectation.MUST_DETECT,
+        "watchdog": Expectation.MUST_DETECT,
+        "cheri": Expectation.MUST_DETECT,
+        "mte": Expectation.MAY_DETECT,   # 4-bit tags: 1/16 collisions
+        "rest": Expectation.MAY_DETECT,  # redzone reach depends on stride
+        "baseline": Expectation.KNOWN_ESCAPE,
+        "pa": Expectation.KNOWN_ESCAPE,  # pointer integrity only (§II)
+    }
+    base.update(overrides)
+    return base
+
+
+def _temporal_expectations(**overrides) -> Dict[str, Expectation]:
+    base = {
+        "aos": Expectation.MUST_DETECT,
+        "pa+aos": Expectation.MUST_DETECT,
+        "watchdog": Expectation.MUST_DETECT,
+        "cheri": Expectation.MAY_DETECT,  # revocation-sweep dependent
+        "mte": Expectation.MAY_DETECT,    # retag-on-free may collide
+        "rest": Expectation.MAY_DETECT,   # quarantine poisoning
+        "baseline": Expectation.KNOWN_ESCAPE,
+        "pa": Expectation.KNOWN_ESCAPE,
+    }
+    base.update(overrides)
+    return base
+
+
+# ------------------------------------------------------------- the corpus
+#
+# Every builder is a pure function of its seed: object sizes and payload
+# values come from a seeded RNG; the step sequence itself is fixed so the
+# expected-verdict oracle stays meaningful across seeds.
+
+
+def _rng(name: str, seed: int) -> random.Random:
+    return random.Random(f"adversary:{name}:{seed}")
+
+
+def _size(rng: random.Random) -> int:
+    return rng.choice((32, 48, 64, 96, 128))
+
+
+def heap_overflow_adjacent(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("heap-overflow-adjacent", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        Step("malloc", obj="neighbour", size=size),
+        # One element past the end: lands in the adjacent chunk's header/
+        # payload (Fig. 12 line 7).
+        Step("store", obj="victim", offset=size + 8, value=rng.getrandbits(32)),
+    )
+    return ScenarioInstance(
+        name="heap-overflow-adjacent",
+        category="spatial",
+        description="contiguous overflow from one chunk into its neighbour",
+        steps=steps,
+        expectations=_spatial_expectations(
+            mte=Expectation.MAY_DETECT, rest=Expectation.MUST_DETECT
+        ),
+        seed=seed,
+        paper_ref="§VII-A, Fig. 12",
+    )
+
+
+def linear_oob_write(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("linear-oob-write", seed)
+    size = _size(rng)
+    # A memset-style linear sweep that runs off the end: the first OOB
+    # touch is adjacent, so redzone schemes catch it too.
+    steps: List[Step] = [Step("malloc", obj="buf", size=size)]
+    for offset in range(size - 16, size + 24, 8):
+        steps.append(Step("store", obj="buf", offset=offset, value=rng.getrandbits(32)))
+    return ScenarioInstance(
+        name="linear-oob-write",
+        category="spatial",
+        description="linear overflow sweeping past the allocation end",
+        steps=tuple(steps),
+        expectations=_spatial_expectations(rest=Expectation.MUST_DETECT),
+        seed=seed,
+        paper_ref="§I, §VII-A",
+    )
+
+
+def nonlinear_oob_read(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("nonlinear-oob-read", seed)
+    size = _size(rng)
+    stride = 16 * 1024 + rng.randrange(0, 4096, 8)
+    steps = (
+        Step("malloc", obj="base", size=size),
+        Step("malloc", obj="decoy", size=size),
+        # A strided index jumps far past any redzone — the >60 %-of-CVEs
+        # class trip-wire schemes cannot stop (§I).
+        Step("load", obj="base", offset=stride),
+    )
+    return ScenarioInstance(
+        name="nonlinear-oob-read",
+        category="spatial",
+        description="non-linear (strided) OOB read far past the redzone",
+        steps=steps,
+        expectations=_spatial_expectations(
+            rest=Expectation.KNOWN_ESCAPE,  # the motivating REST blind spot
+            mte=Expectation.MAY_DETECT,
+        ),
+        seed=seed,
+        paper_ref="§I (non-adjacent overflows), §VII-A",
+    )
+
+
+def intra_object_overflow(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("intra-object-overflow", seed)
+    # struct { char buf[24]; void (*fp)(); } — the overflow stays inside
+    # the allocation, so object-granularity bounds never trip.
+    steps = (
+        Step("malloc", obj="record", size=64),
+        Step("store", obj="record", offset=32, value=rng.getrandbits(32)),
+    )
+    return ScenarioInstance(
+        name="intra-object-overflow",
+        category="spatial",
+        description="field-to-field overflow inside one allocation",
+        steps=steps,
+        # Allocation-granularity protection (AOS included) cannot see this:
+        # a known escape for *every* mechanism in the matrix.
+        expectations={},
+        default=Expectation.KNOWN_ESCAPE,
+        seed=seed,
+        paper_ref="§III-D (object-granularity threat model)",
+    )
+
+
+def uaf_stale_load(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("uaf-stale-load", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        Step("alias", obj="stale", src="victim"),
+        Step("free", obj="victim"),
+        Step("load", obj="stale"),
+    )
+    return ScenarioInstance(
+        name="uaf-stale-load",
+        category="temporal",
+        description="dereference of a dangling copy, freed slot not reused",
+        steps=steps,
+        expectations=_temporal_expectations(rest=Expectation.MUST_DETECT),
+        seed=seed,
+        paper_ref="§VII-A, Fig. 12 line 14",
+    )
+
+
+def uaf_after_realloc(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("uaf-after-realloc", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        Step("alias", obj="stale", src="victim"),
+        Step("free", obj="victim"),
+        # Same size class: the allocator hands the freed slot to the new
+        # object (tcache LIFO), so the stale pointer aliases live data.
+        Step("malloc", obj="reuse", size=size),
+        Step("store", obj="stale", value=rng.getrandbits(32)),
+    )
+    return ScenarioInstance(
+        name="uaf-after-realloc",
+        category="temporal",
+        description="stale pointer write after the freed slot is reallocated",
+        steps=steps,
+        expectations=_temporal_expectations(),
+        seed=seed,
+        paper_ref="§VII-A (AHC bump on reallocation)",
+    )
+
+
+def double_free(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("double-free", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        Step("alias", obj="stale", src="victim"),
+        Step("free", obj="victim"),
+        Step("free", obj="stale"),
+    )
+    return ScenarioInstance(
+        name="double-free",
+        category="temporal",
+        description="the same chunk freed twice through a stale copy",
+        steps=steps,
+        expectations=_temporal_expectations(
+            # glibc's fasttop check catches the naive immediate double free.
+            baseline=Expectation.MAY_DETECT,
+            pa=Expectation.MAY_DETECT,
+            rest=Expectation.MUST_DETECT,
+        ),
+        seed=seed,
+        paper_ref="§IV-D (bndclr), Fig. 12 lines 16-19",
+    )
+
+
+def pac_forgery(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("pac-forgery", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        # XOR with a non-zero mask guarantees a wrong PAC regardless of
+        # seed; with 16-bit PACs a forged guess succeeds w.p. ~2^-16.
+        Step("forge-pac", obj="victim", value=0x5A5A | (rng.getrandbits(12) << 1)),
+        Step("load", obj="victim"),
+    )
+    return ScenarioInstance(
+        name="pac-forgery",
+        category="metadata",
+        description="attacker rewrites the PAC field of a signed pointer",
+        steps=steps,
+        expectations={
+            "aos": Expectation.MUST_DETECT,
+            "pa+aos": Expectation.MUST_DETECT,
+        },
+        default=Expectation.UNSUPPORTED,  # no PAC field to forge
+        seed=seed,
+        paper_ref="§VII-C",
+    )
+
+
+def pac_replay(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("pac-replay", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        # The replay capture: a byte-exact copy of the *validly signed*
+        # pointer, stashed before the object dies.
+        Step("alias", obj="replayed", src="victim"),
+        Step("free", obj="victim"),
+        Step("malloc", obj="reuse", size=size),
+        # Replaying the old signature against the recycled slot: the AHC
+        # was bumped on reallocation, so the stale signature misses.
+        Step("load", obj="replayed"),
+        Step("store", obj="replayed", value=rng.getrandbits(32)),
+    )
+    return ScenarioInstance(
+        name="pac-replay",
+        category="metadata",
+        description="replay of a previously valid signed pointer after reuse",
+        steps=steps,
+        expectations=_temporal_expectations(),
+        seed=seed,
+        paper_ref="§VII-C (signature replay), §VII-A",
+    )
+
+
+def ahc_zero_escape(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("ahc-zero-escape", seed)
+    size = _size(rng)
+    steps = (
+        Step("malloc", obj="victim", size=size),
+        # §VII-C: clear the AHC so the pointer looks unsigned and the
+        # Fig. 6 selective check skips it entirely.
+        Step("zero-ahc", obj="victim"),
+        Step("load", obj="victim", offset=4096 + rng.randrange(0, 2048, 8)),
+    )
+    return ScenarioInstance(
+        name="ahc-zero-escape",
+        category="metadata",
+        description="AHC zeroed to dodge selective bounds checking (§VII-C)",
+        steps=steps,
+        expectations={
+            # Plain AOS skips unsigned pointers: the paper's documented
+            # escape, reported by name — never a silent pass.
+            "aos": Expectation.KNOWN_ESCAPE,
+            # PA+AOS authenticates on load (Fig. 13): the escape closes.
+            "pa+aos": Expectation.MUST_DETECT,
+        },
+        default=Expectation.UNSUPPORTED,  # no AHC field to zero
+        seed=seed,
+        paper_ref="§VII-C, Fig. 13",
+    )
+
+
+#: The corpus, in presentation order.  Keys are the scenario names used by
+#: the CLI, the chaos campaign, checkpoints and the scenario-matrix JSON.
+SCENARIOS: Dict[str, Callable[[int], ScenarioInstance]] = {
+    "heap-overflow-adjacent": heap_overflow_adjacent,
+    "linear-oob-write": linear_oob_write,
+    "nonlinear-oob-read": nonlinear_oob_read,
+    "intra-object-overflow": intra_object_overflow,
+    "uaf-stale-load": uaf_stale_load,
+    "uaf-after-realloc": uaf_after_realloc,
+    "double-free": double_free,
+    "pac-forgery": pac_forgery,
+    "pac-replay": pac_replay,
+    "ahc-zero-escape": ahc_zero_escape,
+}
+
+
+def build_scenario(name: str, seed: int = 7) -> ScenarioInstance:
+    """Materialise one named scenario at ``seed``."""
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    return builder(seed)
+
+
+def parse_scenarios(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate a CLI scenario list (None = the full corpus, in order)."""
+    if not names:
+        return list(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise WorkloadError(
+                f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+            )
+    return list(names)
+
+
+# ----------------------------------------------------- Program compilation
+
+
+#: Live objects pre-allocated around the scenario so its chunks sit in a
+#: realistic neighbourhood (and the AOS lowering warms the HBT).
+_PREAMBLE_OBJECTS = 8
+_PREAMBLE_SIZE = 64
+#: Filler events between attacker steps: background compute keeps the
+#: scoreboard/ROB machinery exercised the way real programs do.
+_PAD_EVENTS = 24
+
+
+def scenario_trace(
+    instance: ScenarioInstance, scale: int = 8, profile: str = "gcc"
+) -> WorkloadTrace:
+    """Compile a scenario's access pattern to a :class:`WorkloadTrace`.
+
+    The trace reproduces the recipe's allocation/access sequence with the
+    event vocabulary of :mod:`repro.workloads.generator`, so the standard
+    compiler passes lower it to a :class:`~repro.isa.program.Program` per
+    mechanism and the timing kernels execute the exploit for real (OOB and
+    stale accesses surface as ``validation_faults``).  Steps the trace ISA
+    cannot express (PAC/AHC forging, a second ``free``) lower to pointer
+    arithmetic so the instruction stream still carries their cost.
+    """
+    rng = random.Random(f"adversary-trace:{instance.name}:{instance.seed}")
+    base_profile = get_profile(profile)
+    trace_profile = dataclasses.replace(
+        base_profile, name=f"attack:{instance.name}"
+    )
+
+    object_sizes: Dict[int, int] = {}
+    preamble: List[Tuple[int, int]] = []
+    for oid in range(_PREAMBLE_OBJECTS):
+        object_sizes[oid] = _PREAMBLE_SIZE
+        preamble.append((oid, _PREAMBLE_SIZE))
+
+    events: List[tuple] = []
+
+    def pad() -> None:
+        for _ in range(_PAD_EVENTS):
+            draw = rng.random()
+            if draw < 0.55:
+                events.append(("alu",))
+            elif draw < 0.75:
+                events.append(("br", rng.random() < 0.05))
+            else:
+                oid = rng.randrange(_PREAMBLE_OBJECTS)
+                offset = rng.randrange(0, _PREAMBLE_SIZE - 8, 8)
+                events.append(("ld", oid, offset, False, False))
+
+    ids: Dict[str, int] = {}
+    next_id = _PREAMBLE_OBJECTS
+    freed: set = set()
+
+    pad()
+    for step in instance.steps:
+        if step.op == "malloc":
+            ids[step.obj] = next_id
+            object_sizes[next_id] = step.size
+            events.append(("m", next_id, step.size))
+            next_id += 1
+        elif step.op == "alias":
+            ids[step.obj] = ids[step.src]
+        elif step.op == "free":
+            oid = ids[step.obj]
+            if oid in freed:
+                # The allocator-level second free cannot lower (the heap
+                # executes for real at lowering time); keep its cost.
+                events.append(("pa",))
+            else:
+                freed.add(oid)
+                events.append(("f", oid))
+        elif step.op == "load":
+            events.append(("ld", ids[step.obj], step.offset, False, False))
+        elif step.op == "store":
+            events.append(("st", ids[step.obj], step.offset, False))
+        else:  # zero-ahc / forge-pac: pointer arithmetic in the trace ISA
+            events.append(("pa",))
+        pad()
+
+    return WorkloadTrace(
+        profile=trace_profile,
+        preamble=preamble,
+        events=events,
+        object_sizes=object_sizes,
+        scale=scale,
+        seed=instance.seed,
+    )
+
+
+def compile_scenario(
+    name: str,
+    mechanism: str = "aos",
+    seed: int = 7,
+    scale: int = 8,
+    config=None,
+):
+    """Lower one named scenario to a runnable program for ``mechanism``.
+
+    Returns the :class:`~repro.compiler.passes.LoweredWorkload`; feed it to
+    :class:`~repro.cpu.core.Simulator` with either kernel.  The kernel-
+    equivalence suite pins byte-identical results across kernels on these
+    programs.
+    """
+    from ..compiler import lower_trace
+    from ..experiments.common import scaled_config
+
+    instance = build_scenario(name, seed=seed)
+    trace = scenario_trace(instance, scale=scale)
+    return lower_trace(trace, mechanism, config=config or scaled_config(mechanism, scale))

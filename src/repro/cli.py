@@ -67,6 +67,7 @@ ARTIFACTS = {
     "ablations": "design-choice ablations (BWB, MCQ, resize, entropy)",
     "mte": "extended comparison vs memory tagging (§X)",
     "faultinject": "fault-injection campaign + detection coverage (§VII)",
+    "attack": "adversarial scenario corpus chaos campaign (§VII, §VII-C)",
     "trace": "cycle-stamped event trace + metrics (Chrome/Perfetto export)",
 }
 
@@ -176,6 +177,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-checkpoint", default=None, metavar="PATH",
         help="JSONL checkpoint; an interrupted campaign resumes from it",
     )
+    fault.add_argument(
+        "--fault-kinds", nargs="+", default=None, metavar="KIND",
+        help="restrict the campaign to these fault kinds "
+        "(default: all 12; e.g. ptr-pac-flip use-after-free)",
+    )
+    attack = parser.add_argument_group("attack options")
+    attack.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="restrict the corpus to these scenarios (default: all; "
+        "e.g. ahc-zero-escape uaf-stale-load)",
+    )
+    attack.add_argument(
+        "--matrix-out", default=None, metavar="PATH",
+        help="attack only: write the scenario-matrix JSON artifact",
+    )
+    attack.add_argument(
+        "--pareto", action="store_true",
+        help="attack only: also run the timing sweep and print the "
+        "detection-coverage vs overhead Pareto table",
+    )
+    attack.add_argument(
+        "--no-supervise", action="store_true",
+        help="attack only: run the corpus serially in-process instead of "
+        "under the supervision layer",
+    )
     sup = parser.add_argument_group("supervision options")
     sup.add_argument(
         "--supervise", action="store_true",
@@ -258,6 +284,12 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
             overrides["locations"] = args.fault_locations
         if args.fault_timeout is not None:
             overrides["timeout_s"] = args.fault_timeout
+        if args.fault_kinds:
+            from .faults import parse_fault_kind
+
+            overrides["kinds"] = tuple(
+                parse_fault_kind(value) for value in args.fault_kinds
+            )
         overrides["seed"] = args.seed
         overrides["paranoid"] = args.paranoid
         if args.inject_hang:
@@ -369,6 +401,81 @@ def run_trace(args, profiler: PhaseProfiler) -> str:
     return "\n".join(lines)
 
 
+def run_attack(args, profiler: PhaseProfiler) -> int:
+    """The ``attack`` artifact: chaos campaign over the scenario corpus.
+
+    Returns the process exit code: non-zero when any MUST_DETECT cell
+    went undetected (the acceptance contract), zero otherwise — known
+    escapes (reported by name) and robustness bugs are findings, not
+    failures.
+    """
+    import json
+
+    from .adversary import ChaosCampaign, ChaosConfig
+    from .stats import ScenarioCoverage
+
+    overrides = {"seed": args.seed}
+    if args.scenarios:
+        overrides["scenarios"] = tuple(args.scenarios)
+    if args.mechanisms:
+        overrides["mechanisms"] = tuple(args.mechanisms)
+    if args.fault_timeout is not None:
+        overrides["timeout_s"] = args.fault_timeout
+    if args.quick:
+        config = ChaosConfig.quick(**overrides)
+    else:
+        config = ChaosConfig(**overrides)
+
+    # Supervision is the default for chaos campaigns: a scenario that
+    # wedges the simulator must land as a quarantined robustness bug, not
+    # hang the sweep.  ``--no-supervise`` opts into a plain serial run.
+    supervise = None
+    if not args.no_supervise:
+        args.supervise = True
+        supervise = supervisor_config(args)
+
+    with profiler.phase("attack"):
+        matrix = ChaosCampaign(config).run(supervise=supervise, jobs=args.jobs)
+    print(matrix.format_report())
+
+    payload = matrix.to_payload()
+    if args.pareto:
+        from .experiments import run_security_pareto
+
+        coverage = ScenarioCoverage.from_matrix(matrix)
+        suite = ExperimentSuite(
+            RunSettings(
+                instructions=args.instructions,
+                seed=args.seed,
+                scale=args.scale,
+                kernel=args.kernel,
+            ),
+            jobs=args.jobs,
+            cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
+        )
+        with profiler.phase("pareto"):
+            pareto = run_security_pareto(
+                coverage, suite, workloads=args.workloads
+            )
+        print()
+        print(pareto.format())
+        payload["pareto"] = pareto.to_payload()
+    if args.matrix_out:
+        with open(args.matrix_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        print(f"[scenario matrix -> {args.matrix_out}]")
+    if not matrix.ok:
+        failures = matrix.must_detect_failures()
+        print(
+            f"ATTACK CAMPAIGN FAILED: {len(failures)} must-detect "
+            "scenario(s) went undetected",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: The ``--quick`` timing subset: cheap but behaviourally distinct, and it
 #: keeps gcc — the paper's worst-case AOS workload — in every smoke run.
 QUICK_WORKLOADS = ["gcc", "povray", "gobmk"]
@@ -418,6 +525,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(profiler.format())
         return 0
 
+    # ``attack`` owns its exit code (non-zero on missed must-detects), so
+    # it bypasses the always-0 artifact loop like ``trace`` does.
+    if args.artifact == "attack":
+        try:
+            with trap_signals():
+                code = run_attack(args, profiler)
+        except KeyboardInterrupt:
+            print(_resume_hint(args), file=sys.stderr)
+            return 130
+        if args.profile:
+            print()
+            print(profiler.format())
+        return code
+
     suite = ExperimentSuite(
         RunSettings(
             instructions=args.instructions,
@@ -435,9 +556,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         supervise=supervisor_config(args),
         paranoid=args.paranoid,
     )
-    # ``trace`` writes files and is excluded from the ``all`` sweep.
+    # ``trace`` writes files and ``attack`` owns its exit code: both are
+    # excluded from the ``all`` sweep (run them directly).
     names = (
-        [n for n in ARTIFACTS if n != "trace"]
+        [n for n in ARTIFACTS if n not in ("trace", "attack")]
         if args.artifact == "all"
         else [args.artifact]
     )

@@ -118,6 +118,12 @@ class BoundsWayBuffer:
             self._table.popitem(last=False)
         self._table[tag] = way
 
+    def clear_hints(self) -> None:
+        """Drop every cached way hint (fault-harness teardown).  The BWB
+        is a hint structure, so emptying it is always safe — the next
+        check simply pays the full way walk again."""
+        self._table.clear()
+
     def tags(self) -> list:
         """Current tags, oldest first (inspection/injection helper)."""
         return list(self._table)

@@ -147,6 +147,12 @@ class MemoryCheckUnit:
         live with no bounds — every later check on it must fault."""
         self._inject_dropped_stores += count
 
+    def clear_injected_faults(self) -> None:
+        """Disarm every armed injection seam on this MCU (harness
+        teardown: an aborted campaign cell must not leak armed faults
+        into whatever runs on the component next)."""
+        self._inject_dropped_stores = 0
+
     def drain_recent_stores(self) -> None:
         """Model the MCQ draining at a quiescent point: forget forwardable
         bounds so subsequent checks must read the HBT lines (§V-F2 only

@@ -32,6 +32,7 @@ from .fig15 import run_fig15, Fig15Result
 from .fig16 import run_fig16, Fig16Result
 from .fig17 import run_fig17, Fig17Result
 from .fig18 import run_fig18, Fig18Result
+from .pareto import ParetoResult, run_security_pareto
 from .tables import run_table1, run_table2, run_table3, run_table4
 
 __all__ = [
@@ -58,6 +59,8 @@ __all__ = [
     "Fig17Result",
     "run_fig18",
     "Fig18Result",
+    "ParetoResult",
+    "run_security_pareto",
     "run_table1",
     "run_table2",
     "run_table3",

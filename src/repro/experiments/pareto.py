@@ -1,0 +1,115 @@
+"""Detection-coverage vs performance-overhead Pareto figure.
+
+Joins the adversarial-corpus coverage axis
+(:class:`~repro.stats.scenario_coverage.ScenarioCoverage`) with the
+Fig. 14 normalized-time machinery: for each mechanism the overhead is the
+geomean of ``suite.normalized_time`` over the sweep workloads, the
+coverage is the detected fraction of modeled corpus cells, and the
+frontier marks the non-dominated trade-offs — the figure CryptSan/PACSan
+style comparisons reduce to.
+
+Mechanisms without a timing lowering (CHERI has none — a capability
+machine changes the ISA, not just the allocator) are listed separately
+with coverage only, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..stats.report import TableFormatter, geomean
+from ..stats.scenario_coverage import ScenarioCoverage
+from .common import ExperimentSuite
+from .parallel import CellSpec
+
+#: Mechanisms the trace compiler can lower (cheri has no lowering).
+TIMED_MECHANISMS = ("baseline", "watchdog", "pa", "mte", "rest", "aos", "pa+aos")
+
+#: Default timing sweep: cheap but behaviourally distinct, keeping gcc —
+#: the paper's worst-case AOS workload — in every Pareto run.
+PARETO_WORKLOADS = ["gcc", "povray", "gobmk"]
+
+
+@dataclass
+class ParetoResult:
+    """The joined coverage/overhead points plus the coverage-only rest."""
+
+    #: One dict per timed mechanism: mechanism, coverage, overhead, frontier.
+    points: List[dict]
+    #: mechanism -> coverage for mechanisms with no timing lowering.
+    untimed: Dict[str, float] = field(default_factory=dict)
+    workloads: List[str] = field(default_factory=list)
+
+    def frontier(self) -> List[str]:
+        return [p["mechanism"] for p in self.points if p["frontier"]]
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "security-pareto",
+            "points": [dict(p) for p in self.points],
+            "untimed": dict(self.untimed),
+            "workloads": list(self.workloads),
+            "frontier": self.frontier(),
+        }
+
+    def format(self) -> str:
+        table = TableFormatter(
+            columns=["coverage", "overhead", "frontier"], name_width=14
+        )
+        for point in self.points:
+            table.add_row(
+                point["mechanism"],
+                {
+                    "coverage": f"{100.0 * point['coverage']:.0f}%",
+                    "overhead": f"{point['overhead']:.3f}x",
+                    "frontier": "*" if point["frontier"] else "",
+                },
+            )
+        lines = [
+            "Detection coverage vs overhead — Pareto over the scenario corpus",
+            f"(overhead: geomean normalized time over {', '.join(self.workloads)})",
+            table.render(),
+            "frontier: " + (", ".join(self.frontier()) or "none"),
+        ]
+        for mechanism, coverage in self.untimed.items():
+            lines.append(
+                f"coverage-only (no timing lowering): {mechanism} "
+                f"{100.0 * coverage:.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_security_pareto(
+    coverage: ScenarioCoverage,
+    suite: Optional[ExperimentSuite] = None,
+    workloads: Optional[List[str]] = None,
+) -> ParetoResult:
+    """Compute the Pareto points for every mechanism ``coverage`` saw."""
+    suite = suite or ExperimentSuite()
+    workloads = workloads or list(PARETO_WORKLOADS)
+
+    timed = [m for m in coverage.mechanisms() if m in TIMED_MECHANISMS]
+    untimed = {
+        m: coverage.detection_rate(m)
+        for m in coverage.mechanisms()
+        if m not in TIMED_MECHANISMS
+    }
+    # Prefetch every (workload, mechanism) cell so a jobs>1 suite shards
+    # them; baseline rides along as the normalization denominator.
+    suite.ensure_cells(
+        CellSpec(workload, mechanism)
+        for workload in workloads
+        for mechanism in set(timed) | {"baseline"}
+    )
+    overheads = {
+        mechanism: geomean(
+            [suite.normalized_time(workload, mechanism) for workload in workloads]
+        )
+        for mechanism in timed
+    }
+    return ParetoResult(
+        points=coverage.pareto_points(overheads),
+        untimed=untimed,
+        workloads=workloads,
+    )

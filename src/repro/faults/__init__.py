@@ -32,6 +32,7 @@ from .injector import (
     FaultSpec,
     InjectionRecord,
     TrackedObject,
+    parse_fault_kind,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "SPATIAL_POINTER_KINDS",
     "TEMPORAL_POINTER_KINDS",
     "TrackedObject",
+    "parse_fault_kind",
     "run_campaign_cell",
     "run_quick_campaign",
 ]

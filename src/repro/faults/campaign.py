@@ -321,39 +321,43 @@ def run_campaign_cell(
             retries=retries,
         )
         try:
-            harness = FaultHarness(
+            # Context-managed so ANY exit — detection, timeout, host error,
+            # retry — disarms the injection seams before the next attempt
+            # (or anything else) touches these components again.
+            with FaultHarness(
                 workload=workload,
                 mechanism=mechanism,
                 seed=seed,
                 objects=config.objects,
                 policy=HandlerPolicy.REPORT_AND_RESUME,
                 max_violations=config.max_violations,
-            )
-            harness.populate()
-            record = injector.inject(harness, replace(spec, seed=seed))
-            harness.probe(
-                deadline=deadline, churn=config.churn, burst=record.probe_burst
-            )
-            failures = harness.integrity_failures()
-            detections = harness.detections
-            base.detections = detections
-            base.expect_detection = record.expect_detection
-            base.integrity_failures = len(failures)
-            base.elapsed = deadline.elapsed
-            violations = []
-            if config.paranoid:
-                from ..supervise.oracle import InvariantOracle
+            ) as harness:
+                harness.populate()
+                record = injector.inject(harness, replace(spec, seed=seed))
+                harness.probe(
+                    deadline=deadline, churn=config.churn, burst=record.probe_burst
+                )
+                failures = harness.integrity_failures()
+                detections = harness.detections
+                base.detections = detections
+                base.expect_detection = record.expect_detection
+                base.integrity_failures = len(failures)
+                base.elapsed = deadline.elapsed
+                violations = []
+                if config.paranoid:
+                    from ..supervise.oracle import InvariantOracle
 
-                oracle = InvariantOracle(
-                    shadow_sample=config.paranoid_shadow_sample
-                )
-                violations = oracle.audit_harness(
-                    harness,
-                    sample_token=(
-                        f"{workload}:{mechanism}:{spec.kind.value}:{spec.location}"
-                    ),
-                )
-                base.invariant_violations = len(violations)
+                    oracle = InvariantOracle(
+                        shadow_sample=config.paranoid_shadow_sample
+                    )
+                    violations = oracle.audit_harness(
+                        harness,
+                        sample_token=(
+                            f"{workload}:{mechanism}:"
+                            f"{spec.kind.value}:{spec.location}"
+                        ),
+                    )
+                    base.invariant_violations = len(violations)
             if detections:
                 base.outcome = RunOutcome.DETECTED
                 base.detail = f"{record.description}; {detections} violation(s)"

@@ -86,6 +86,22 @@ RESILIENCE_KINDS = (
 ALL_KINDS: List[FaultKind] = list(FaultKind)
 
 
+def parse_fault_kind(value: str) -> FaultKind:
+    """CLI parser for ``--fault-kinds``: value string -> :class:`FaultKind`.
+
+    Round-trips every kind (``parse_fault_kind(kind.value) is kind``) and
+    turns an unknown name into a :class:`FaultInjectionError` listing the
+    vocabulary instead of a bare ``ValueError``.
+    """
+    try:
+        return FaultKind(value)
+    except ValueError:
+        raise FaultInjectionError(
+            f"unknown fault kind {value!r}; known: "
+            + ", ".join(k.value for k in ALL_KINDS)
+        ) from None
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One injection request: what to corrupt, where, with which entropy."""
@@ -184,6 +200,31 @@ class FaultHarness:
     @property
     def detections(self) -> int:
         return self.process.handler.violation_count
+
+    # ------------------------------------------------------------- teardown
+
+    def disarm_seams(self) -> None:
+        """Disarm every injection seam on this harness's components.
+
+        Idempotent and safe mid-campaign: armed-but-unfired faults (queued
+        ``bndstr`` drops, a stalled migration, poisoned BWB hints) are the
+        only state cleared — applied corruption and logged detections are
+        results, not seams, and stay put.  Called on any exception path so
+        an aborted cell can never leak an armed fault into a follow-up run
+        on the same components.
+        """
+        self.mcu.clear_injected_faults()
+        if self.hbt.migration_stalled:
+            self.hbt.resume_migration()
+        if self.bwb is not None:
+            self.bwb.clear_hints()
+
+    def __enter__(self) -> "FaultHarness":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.disarm_seams()
+        return False
 
     # ------------------------------------------------------------ population
 
@@ -296,7 +337,14 @@ class FaultInjector:
         if handler is None:
             raise FaultInjectionError(f"unknown fault kind {spec.kind!r}")
         rng = random.Random(f"{spec.seed}:{spec.kind.value}:{spec.location}")
-        record = handler(self, harness, spec, rng)
+        try:
+            record = handler(self, harness, spec, rng)
+        except Exception:
+            # A handler that dies mid-injection may have armed some seams
+            # already (e.g. a bndstr drop queued before the allocation
+            # failed); never leak them into the caller's recovery path.
+            harness.disarm_seams()
+            raise
         if self.obs is not None:
             self.obs.registry.count("fault.injected")
             self.obs.registry.count(f"fault.injected.{spec.kind.value}")

@@ -113,6 +113,26 @@ class AOSAdapter(BaselineAdapter):
         return self.runtime.signer.autm(pointer)
 
 
+class PAAOSAdapter(AOSAdapter):
+    """PA+AOS (Fig. 13): ``autm`` authenticates every pointer at use.
+
+    Plain AOS skips bounds checks on unsigned pointers, which is the
+    §VII-C AHC-zeroing escape; this variant closes it by authenticating on
+    every load/store/free, so a zeroed AHC faults before the access."""
+
+    name = "pa+aos"
+    signs_pointers = True
+
+    def free(self, pointer: int):
+        return super().free(self.autm(pointer))
+
+    def load(self, pointer: int, size: int = 8) -> int:
+        return super().load(self.autm(pointer), size)
+
+    def store(self, pointer: int, value: int, size: int = 8) -> None:
+        super().store(self.autm(pointer), value, size)
+
+
 class WatchdogAdapter:
     """Watchdog lock-and-key + bounds."""
 
@@ -296,6 +316,7 @@ MECHANISM_ADAPTERS: Dict[str, Callable[[], object]] = {
     "cheri": CheriAdapter,
     "watchdog": WatchdogAdapter,
     "aos": AOSAdapter,
+    "pa+aos": PAAOSAdapter,
 }
 
 

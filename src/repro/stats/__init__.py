@@ -3,11 +3,13 @@
 from .coverage import DetectionCoverage
 from .metrics_report import MetricsReport, format_cell_metrics
 from .report import TableFormatter, geomean, normalize
+from .scenario_coverage import ScenarioCoverage
 from .supervision import SupervisionSummary
 
 __all__ = [
     "DetectionCoverage",
     "MetricsReport",
+    "ScenarioCoverage",
     "SupervisionSummary",
     "TableFormatter",
     "format_cell_metrics",

@@ -87,7 +87,11 @@ class RetryPolicy:
             return raw
         digest = hashlib.sha256(f"{self.seed}:{key}:{attempt}".encode()).digest()
         unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
-        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+        jittered = raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+        # The cap is a hard ceiling: positive jitter on an at-cap delay
+        # must not push past it (a long chaos campaign would otherwise
+        # accumulate unbounded extra sleep across its retries).
+        return min(jittered, self.backoff_cap_s)
 
 
 @dataclass(frozen=True)

@@ -122,6 +122,19 @@ class SupervisionReport:
             counts[record.outcome] = counts.get(record.outcome, 0) + 1
         return counts
 
+    def attempts_for(self, key: str) -> List[AttemptRecord]:
+        """Every attempt of one task, in execution order — the per-cell
+        audit trail a chaos campaign points at when a cell needed retries."""
+        return [a for a in self.attempts if a.key == key]
+
+    def attempt_outcomes(self) -> Dict[str, List[str]]:
+        """key -> outcome sequence (e.g. ``["hang", "ok"]``), so retry
+        behaviour is auditable without walking the raw attempt list."""
+        outcomes: Dict[str, List[str]] = {}
+        for record in self.attempts:
+            outcomes.setdefault(record.key, []).append(record.outcome)
+        return outcomes
+
     def accounts_for(self, keys: Sequence[str]) -> bool:
         """True when every key is either completed or quarantined."""
         done = set(self.completed_keys()) | set(self.quarantined)

@@ -177,3 +177,87 @@ class TestTraceArtifact:
         ]) == 0
         out = capsys.readouterr().out
         assert "engine phase profile" in out
+
+
+class TestAttackArtifact:
+    def test_attack_registered(self):
+        assert "attack" in ARTIFACTS
+
+    def test_attack_options_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "attack", "--quick", "--scenarios", "double-free",
+            "ahc-zero-escape", "--matrix-out", "m.json", "--pareto",
+            "--no-supervise",
+        ])
+        assert args.artifact == "attack"
+        assert args.scenarios == ["double-free", "ahc-zero-escape"]
+        assert args.matrix_out == "m.json"
+        assert args.pareto
+        assert args.no_supervise
+
+    def test_fault_kinds_option_parses_and_restricts(self, capsys):
+        argv = [
+            "faultinject", "--workloads", "gcc", "--mechanisms", "aos",
+            "--fault-locations", "1", "--fault-kinds", "ptr-pac-flip",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ptr-pac-flip" in out
+        assert "cells: 1" in out  # the sweep ran only the requested kind
+
+    def test_fault_kinds_rejects_unknown(self, capsys):
+        from repro.errors import FaultInjectionError
+
+        with pytest.raises(FaultInjectionError):
+            main(["faultinject", "--fault-kinds", "cosmic-ray"])
+
+    def test_attack_quick_serial(self, capsys, tmp_path):
+        matrix_path = tmp_path / "matrix.json"
+        argv = [
+            "attack", "--quick", "--no-supervise",
+            "--matrix-out", str(matrix_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # The §VII-C escape is reported by name, never a silent pass.
+        assert "ahc-zero-escape vs aos" in out
+        assert "known escapes" in out
+        payload = json.loads(matrix_path.read_text())
+        assert payload["kind"] == "scenario-matrix"
+        assert payload["ok"]
+        assert payload["verdicts"]["missed-detection"] == 0
+        cells = {(r["scenario"], r["mechanism"]): r for r in payload["runs"]}
+        assert cells[("ahc-zero-escape", "aos")]["verdict"] == "escape-confirmed"
+        assert cells[("ahc-zero-escape", "pa+aos")]["observed"] == "detected"
+
+    def test_attack_supervised_subset(self, capsys):
+        argv = [
+            "attack", "--scenarios", "uaf-stale-load",
+            "--mechanisms", "aos", "pa+aos", "--jobs", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out or "attempts" in out
+
+    def test_attack_exits_nonzero_on_missed_detection(self, capsys, monkeypatch):
+        from repro.adversary import Expectation
+        from repro.adversary import scenarios as scen
+
+        def impossible(seed=7):
+            base = scen.intra_object_overflow(seed)
+            return scen.ScenarioInstance(
+                name=base.name, category=base.category,
+                description=base.description, steps=base.steps,
+                expectations={"aos": Expectation.MUST_DETECT},
+                default=Expectation.KNOWN_ESCAPE, seed=seed,
+            )
+
+        monkeypatch.setitem(scen.SCENARIOS, "intra-object-overflow", impossible)
+        argv = [
+            "attack", "--scenarios", "intra-object-overflow",
+            "--mechanisms", "aos", "--no-supervise",
+        ]
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "missed" in (captured.out + captured.err).lower()

@@ -367,3 +367,110 @@ class TestReporting:
             seed=7, outcome=RunOutcome.TIMED_OUT, detail="budget",
         )
         assert RunResult.from_payload(original.to_payload()) == original
+
+
+# ----------------------------------------------------- teardown / fault kinds
+
+
+class TestSeamTeardown:
+    def arm_all_seams(self, harness):
+        harness.mcu.inject_drop_bndstr(3)
+        harness.hbt.interrupt_migration()
+        if harness.bwb is not None:
+            harness.bwb.poison(0x123, 1)
+
+    def assert_disarmed(self, harness):
+        assert harness.mcu._inject_dropped_stores == 0
+        assert not harness.hbt.migration_stalled
+        if harness.bwb is not None:
+            assert harness.bwb.lookup(0x123) is None
+
+    def test_exception_mid_simulation_disarms_seams(self):
+        """The regression the context manager pins: an exception between
+        injection and probe must not leak armed seams into the next run."""
+        harness = FaultHarness(**HARNESS_KW)
+        harness.populate()
+        with pytest.raises(RuntimeError):
+            with harness:
+                self.arm_all_seams(harness)
+                raise RuntimeError("crash between inject and probe")
+        self.assert_disarmed(harness)
+        # A follow-up run on the same components is clean: nothing drops
+        # the new bndstr, no stalled migration steers its lookups.
+        harness.allocate_one()
+        harness.probe(churn=2)
+        assert harness.detections == 0
+        assert harness.integrity_failures() == []
+
+    def test_context_manager_does_not_swallow(self):
+        with pytest.raises(ValueError):
+            with FaultHarness(**HARNESS_KW):
+                raise ValueError("must propagate")
+
+    def test_disarm_is_idempotent_and_keeps_results(self):
+        harness = FaultHarness(**HARNESS_KW)
+        harness.populate()
+        record = FaultInjector().inject(
+            harness, FaultSpec(kind=FaultKind.PTR_VA_FLIP)
+        )
+        harness.probe(churn=1)
+        detections = harness.detections
+        assert detections > 0
+        harness.disarm_seams()
+        harness.disarm_seams()
+        # Applied corruption and logged detections are results, not seams.
+        assert harness.detections == detections
+        assert record.target_pointer is not None
+
+    def test_failing_handler_disarms_before_raising(self):
+        """A handler that dies after arming a seam must not leak it."""
+        harness = FaultHarness(**HARNESS_KW)
+        harness.populate()
+        injector = FaultInjector()
+
+        def exploding(self, harness, spec, rng):
+            harness.mcu.inject_drop_bndstr(2)
+            raise FaultInjectionError("handler died mid-injection")
+
+        injector._HANDLERS = {FaultKind.BNDSTR_DROP: exploding}
+        with pytest.raises(FaultInjectionError):
+            injector.inject(harness, FaultSpec(kind=FaultKind.BNDSTR_DROP))
+        assert harness.mcu._inject_dropped_stores == 0
+
+
+class TestFaultKindVocabulary:
+    def test_every_kind_has_a_handler(self):
+        assert set(FaultInjector._HANDLERS) == set(FaultKind)
+
+    def test_categories_partition_the_vocabulary(self):
+        from repro.faults import (
+            ALL_KINDS,
+            METADATA_KINDS,
+            RESILIENCE_KINDS,
+            SPATIAL_POINTER_KINDS,
+            TEMPORAL_POINTER_KINDS,
+        )
+
+        categories = (
+            SPATIAL_POINTER_KINDS,
+            TEMPORAL_POINTER_KINDS,
+            METADATA_KINDS,
+            RESILIENCE_KINDS,
+        )
+        members = [kind for category in categories for kind in category]
+        # Every kind in exactly one category, none missing, none invented.
+        assert len(members) == len(set(members))
+        assert set(members) == set(FaultKind) == set(ALL_KINDS)
+
+    def test_parse_fault_kind_round_trips(self):
+        from repro.faults import parse_fault_kind
+
+        for kind in FaultKind:
+            assert parse_fault_kind(kind.value) is kind
+
+    def test_parse_fault_kind_lists_vocabulary(self):
+        from repro.faults import parse_fault_kind
+
+        with pytest.raises(FaultInjectionError) as excinfo:
+            parse_fault_kind("cosmic-ray")
+        assert "ptr-pac-flip" in str(excinfo.value)

@@ -263,3 +263,50 @@ def test_invalid_kernel_rejected():
         RunSettings(kernel="bogus")
     with pytest.raises(ConfigError):
         Simulator(scaled_config("aos", SCALE), kernel="turbo")
+
+
+# ------------------------------------------------------- adversarial corpus
+
+
+#: Scenario programs exercise paths ordinary traces rarely hit back to back
+#: (OOB loads faulting mid-stream, stale accesses after reuse, the §VII-C
+#: unsigned-pointer skip), so they get their own byte-equality pins.
+CORPUS_SCENARIOS = (
+    "heap-overflow-adjacent",
+    "uaf-after-realloc",
+    "ahc-zero-escape",
+    "nonlinear-oob-read",
+)
+
+
+@pytest.mark.parametrize("scenario", CORPUS_SCENARIOS)
+def test_equivalence_on_corpus_scenarios(scenario):
+    """Compiled exploit scenarios run byte-identically on both kernels."""
+    from repro.adversary import compile_scenario
+
+    for mechanism in ("aos", "pa+aos"):
+        config = scaled_config(mechanism, SCALE)
+        lowered = compile_scenario(
+            scenario, mechanism, seed=SEED, scale=SCALE, config=config
+        )
+        reference = Simulator(config, kernel="reference").run(lowered)
+        fast = Simulator(config, kernel="fast").run(lowered)
+        assert payload(fast) == payload(reference), (
+            f"kernel divergence on corpus scenario {scenario}/{mechanism}"
+        )
+
+
+def test_corpus_scenario_faults_visible_to_both_kernels():
+    """The compiled exploit actually fires: both kernels report the same
+    non-zero validation fault count for a spatial must-detect."""
+    from repro.adversary import compile_scenario
+
+    config = scaled_config("aos", SCALE)
+    lowered = compile_scenario(
+        "heap-overflow-adjacent", "aos", seed=SEED, scale=SCALE, config=config
+    )
+    results = [
+        Simulator(config, kernel=kernel).run(lowered) for kernel in KERNELS
+    ]
+    assert results[0].validation_faults > 0
+    assert results[0].validation_faults == results[1].validation_faults

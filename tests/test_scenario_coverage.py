@@ -1,0 +1,139 @@
+"""ScenarioCoverage roll-ups and the coverage-vs-overhead Pareto join."""
+
+import pytest
+
+from repro.adversary import ChaosCampaign, ChaosConfig
+from repro.experiments import run_security_pareto
+from repro.experiments.pareto import TIMED_MECHANISMS
+from repro.stats import ScenarioCoverage
+
+
+def record(mechanism, scenario="s", category="spatial",
+           expected="must-detect", observed="detected", verdict="as-expected"):
+    return {
+        "mechanism": mechanism,
+        "scenario": scenario,
+        "category": category,
+        "expected": expected,
+        "observed": observed,
+        "verdict": verdict,
+    }
+
+
+def coverage_of(*records):
+    coverage = ScenarioCoverage()
+    for item in records:
+        coverage.add_record(item)
+    return coverage
+
+
+class TestRollups:
+    def test_detection_rate_excludes_unsupported(self):
+        coverage = coverage_of(
+            record("pa", scenario="a"),
+            record("pa", scenario="b", observed="undetected",
+                   expected="known-escape", verdict="escape-confirmed"),
+            record("pa", scenario="c", observed="unsupported",
+                   expected="unsupported", verdict="unmodeled"),
+        )
+        # 1 detected of 2 modeled; the unsupported cell says nothing.
+        assert coverage.detection_rate("pa") == 0.5
+        assert len(coverage.modeled("pa")) == 2
+
+    def test_crashes_count_against_detection(self):
+        coverage = coverage_of(
+            record("aos", scenario="a"),
+            record("aos", scenario="b", observed="crashed",
+                   verdict="robustness-bug"),
+            record("aos", scenario="c", observed="timed-out",
+                   verdict="robustness-bug"),
+        )
+        # No credit for runs that never produced a verdict.
+        assert coverage.detection_rate("aos") == pytest.approx(1 / 3)
+
+    def test_must_detect_rate(self):
+        coverage = coverage_of(
+            record("mte", scenario="a"),
+            record("mte", scenario="b", expected="may-detect",
+                   observed="undetected"),
+            record("mte", scenario="c", observed="undetected",
+                   verdict="missed-detection"),
+        )
+        assert coverage.must_detect_rate("mte") == 0.5
+        # A mechanism with no required cells trivially satisfies the oracle.
+        assert coverage.must_detect_rate("baseline") == 1.0
+
+    def test_escapes_are_named(self):
+        coverage = coverage_of(
+            record("aos", scenario="ahc-zero-escape", expected="known-escape",
+                   observed="undetected", verdict="escape-confirmed"),
+        )
+        assert coverage.escapes("aos") == ["ahc-zero-escape"]
+        assert coverage.escapes("pa+aos") == []
+
+    def test_by_category_maps_undetected_to_silent(self):
+        coverage = coverage_of(
+            record("aos", scenario="a", category="temporal"),
+            record("aos", scenario="b", category="temporal",
+                   expected="known-escape", observed="undetected",
+                   verdict="escape-confirmed"),
+        )
+        breakdown = coverage.by_category("aos")
+        assert breakdown.rate(["temporal"]) == 0.5
+        assert breakdown.counts["temporal"]["silent"] == 1
+
+    def test_format_table_lists_every_mechanism(self):
+        coverage = ScenarioCoverage.from_matrix(
+            ChaosCampaign(ChaosConfig.quick()).run()
+        )
+        table = coverage.format_table()
+        for mechanism in ("baseline", "aos", "pa+aos"):
+            assert mechanism in table
+        assert "must-detect" in table
+
+
+class TestPareto:
+    def test_frontier_marks_non_dominated(self):
+        coverage = coverage_of(
+            record("baseline", observed="undetected",
+                   expected="known-escape", verdict="escape-confirmed"),
+            record("aos"),
+            record("watchdog"),
+        )
+        points = coverage.pareto_points(
+            {"baseline": 1.0, "aos": 1.08, "watchdog": 2.2}
+        )
+        by_mech = {p["mechanism"]: p for p in points}
+        assert by_mech["baseline"]["frontier"]   # cheapest
+        assert by_mech["aos"]["frontier"]        # full coverage, cheap
+        # watchdog: same coverage as aos at higher overhead — dominated.
+        assert not by_mech["watchdog"]["frontier"]
+        # sorted by overhead for plotting
+        assert [p["mechanism"] for p in points] == ["baseline", "aos", "watchdog"]
+
+    def test_mechanisms_without_overhead_are_skipped(self):
+        coverage = coverage_of(record("aos"), record("cheri"))
+        points = coverage.pareto_points({"aos": 1.1})
+        assert [p["mechanism"] for p in points] == ["aos"]
+
+    def test_run_security_pareto_joins_suite_overheads(self):
+        from repro.experiments.common import ExperimentSuite, RunSettings
+
+        matrix = ChaosCampaign(
+            ChaosConfig(
+                scenarios=("heap-overflow-adjacent", "ahc-zero-escape"),
+                mechanisms=("baseline", "aos", "cheri"),
+            )
+        ).run()
+        coverage = ScenarioCoverage.from_matrix(matrix)
+        suite = ExperimentSuite(RunSettings(instructions=3000))
+        result = run_security_pareto(coverage, suite, workloads=["gcc"])
+        by_mech = {p["mechanism"]: p for p in result.points}
+        assert by_mech["baseline"]["overhead"] == pytest.approx(1.0)
+        assert by_mech["aos"]["overhead"] > 1.0
+        # cheri has no timing lowering: coverage-only, never silently dropped.
+        assert "cheri" in result.untimed
+        assert "cheri" in result.format()
+        payload = result.to_payload()
+        assert payload["workloads"] == ["gcc"]
+        assert {p["mechanism"] for p in payload["points"]} <= set(TIMED_MECHANISMS)

@@ -56,6 +56,7 @@ class TestMatrixShape:
         for per_mech in matrix.results.values():
             assert set(per_mech) == {
                 "baseline", "rest", "pa", "mte", "cheri", "watchdog", "aos",
+                "pa+aos",
             }
 
     def test_format_table_renders(self, matrix):

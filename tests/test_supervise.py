@@ -107,6 +107,18 @@ class TestRetryPolicy:
             delay = policy.delay("k", attempt)
             assert raw * 0.75 <= delay <= raw * 1.25
 
+    def test_backoff_cap_is_hard(self):
+        """Positive jitter on an at-cap delay must not push past the cap
+        (a long chaos campaign would otherwise accumulate unbounded extra
+        sleep across retries)."""
+        policy = RetryPolicy(
+            backoff_base_s=10.0, backoff_factor=10.0, backoff_cap_s=0.2,
+            jitter=0.25, seed=3,
+        )
+        for key in ("cell-a", "cell-b", "cell-c"):
+            for attempt in range(1, 6):
+                assert policy.delay(key, attempt) <= 0.2
+
     def test_different_seeds_differ(self):
         assert RetryPolicy(seed=1).delay("k", 1) != RetryPolicy(seed=2).delay("k", 1)
 
@@ -251,6 +263,34 @@ class TestSupervisionReport:
     def test_accounts_for_missing_key(self):
         report = SupervisionReport()
         assert not report.accounts_for(["never-ran"])
+
+    def test_per_attempt_audit_helpers(self):
+        from repro.supervise import AttemptRecord
+
+        report = SupervisionReport(
+            attempts=[
+                AttemptRecord("flaky", 1, "pool", "hang"),
+                AttemptRecord("clean", 1, "pool", "ok"),
+                AttemptRecord("flaky", 2, "fresh-pool", "ok"),
+            ]
+        )
+        flaky = report.attempts_for("flaky")
+        assert [(a.attempt, a.level, a.outcome) for a in flaky] == [
+            (1, "pool", "hang"),
+            (2, "fresh-pool", "ok"),
+        ]
+        assert report.attempts_for("never-ran") == []
+        assert report.attempt_outcomes() == {
+            "flaky": ["hang", "ok"],
+            "clean": ["ok"],
+        }
+
+    def test_audit_trail_recorded_for_real_run(self):
+        config = _fast_config(start_level=ExecutionLevel.SERIAL)
+        _, report = Supervisor(config).run(
+            _double, [Task(key="a", payload=1), Task(key="b", payload=2)]
+        )
+        assert report.attempt_outcomes() == {"a": ["ok"], "b": ["ok"]}
 
     def test_format_mentions_quarantine(self):
         config = _fast_config(start_level=ExecutionLevel.SERIAL)
