@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentTimeout, ReproError, WorkloadError
 from ..faults.campaign import Deadline
+from ..mechanisms.registry import REGISTRY, parse_mechanisms
 from ..security.adapters import DETECTION_EXCEPTIONS, MECHANISM_ADAPTERS, make_adapter
 from .scenarios import (
     Expectation,
@@ -121,6 +122,20 @@ def _apply_step(adapter, env: Dict[str, Any], step: Step) -> None:
         adapter.load(adapter.offset(env[step.obj], step.offset))
     elif step.op == "store":
         adapter.store(adapter.offset(env[step.obj], step.offset), step.value)
+    elif step.op in ("call", "ret"):
+        action = getattr(adapter, step.op, None)
+        if action is None:
+            raise UnsupportedScenario(
+                f"{adapter.name} does not model a call stack"
+            )
+        action()
+    elif step.op == "smash-ret":
+        smash = getattr(adapter, "smash_ret", None)
+        if smash is None:
+            raise UnsupportedScenario(
+                f"{adapter.name} does not model a call stack"
+            )
+        smash(step.value)
     elif step.op == "zero-ahc":
         forge = getattr(adapter, "forge_ahc_zero", None)
         if forge is None:
@@ -155,13 +170,16 @@ def execute_scenario(
     the timed-out classification); everything else folds into the outcome.
     """
     adapter = make_adapter(mechanism)
+    # Resolved at run time so plugin mechanisms registered after import
+    # contribute their fault types to the detection set.
+    detections = REGISTRY.detection_exceptions()
     env: Dict[str, Any] = {}
     for index, step in enumerate(instance.steps):
         if deadline is not None:
             deadline.check()
         try:
             _apply_step(adapter, env, step)
-        except DETECTION_EXCEPTIONS as exc:
+        except detections as exc:
             return (
                 ScenarioOutcome.DETECTED,
                 f"step {index} ({step.op}): {type(exc).__name__}: {exc}",
@@ -251,8 +269,10 @@ class ChaosConfig:
 
     #: Scenario names (default: the full corpus, in registry order).
     scenarios: Sequence[str] = ()
-    #: Mechanism adapters swept (default: every registered adapter).
-    mechanisms: Sequence[str] = tuple(MECHANISM_ADAPTERS)
+    #: Mechanism names swept.  The empty default means *every mechanism
+    #: registered at run time*, so plugins registered after this module
+    #: imported still join the sweep.
+    mechanisms: Sequence[str] = ()
     seed: int = 7
     #: Per-cell cooperative wall-clock budget (None = unbounded).
     timeout_s: Optional[float] = 20.0
@@ -260,12 +280,15 @@ class ChaosConfig:
     def scenario_names(self) -> List[str]:
         return parse_scenarios(self.scenarios or None)
 
+    def mechanism_names(self) -> List[str]:
+        return parse_mechanisms(self.mechanisms or None)
+
     def __post_init__(self) -> None:
         for mechanism in self.mechanisms:
-            if mechanism not in MECHANISM_ADAPTERS:
+            if mechanism not in REGISTRY:
                 raise WorkloadError(
                     f"unknown mechanism {mechanism!r}; known: "
-                    + ", ".join(MECHANISM_ADAPTERS)
+                    + ", ".join(REGISTRY.names())
                 )
         self.scenario_names()  # validate scenario names eagerly
 
@@ -387,7 +410,7 @@ class ChaosCampaign:
         return [
             (scenario, mechanism)
             for scenario in self.config.scenario_names()
-            for mechanism in self.config.mechanisms
+            for mechanism in self.config.mechanism_names()
         ]
 
     def _payload(self, scenario: str, mechanism: str):

@@ -33,26 +33,15 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
+from ..mechanisms.registry import Expectation, REGISTRY
 from ..workloads import get_profile
 from ..workloads.generator import WorkloadTrace
 
-
-class Expectation(str, Enum):
-    """What the expected-verdict oracle claims for (scenario, mechanism)."""
-
-    #: The mechanism's model detects this; an undetected run is a failure.
-    MUST_DETECT = "must-detect"
-    #: Detection is probabilistic or allocator-layout dependent.
-    MAY_DETECT = "may-detect"
-    #: Documented blind spot: the scenario is *expected* to land silently,
-    #: and the campaign must report it by name (never a silent pass).
-    KNOWN_ESCAPE = "known-escape"
-    #: The adapter does not model the attacker primitive this recipe needs.
-    UNSUPPORTED = "unsupported"
+# ``Expectation`` is re-exported here for its historical import path; it
+# now lives with the registry so MechanismSpec oracles can use it.
 
 
 #: Step opcodes the chaos interpreter understands.
@@ -64,6 +53,9 @@ STEP_OPS = (
     "alias",      # env[obj] = env[src]  (capture a dangling/replayable copy)
     "zero-ahc",   # env[obj] = adapter.forge_ahc_zero(env[obj])   [signing]
     "forge-pac",  # env[obj] = adapter.forge_pac(env[obj], wrong) [signing]
+    "call",       # adapter.call()                       [call-stack models]
+    "ret",        # adapter.ret()                        [call-stack models]
+    "smash-ret",  # adapter.smash_ret(value)             [call-stack models]
 )
 
 
@@ -105,35 +97,17 @@ class ScenarioInstance:
 #: The signing mechanisms (adapters with forge_pac/forge_ahc_zero/autm).
 _SIGNING = ("aos", "pa+aos")
 
-#: Shorthand: detection claims shared by the object-granularity checkers.
-def _spatial_expectations(**overrides) -> Dict[str, Expectation]:
-    base = {
-        "aos": Expectation.MUST_DETECT,
-        "pa+aos": Expectation.MUST_DETECT,
-        "watchdog": Expectation.MUST_DETECT,
-        "cheri": Expectation.MUST_DETECT,
-        "mte": Expectation.MAY_DETECT,   # 4-bit tags: 1/16 collisions
-        "rest": Expectation.MAY_DETECT,  # redzone reach depends on stride
-        "baseline": Expectation.KNOWN_ESCAPE,
-        "pa": Expectation.KNOWN_ESCAPE,  # pointer integrity only (§II)
-    }
-    base.update(overrides)
-    return base
 
+def _oracle(scenario: str, category: str) -> Dict[str, Expectation]:
+    """The per-mechanism expectation row, resolved from the registry.
 
-def _temporal_expectations(**overrides) -> Dict[str, Expectation]:
-    base = {
-        "aos": Expectation.MUST_DETECT,
-        "pa+aos": Expectation.MUST_DETECT,
-        "watchdog": Expectation.MUST_DETECT,
-        "cheri": Expectation.MAY_DETECT,  # revocation-sweep dependent
-        "mte": Expectation.MAY_DETECT,    # retag-on-free may collide
-        "rest": Expectation.MAY_DETECT,   # quarantine poisoning
-        "baseline": Expectation.KNOWN_ESCAPE,
-        "pa": Expectation.KNOWN_ESCAPE,
-    }
-    base.update(overrides)
-    return base
+    Each :class:`~repro.mechanisms.registry.MechanismSpec` carries its
+    category defaults and per-scenario overrides, so a newly registered
+    mechanism automatically gets a row in every scenario's oracle.  The
+    row is materialised at scenario-build time: plugins registered before
+    the campaign runs are covered.
+    """
+    return REGISTRY.expectations(scenario, category)
 
 
 # ------------------------------------------------------------- the corpus
@@ -166,9 +140,7 @@ def heap_overflow_adjacent(seed: int = 7) -> ScenarioInstance:
         category="spatial",
         description="contiguous overflow from one chunk into its neighbour",
         steps=steps,
-        expectations=_spatial_expectations(
-            mte=Expectation.MAY_DETECT, rest=Expectation.MUST_DETECT
-        ),
+        expectations=_oracle("heap-overflow-adjacent", "spatial"),
         seed=seed,
         paper_ref="§VII-A, Fig. 12",
     )
@@ -187,7 +159,7 @@ def linear_oob_write(seed: int = 7) -> ScenarioInstance:
         category="spatial",
         description="linear overflow sweeping past the allocation end",
         steps=tuple(steps),
-        expectations=_spatial_expectations(rest=Expectation.MUST_DETECT),
+        expectations=_oracle("linear-oob-write", "spatial"),
         seed=seed,
         paper_ref="§I, §VII-A",
     )
@@ -209,10 +181,7 @@ def nonlinear_oob_read(seed: int = 7) -> ScenarioInstance:
         category="spatial",
         description="non-linear (strided) OOB read far past the redzone",
         steps=steps,
-        expectations=_spatial_expectations(
-            rest=Expectation.KNOWN_ESCAPE,  # the motivating REST blind spot
-            mte=Expectation.MAY_DETECT,
-        ),
+        expectations=_oracle("nonlinear-oob-read", "spatial"),
         seed=seed,
         paper_ref="§I (non-adjacent overflows), §VII-A",
     )
@@ -254,7 +223,7 @@ def uaf_stale_load(seed: int = 7) -> ScenarioInstance:
         category="temporal",
         description="dereference of a dangling copy, freed slot not reused",
         steps=steps,
-        expectations=_temporal_expectations(rest=Expectation.MUST_DETECT),
+        expectations=_oracle("uaf-stale-load", "temporal"),
         seed=seed,
         paper_ref="§VII-A, Fig. 12 line 14",
     )
@@ -277,7 +246,7 @@ def uaf_after_realloc(seed: int = 7) -> ScenarioInstance:
         category="temporal",
         description="stale pointer write after the freed slot is reallocated",
         steps=steps,
-        expectations=_temporal_expectations(),
+        expectations=_oracle("uaf-after-realloc", "temporal"),
         seed=seed,
         paper_ref="§VII-A (AHC bump on reallocation)",
     )
@@ -297,12 +266,7 @@ def double_free(seed: int = 7) -> ScenarioInstance:
         category="temporal",
         description="the same chunk freed twice through a stale copy",
         steps=steps,
-        expectations=_temporal_expectations(
-            # glibc's fasttop check catches the naive immediate double free.
-            baseline=Expectation.MAY_DETECT,
-            pa=Expectation.MAY_DETECT,
-            rest=Expectation.MUST_DETECT,
-        ),
+        expectations=_oracle("double-free", "temporal"),
         seed=seed,
         paper_ref="§IV-D (bndclr), Fig. 12 lines 16-19",
     )
@@ -323,10 +287,7 @@ def pac_forgery(seed: int = 7) -> ScenarioInstance:
         category="metadata",
         description="attacker rewrites the PAC field of a signed pointer",
         steps=steps,
-        expectations={
-            "aos": Expectation.MUST_DETECT,
-            "pa+aos": Expectation.MUST_DETECT,
-        },
+        expectations=_oracle("pac-forgery", "metadata"),
         default=Expectation.UNSUPPORTED,  # no PAC field to forge
         seed=seed,
         paper_ref="§VII-C",
@@ -353,7 +314,10 @@ def pac_replay(seed: int = 7) -> ScenarioInstance:
         category="metadata",
         description="replay of a previously valid signed pointer after reuse",
         steps=steps,
-        expectations=_temporal_expectations(),
+        # Temporal-category oracle: the replayed signature dies with the
+        # allocation's metadata generation, so the same liveness machinery
+        # decides each mechanism's claim.
+        expectations=_oracle("pac-replay", "temporal"),
         seed=seed,
         paper_ref="§VII-C (signature replay), §VII-A",
     )
@@ -374,16 +338,34 @@ def ahc_zero_escape(seed: int = 7) -> ScenarioInstance:
         category="metadata",
         description="AHC zeroed to dodge selective bounds checking (§VII-C)",
         steps=steps,
-        expectations={
-            # Plain AOS skips unsigned pointers: the paper's documented
-            # escape, reported by name — never a silent pass.
-            "aos": Expectation.KNOWN_ESCAPE,
-            # PA+AOS authenticates on load (Fig. 13): the escape closes.
-            "pa+aos": Expectation.MUST_DETECT,
-        },
+        expectations=_oracle("ahc-zero-escape", "metadata"),
         default=Expectation.UNSUPPORTED,  # no AHC field to zero
         seed=seed,
         paper_ref="§VII-C, Fig. 13",
+    )
+
+
+def ret_addr_corruption(seed: int = 7) -> ScenarioInstance:
+    rng = _rng("ret-addr-corruption", seed)
+    steps = (
+        Step("call"),
+        Step("call"),
+        # Attacker data-write over the innermost saved return address —
+        # the control-flow path AOS deliberately leaves to PA (§VII-B).
+        Step("smash-ret", value=0x6A0000 + rng.randrange(0, 4096, 16)),
+        Step("ret"),
+        Step("ret"),
+    )
+    return ScenarioInstance(
+        name="ret-addr-corruption",
+        category="control",
+        description="saved return address overwritten before the return",
+        steps=steps,
+        expectations=_oracle("ret-addr-corruption", "control"),
+        # Mechanisms without a call-stack model yield ``unmodeled``.
+        default=Expectation.UNSUPPORTED,
+        seed=seed,
+        paper_ref="§VII-B (PA return-address signing), PACStack/PACTight",
     )
 
 
@@ -400,6 +382,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioInstance]] = {
     "pac-forgery": pac_forgery,
     "pac-replay": pac_replay,
     "ahc-zero-escape": ahc_zero_escape,
+    "ret-addr-corruption": ret_addr_corruption,
 }
 
 
@@ -502,6 +485,14 @@ def scenario_trace(
             events.append(("ld", ids[step.obj], step.offset, False, False))
         elif step.op == "store":
             events.append(("st", ids[step.obj], step.offset, False))
+        elif step.op == "call":
+            events.append(("call",))
+        elif step.op == "ret":
+            events.append(("ret",))
+        elif step.op == "smash-ret":
+            # The overwrite itself is a plain data store into the stack's
+            # saved-return slot; the *detection* cost sits in the return.
+            events.append(("ust", 0, 0))
         else:  # zero-ahc / forge-pac: pointer arithmetic in the trace ISA
             events.append(("pa",))
         pad()

@@ -1,0 +1,140 @@
+"""A functional PACTight-style pointer-identity sealing model.
+
+PACTight (see PAPERS.md) seals each sensitive pointer with a PAC whose
+modifier is a per-object random tag, giving three properties:
+unforgeability (a crafted or bit-flipped pointer fails the seal),
+copy-detection for stale copies (the tag rotates when the object's
+storage is reused), and temporal safety (the tag is destroyed on free).
+It performs *no bounds checking* — a legitimately sealed pointer may
+wander out of bounds freely, which is exactly the spatial blind spot
+the oracle records — and also seals return addresses, covering the
+control-flow path AOS leaves open.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..crypto.pac import PACGenerator, PAKeys
+from ..memory.allocator import HeapAllocator
+from ..memory.layout import AddressSpaceLayout, DEFAULT_LAYOUT
+from ..memory.memory import SparseMemory
+
+
+class PACTightFault(Exception):
+    """A seal authentication failed (forged, stale, or freed pointer)."""
+
+
+@dataclass(frozen=True)
+class SealedPointer:
+    """A pointer sealed to its object's identity tag."""
+
+    address: int
+    base: int
+    pac: int
+
+    def offset(self, delta: int) -> "SealedPointer":
+        return SealedPointer(address=self.address + delta, base=self.base, pac=self.pac)
+
+    def __int__(self) -> int:
+        return self.address
+
+
+class PACTightRuntime:
+    """Identity-sealed pointers over a raw heap (no bounds checks)."""
+
+    def __init__(
+        self,
+        layout: AddressSpaceLayout = DEFAULT_LAYOUT,
+        pac_bits: int = 16,
+        pac_mode: str = "fast",
+        seed: int = 0x71647,
+    ) -> None:
+        self.memory = SparseMemory()
+        self.allocator = HeapAllocator(self.memory, layout)
+        self.generator = PACGenerator(keys=PAKeys(), pac_bits=pac_bits, mode=pac_mode)
+        self._rng = random.Random(seed)
+        #: object base -> live identity tag (absent once freed).
+        self._tags: Dict[int, int] = {}
+        #: sealed return-address stack (address, seal) — mutable frames so
+        #: an attacker overwrite is representable.
+        self._frames: List[List[int]] = []
+        self.auth_failures = 0
+
+    # -------------------------------------------------------------- sealing
+
+    def _seal(self, address: int, tag: int) -> int:
+        return self.generator.compute(address, tag, key_name="da")
+
+    def authenticate(self, pointer: SealedPointer) -> int:
+        tag = self._tags.get(pointer.base)
+        if tag is None:
+            self.auth_failures += 1
+            raise PACTightFault(
+                f"no identity tag for object {pointer.base:#x} "
+                f"(freed or never allocated)"
+            )
+        if pointer.pac != self._seal(pointer.base, tag):
+            self.auth_failures += 1
+            raise PACTightFault(
+                f"seal mismatch for pointer {pointer.address:#x} "
+                f"(object {pointer.base:#x})"
+            )
+        return pointer.address
+
+    # ------------------------------------------------------------------ heap
+
+    def malloc(self, size: int) -> SealedPointer:
+        base = self.allocator.malloc(size)
+        tag = self._rng.getrandbits(32) | 1
+        self._tags[base] = tag
+        return SealedPointer(address=base, base=base, pac=self._seal(base, tag))
+
+    def free(self, pointer: SealedPointer) -> SealedPointer:
+        self.authenticate(pointer)
+        self.allocator.free(pointer.base)
+        del self._tags[pointer.base]
+        return pointer
+
+    def load(self, pointer: SealedPointer, size: int = 8) -> int:
+        address = self.authenticate(pointer)
+        return int.from_bytes(self.memory.read_bytes(address, size), "little")
+
+    def store(self, pointer: SealedPointer, value: int, size: int = 8) -> None:
+        address = self.authenticate(pointer)
+        self.memory.write_bytes(
+            address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        )
+
+    # ---------------------------------------------------------- return path
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def call(self, return_address: int) -> None:
+        seal = self.generator.compute(
+            return_address, len(self._frames), key_name="ia"
+        )
+        self._frames.append([return_address, seal])
+
+    def smash_return(self, value: int) -> None:
+        """Attacker overwrite of the saved return address (data write —
+        the seal cannot be recomputed without the key)."""
+        if self._frames:
+            frame = self._frames[-1]
+            frame[0] = value if value != frame[0] else value ^ 0x10
+
+    def ret(self) -> int:
+        if not self._frames:
+            raise PACTightFault("return-stack underflow")
+        address, seal = self._frames.pop()
+        expected = self.generator.compute(address, len(self._frames), key_name="ia")
+        if seal != expected:
+            self.auth_failures += 1
+            raise PACTightFault(
+                f"return address {address:#x} fails its seal"
+            )
+        return address

@@ -69,6 +69,7 @@ ARTIFACTS = {
     "faultinject": "fault-injection campaign + detection coverage (§VII)",
     "attack": "adversarial scenario corpus chaos campaign (§VII, §VII-C)",
     "trace": "cycle-stamped event trace + metrics (Chrome/Perfetto export)",
+    "mechanisms": "registered mechanism plugins (--list/--json/--fingerprint)",
 }
 
 
@@ -202,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="attack only: run the corpus serially in-process instead of "
         "under the supervision layer",
     )
+    mech = parser.add_argument_group("mechanisms options")
+    mech.add_argument(
+        "--list", action="store_true", dest="mech_list",
+        help="mechanisms only: print bare registered names, one per line "
+        "(the CI matrix source)",
+    )
+    mech.add_argument(
+        "--json", action="store_true", dest="mech_json",
+        help="mechanisms only: dump the registry (specs + fingerprint) as JSON",
+    )
+    mech.add_argument(
+        "--fingerprint", action="store_true", dest="mech_fingerprint",
+        help="mechanisms only: print the registry fingerprint (the CI cache key)",
+    )
     sup = parser.add_argument_group("supervision options")
     sup.add_argument(
         "--supervise", action="store_true",
@@ -268,6 +283,8 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
         return run_table3().format()
     if name == "security":
         return run_security_analysis().format_table()
+    if name == "mechanisms":
+        return format_mechanism_table()
     if name == "mte":
         from .experiments.extended import run_extended_comparison
 
@@ -401,6 +418,64 @@ def run_trace(args, profiler: PhaseProfiler) -> str:
     return "\n".join(lines)
 
 
+def format_mechanism_table() -> str:
+    """Human-readable registry listing (the default ``mechanisms`` output)."""
+    from .mechanisms import REGISTRY, registry_fingerprint
+
+    rows = []
+    for spec in REGISTRY.specs():
+        rows.append(
+            f"  {spec.name:<10s} lowering={spec.lowering or '-':<9s} "
+            f"kernel={'yes' if spec.kernel else 'no ':<3s} {spec.description}"
+        )
+    return "\n".join(
+        [f"registered mechanisms ({len(rows)}), registry order:"]
+        + rows
+        + [f"registry fingerprint: {registry_fingerprint()}"]
+    )
+
+
+def run_mechanisms(args) -> int:
+    """The ``mechanisms`` artifact: enumerate the plugin registry.
+
+    ``--list`` feeds CI matrix generation, ``--fingerprint`` keys the CI
+    artifact cache, ``--json`` gives both plus the full spec metadata.
+    """
+    import json
+
+    from .mechanisms import REGISTRY, registry_fingerprint
+
+    if args.mech_fingerprint:
+        print(registry_fingerprint())
+        return 0
+    if args.mech_list:
+        for name in REGISTRY.names():
+            print(name)
+        return 0
+    if args.mech_json:
+        payload = {
+            "kind": "mechanism-registry",
+            "fingerprint": registry_fingerprint(),
+            "mechanisms": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "paper": spec.paper,
+                    "lowering": spec.lowering,
+                    "kernel": spec.kernel,
+                    "cache_token": spec.cache_token,
+                    "detects": [exc.__name__ for exc in spec.detects],
+                    "hwcost": dict(spec.hwcost),
+                }
+                for spec in REGISTRY.specs()
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=1))
+        return 0
+    print(format_mechanism_table())
+    return 0
+
+
 def run_attack(args, profiler: PhaseProfiler) -> int:
     """The ``attack`` artifact: chaos campaign over the scenario corpus.
 
@@ -506,6 +581,22 @@ def _resume_hint(args) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     profiler = PhaseProfiler()
+
+    if args.artifact == "mechanisms":
+        return run_mechanisms(args)
+
+    # Strict mechanism-name validation up front (mirrors parse_fault_kind):
+    # a typo gets the full list of registered names, never a bare KeyError
+    # from deep inside a sweep.
+    from .mechanisms import UnknownMechanismError, parse_mechanism, parse_mechanisms
+
+    try:
+        args.mechanism = parse_mechanism(args.mechanism)
+        if args.mechanisms:
+            args.mechanisms = parse_mechanisms(args.mechanisms)
+    except UnknownMechanismError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     if args.quick:
         args.workloads = args.workloads or list(QUICK_WORKLOADS)
         args.instructions = min(args.instructions, 12_000)

@@ -405,6 +405,140 @@ class MTELowering(_LoweringBase):
         super().lower_free(obj)
 
 
+class PACStackLowering(_LoweringBase):
+    """PACStack: an authenticated return-address chain and nothing else.
+
+    Each call chains the new return address to the previous authentication
+    token (one ``pacia``), each return verifies it (one ``autia``); the
+    heap path is byte-for-byte the baseline lowering.  The cheapest of the
+    PA-based related-work points — and the narrowest.
+    """
+
+    mechanism = "pacstack"
+
+    def lower_call(self) -> None:
+        self.builder.emit_op(Op.PACIA)
+        self.builder.emit_op(Op.CALL)
+
+    def lower_ret(self) -> None:
+        self.builder.emit_op(Op.AUTIA)
+        self.builder.emit_op(Op.RET, deps=(1,))
+
+
+class PACTightLowering(PALowering):
+    """PACTight: identity-sealed pointers over the PA data-path lowering.
+
+    On top of PARTS-style call/ret and pointer-move signing, allocation
+    draws a per-object identity tag and seals the new pointer with it
+    (tag-table store + ``pacda``); free authenticates the seal and
+    destroys the tag (``autda`` + tag-table store).  No bounds checks —
+    per-access cost is identical to plain PA.
+    """
+
+    mechanism = "pactight"
+
+    def _tag_addr(self, obj: int) -> int:
+        return self.address_layout.shadow_base + 8 * obj
+
+    def lower_malloc(self, obj: int, size: int) -> None:
+        super().lower_malloc(obj, size)
+        # tag = random_tag(); tag_table[obj] = tag ; seal = pacda(ptr, tag)
+        self.builder.emit_op(Op.ALU)
+        self.builder.emit_op(Op.STORE, address=self._tag_addr(obj), meta="tag")
+        self.builder.emit_op(Op.PACDA)
+
+    def lower_free(self, obj: int) -> None:
+        # autda(ptr, tag_table[obj]) ; tag_table[obj] = INVALID
+        self.builder.emit_op(Op.LOAD, address=self._tag_addr(obj))
+        self.builder.emit_op(Op.AUTDA, deps=(1,))
+        self.builder.emit_op(Op.STORE, address=self._tag_addr(obj), meta="tag")
+        super().lower_free(obj)
+
+
+class PACSanLowering(_LoweringBase):
+    """PACSan: shadow-metadata PAC checks on *every* heap access.
+
+    Allocation signs a shadow record (base, size, liveness) for the new
+    object; every load and store first loads that record and authenticates
+    the pointer against it (shadow ``load`` + ``autda``), serialising
+    check before use — the sanitizer-style always-checked point in the
+    Pareto plot.
+    """
+
+    mechanism = "pacsan"
+
+    def _shadow_addr(self, obj: int) -> int:
+        return self.address_layout.shadow_base + 16 * obj
+
+    def lower_malloc(self, obj: int, size: int) -> None:
+        super().lower_malloc(obj, size)
+        # shadow[obj] = pacda(base, oid) || (base, size, alive)
+        self.builder.emit_op(Op.PACDA)
+        self.builder.emit_op(Op.STORE, address=self._shadow_addr(obj), meta="shadow")
+
+    def lower_free(self, obj: int) -> None:
+        # Authenticate, then clear the liveness bit in the shadow record.
+        self.builder.emit_op(Op.LOAD, address=self._shadow_addr(obj))
+        self.builder.emit_op(Op.AUTDA, deps=(1,))
+        self.builder.emit_op(Op.STORE, address=self._shadow_addr(obj), meta="shadow")
+        super().lower_free(obj)
+
+    def lower_heap_load(
+        self, obj: int, address: int, is_ptr: bool, chase: bool, dep: int
+    ) -> None:
+        self.builder.emit_op(Op.LOAD, address=self._shadow_addr(obj))
+        self.builder.emit_op(Op.AUTDA, deps=(1,))
+        self._emit_load(address, chase, dep if dep else 1)
+
+    def lower_heap_store(self, obj: int, address: int, is_ptr: bool, dep: int) -> None:
+        self.builder.emit_op(Op.LOAD, address=self._shadow_addr(obj))
+        self.builder.emit_op(Op.AUTDA, deps=(1,))
+        self._emit_store(address, dep if dep else 1)
+
+
+class CryptSanLowering(_LoweringBase):
+    """CryptSan: per-object MACs over 16-byte granules, checked everywhere.
+
+    Allocation computes the object MAC (``pacma``) and tags every granule
+    (one tag store per 16 B — twice MTE's colouring traffic); free
+    re-authenticates and untags.  Every access recomputes and compares the
+    MAC (``autda`` on the QARMA-latency path), making this the heaviest —
+    and spatially/temporally strongest — related-work point.
+    """
+
+    mechanism = "cryptsan"
+
+    GRANULE = 16
+
+    def _emit_granule_tags(self, address: int, size: int) -> None:
+        for offset in range(0, max(size, 1), self.GRANULE):
+            self.builder.emit_op(
+                Op.STORE, address=address + offset, meta="mac-tag"
+            )
+
+    def lower_malloc(self, obj: int, size: int) -> None:
+        super().lower_malloc(obj, size)
+        self.builder.emit_op(Op.PACMA)  # MAC over (base, version)
+        self._emit_granule_tags(self.pointers[obj], size)
+
+    def lower_free(self, obj: int) -> None:
+        ptr = self.pointers[obj]
+        size = self.allocator.allocated_size(ptr)
+        self.builder.emit_op(Op.AUTDA)  # authenticate before releasing
+        self._emit_granule_tags(ptr, size)  # untag
+        super().lower_free(obj)
+
+    def lower_heap_load(
+        self, obj: int, address: int, is_ptr: bool, chase: bool, dep: int
+    ) -> None:
+        self.builder.emit_op(Op.AUTDA)  # MAC check gates the access
+        self._emit_load(address, chase, dep if dep else 1)
+
+    def lower_heap_store(self, obj: int, address: int, is_ptr: bool, dep: int) -> None:
+        self.builder.emit_op(Op.AUTDA)
+        self._emit_store(address, dep if dep else 1)
+
+
 class AOSLowering(_LoweringBase):
     """AOS (Fig. 7): sign heap pointers, manage bounds, no per-access
     instrumentation.  ``pa_integrity=True`` gives the PA+AOS configuration:
@@ -545,7 +679,34 @@ _LOWERINGS = {
     "pa": PALowering,
     "mte": MTELowering,
     "rest": RESTLowering,
+    "pacstack": PACStackLowering,
+    "pactight": PACTightLowering,
+    "pacsan": PACSanLowering,
+    "cryptsan": CryptSanLowering,
 }
+
+
+def resolve_lowering(mechanism: str) -> str:
+    """Map a registered mechanism name to its lowering token.
+
+    Known lowering tokens pass through; anything else is looked up in the
+    mechanism registry, whose :class:`~repro.mechanisms.registry.MechanismSpec`
+    may alias an existing lowering (how a plugin reuses, say, the baseline
+    timing model).  Untimed mechanisms (``lowering=None``) and unknown
+    names raise :class:`~repro.errors.WorkloadError`.
+    """
+    if mechanism in _LOWERINGS or mechanism in ("aos", "pa+aos"):
+        return mechanism
+    from ..mechanisms.registry import REGISTRY
+
+    if mechanism in REGISTRY:
+        alias = REGISTRY.spec(mechanism).lowering
+        if alias is not None and alias != mechanism:
+            return resolve_lowering(alias)
+        raise WorkloadError(
+            f"mechanism {mechanism!r} has no timing lowering (untimed)"
+        )
+    raise WorkloadError(f"unknown mechanism {mechanism!r}")
 
 
 def lower_trace(
@@ -555,12 +716,11 @@ def lower_trace(
     pac_mode: str = "fast",
 ) -> LoweredWorkload:
     """Lower ``trace`` for one protection mechanism."""
+    mechanism = resolve_lowering(mechanism)
     if mechanism in _LOWERINGS:
         lowering = _LOWERINGS[mechanism](trace, config)
     elif mechanism == "aos":
         lowering = AOSLowering(trace, config, pa_integrity=False, pac_mode=pac_mode)
-    elif mechanism == "pa+aos":
-        lowering = AOSLowering(trace, config, pa_integrity=True, pac_mode=pac_mode)
     else:
-        raise WorkloadError(f"unknown mechanism {mechanism!r}")
+        lowering = AOSLowering(trace, config, pa_integrity=True, pac_mode=pac_mode)
     return lowering.lower()

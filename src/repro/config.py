@@ -183,6 +183,9 @@ class SystemConfig:
       an extension beyond the paper's Fig. 14 set).
     - ``"rest"``      — REST-style trip-wires with a quarantine pool
       (§IV-C's comparison point; extension).
+    - ``"cryptsan"``, ``"pacsan"``, ``"pactight"``, ``"pacstack"`` —
+      PA-based related-work lowerings (see ``repro.mechanisms``); plugin
+      mechanisms may also alias any of the lowerings above.
     """
 
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -193,7 +196,10 @@ class SystemConfig:
     aos: AOSOptions = field(default_factory=AOSOptions)
     mechanism: str = "aos"
 
-    MECHANISMS = ("baseline", "watchdog", "pa", "aos", "pa+aos", "mte", "rest")
+    MECHANISMS = (
+        "baseline", "watchdog", "pa", "aos", "pa+aos", "mte", "rest",
+        "cryptsan", "pacsan", "pactight", "pacstack",
+    )
 
     def __post_init__(self) -> None:
         _require(self.mechanism in self.MECHANISMS, f"unknown mechanism {self.mechanism!r}")

@@ -94,6 +94,13 @@ def scaled_config(mechanism: str, scale: int) -> SystemConfig:
     cache-pollution results (gcc, omnetpp).  Core/ROB/MCQ geometry is
     per-window ILP and stays at full size.
     """
+    if mechanism not in SystemConfig.MECHANISMS:
+        # Plugin mechanisms lower through a registered alias (e.g. a dummy
+        # mechanism reusing the baseline timing model): configure for the
+        # lowering that will actually run.
+        from ..compiler.passes import resolve_lowering
+
+        mechanism = resolve_lowering(mechanism)
     config = default_config(mechanism)
     if scale <= 1:
         return config

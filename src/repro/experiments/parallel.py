@@ -115,6 +115,21 @@ def trace_fingerprint(settings: RunSettings, workload: str) -> str:
     return hashlib.sha256(body.encode()).hexdigest()
 
 
+def _mechanism_cache_token(mechanism: str) -> str:
+    """The registry's cache-fingerprint token for ``mechanism``.
+
+    Bumping a spec's ``cache_token`` (``<name>-v2``) invalidates every
+    cached cell of that mechanism without touching the others; unregistered
+    names (ablation ``key`` variants reuse real mechanisms, so this is
+    rare) fall back to the bare name.
+    """
+    from ..mechanisms.registry import REGISTRY
+
+    if mechanism in REGISTRY:
+        return REGISTRY.spec(mechanism).cache_token
+    return mechanism
+
+
 def cell_fingerprint(settings: RunSettings, cell: CellSpec) -> str:
     """Content hash naming one simulation result in the artifact cache."""
     config = cell.resolved_config(settings)
@@ -125,6 +140,7 @@ def cell_fingerprint(settings: RunSettings, cell: CellSpec) -> str:
             "kind": "result",
             "workload": cell.workload,
             "mechanism": cell.mechanism,
+            "mechanism_token": _mechanism_cache_token(cell.mechanism),
             "profile": dataclasses.asdict(get_profile(cell.workload)),
             "config": dataclasses.asdict(config),
             "settings": dataclasses.asdict(settings),

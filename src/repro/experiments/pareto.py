@@ -23,8 +23,21 @@ from ..stats.scenario_coverage import ScenarioCoverage
 from .common import ExperimentSuite
 from .parallel import CellSpec
 
-#: Mechanisms the trace compiler can lower (cheri has no lowering).
-TIMED_MECHANISMS = ("baseline", "watchdog", "pa", "mte", "rest", "aos", "pa+aos")
+def timed_mechanisms() -> tuple:
+    """Every registered mechanism with a timing lowering, registry order
+    (cheri has none — a capability machine changes the ISA)."""
+    from ..mechanisms.registry import REGISTRY
+
+    return tuple(REGISTRY.timed_names())
+
+
+def __getattr__(name: str):
+    # PEP 562: ``TIMED_MECHANISMS`` stays importable but tracks the live
+    # mechanism registry, so plugin mechanisms with lowerings join the
+    # Pareto sweep without editing this module.
+    if name == "TIMED_MECHANISMS":
+        return timed_mechanisms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default timing sweep: cheap but behaviourally distinct, keeping gcc —
 #: the paper's worst-case AOS workload — in every Pareto run.
@@ -89,11 +102,12 @@ def run_security_pareto(
     suite = suite or ExperimentSuite()
     workloads = workloads or list(PARETO_WORKLOADS)
 
-    timed = [m for m in coverage.mechanisms() if m in TIMED_MECHANISMS]
+    lowerable = timed_mechanisms()
+    timed = [m for m in coverage.mechanisms() if m in lowerable]
     untimed = {
         m: coverage.detection_rate(m)
         for m in coverage.mechanisms()
-        if m not in TIMED_MECHANISMS
+        if m not in lowerable
     }
     # Prefetch every (workload, mechanism) cell so a jobs>1 suite shards
     # them; baseline rides along as the normalization denominator.

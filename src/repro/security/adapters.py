@@ -1,30 +1,41 @@
 """Uniform mechanism adapters for the security matrix.
 
 Each adapter exposes the same small surface — ``malloc``, ``free``,
-``load``, ``store``, ``offset`` and capability flags — so the attacks in
-:mod:`~repro.security.attacks` are written once.  ``DETECTION_EXCEPTIONS``
-is the set of exception types that count as "the mechanism detected the
-violation"; anything else propagates as a harness bug.
+``load``, ``store``, ``offset``, the call-stack ops (``call``, ``ret``,
+``smash_ret``) where the mechanism models one, and capability flags — so
+the attacks in :mod:`~repro.security.attacks` are written once.
+``DETECTION_EXCEPTIONS`` is the set of exception types that count as
+"the mechanism detected the violation"; anything else propagates as a
+harness bug.  Enumeration (which mechanisms exist, how to build one)
+lives in :mod:`repro.mechanisms` — ``MECHANISM_ADAPTERS`` here is a
+live read-only view of that registry, kept for its many call sites.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Iterator, List, Mapping, Tuple
 
 from ..baselines.cheri import Capability, CheriFault, CheriRuntime, Perm
+from ..baselines.cryptsan import CryptSanFault, CryptSanRuntime, MACPointer
 from ..baselines.mpx import MPXFault
 from ..baselines.mte import MTEFault, MTERuntime, TaggedPointer
 from ..baselines.pa import PAFault, PARuntime
+from ..baselines.pacsan import PACSanFault, PACSanRuntime, SignedPointer
+from ..baselines.pacstack import PACStackFault, PACStackRuntime
+from ..baselines.pactight import PACTightFault, PACTightRuntime, SealedPointer
 from ..baselines.rest import RedzoneFault, RestRuntime
 from ..baselines.watchdog import WatchdogFault, WatchdogPointer, WatchdogRuntime
 from ..core.aos import AOSRuntime
 from ..core.exceptions import AOSException
 from ..errors import AllocatorError
+from ..mechanisms.registry import REGISTRY
 from ..memory.allocator import HeapAllocator
 from ..memory.layout import DEFAULT_LAYOUT
 from ..memory.memory import SparseMemory
 
-#: Exception types that count as a successful detection.
+#: Exception types that count as a successful detection.  The registry
+#: union (:meth:`~repro.mechanisms.registry.MechanismRegistry.detection_exceptions`)
+#: additionally covers plugin mechanisms registered at runtime.
 DETECTION_EXCEPTIONS: Tuple[type, ...] = (
     AOSException,
     WatchdogFault,
@@ -33,8 +44,15 @@ DETECTION_EXCEPTIONS: Tuple[type, ...] = (
     MPXFault,
     MTEFault,
     CheriFault,
+    CryptSanFault,
+    PACSanFault,
+    PACTightFault,
+    PACStackFault,
     AllocatorError,
 )
+
+#: Synthetic call-site base for the modelled return-address stacks.
+_CALL_SITE = 0x400000
 
 
 class BaselineAdapter:
@@ -68,6 +86,32 @@ class BaselineAdapter:
     def raw_write(self, address: int, value: int) -> None:
         """Attacker primitive: arbitrary memory write (threat model §III-D)."""
         self.memory.write_u64(address, value)
+
+    # ------------------------------------------------------------ call stack
+    #
+    # An unprotected saved-return-address stack: the attacker overwrite in
+    # ``smash_ret`` lands silently and ``ret`` follows it.  Lazily created
+    # so subclasses with their own __init__ (AOS, PA) inherit it for free.
+
+    def _frames(self) -> list:
+        frames = self.__dict__.get("_return_frames")
+        if frames is None:
+            frames = self.__dict__["_return_frames"] = []
+        return frames
+
+    def call(self) -> None:
+        frames = self._frames()
+        frames.append(_CALL_SITE + 16 * len(frames))
+
+    def smash_ret(self, value: int) -> None:
+        """Attacker data-write over the topmost saved return address."""
+        frames = self._frames()
+        if frames:
+            frames[-1] = value if value != frames[-1] else value ^ 0x10
+
+    def ret(self) -> int:
+        frames = self._frames()
+        return frames.pop() if frames else 0
 
 
 class AOSAdapter(BaselineAdapter):
@@ -131,6 +175,34 @@ class PAAOSAdapter(AOSAdapter):
 
     def store(self, pointer: int, value: int, size: int = 8) -> None:
         super().store(self.autm(pointer), value, size)
+
+    # PA+AOS keeps the PARTS half: return addresses are signed (Fig. 13's
+    # integrated configuration), unlike plain AOS which leaves them raw.
+
+    def call(self) -> None:
+        frames = self._frames()
+        depth = len(frames)
+        lr = _CALL_SITE + 16 * depth
+        token = self.runtime.signer.generator.compute(lr, depth, key_name="ia")
+        frames.append([lr, token])
+
+    def smash_ret(self, value: int) -> None:
+        frames = self._frames()
+        if frames:
+            frame = frames[-1]
+            frame[0] = value if value != frame[0] else value ^ 0x10
+
+    def ret(self) -> int:
+        frames = self._frames()
+        if not frames:
+            return 0
+        lr, token = frames.pop()
+        expected = self.runtime.signer.generator.compute(
+            lr, len(frames), key_name="ia"
+        )
+        if token != expected:
+            raise PAFault(f"return address {lr:#x} fails authentication")
+        return lr
 
 
 class WatchdogAdapter:
@@ -227,6 +299,24 @@ class PAAdapter(BaselineAdapter):
     def store(self, pointer: int, value: int, size: int = 8) -> None:
         self.runtime.store(pointer, value, size)
 
+    # PARTS signs return addresses with SP as modifier (Fig. 3).
+
+    def call(self) -> None:
+        frames = self._frames()
+        depth = len(frames)
+        lr = _CALL_SITE + 16 * depth
+        frames.append(self.runtime.pacia(lr, self._frame_sp(depth)))
+
+    def ret(self) -> int:
+        frames = self._frames()
+        if not frames:
+            return 0
+        signed = frames.pop()
+        return self.runtime.autia(signed, self._frame_sp(len(frames)))
+
+    def _frame_sp(self, depth: int) -> int:
+        return self.allocator.layout.stack_top - 16 * depth
+
 
 class MTEAdapter:
     """Arm-MTE/ADI-style 4-bit memory tagging (§X)."""
@@ -308,23 +398,188 @@ class CheriAdapter:
         self.memory.write_u64(address, value)
 
 
-MECHANISM_ADAPTERS: Dict[str, Callable[[], object]] = {
-    "baseline": BaselineAdapter,
-    "rest": RestAdapter,
-    "pa": PAAdapter,
-    "mte": MTEAdapter,
-    "cheri": CheriAdapter,
-    "watchdog": WatchdogAdapter,
-    "aos": AOSAdapter,
-    "pa+aos": PAAOSAdapter,
-}
+class CryptSanAdapter:
+    """CryptSan-style per-object MACs checked on every load/store."""
+
+    name = "cryptsan"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = CryptSanRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    @staticmethod
+    def _require_mac(pointer) -> MACPointer:
+        if not isinstance(pointer, MACPointer):
+            # A crafted integer carries no MAC: every granule check fails.
+            raise CryptSanFault("crafted pointer carries no MAC")
+        return pointer
+
+    def malloc(self, size: int) -> MACPointer:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer):
+        return self.runtime.free(self._require_mac(pointer))
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._require_mac(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._require_mac(pointer), value, size)
+
+    def offset(self, pointer, delta: int) -> MACPointer:
+        return self._require_mac(pointer).offset(delta)
+
+    def forge_pac(self, pointer, wrong: int) -> MACPointer:
+        """Attacker flips bits in the pointer's MAC field."""
+        p = self._require_mac(pointer)
+        mask = self.runtime.generator.pac_space - 1
+        return MACPointer(p.address, p.base, p.mac ^ ((wrong or 1) & mask))
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+class PACSanAdapter:
+    """PACSan-style shadow-metadata PAC checks on every access."""
+
+    name = "pacsan"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = PACSanRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    @staticmethod
+    def _require_signed(pointer) -> SignedPointer:
+        if not isinstance(pointer, SignedPointer):
+            raise PACSanFault("crafted pointer carries no signature")
+        return pointer
+
+    def malloc(self, size: int) -> SignedPointer:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer):
+        return self.runtime.free(self._require_signed(pointer))
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._require_signed(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._require_signed(pointer), value, size)
+
+    def offset(self, pointer, delta: int) -> SignedPointer:
+        return self._require_signed(pointer).offset(delta)
+
+    def forge_pac(self, pointer, wrong: int) -> SignedPointer:
+        p = self._require_signed(pointer)
+        mask = self.runtime.generator.pac_space - 1
+        return SignedPointer(p.address, p.oid, p.pac ^ ((wrong or 1) & mask))
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+
+class PACTightAdapter:
+    """PACTight-style pointer-identity sealing (no bounds checks)."""
+
+    name = "pactight"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        self.runtime = PACTightRuntime()
+        self.memory = self.runtime.memory
+        self.allocator = self.runtime.allocator
+
+    @staticmethod
+    def _require_sealed(pointer) -> SealedPointer:
+        if not isinstance(pointer, SealedPointer):
+            raise PACTightFault("crafted pointer carries no identity seal")
+        return pointer
+
+    def malloc(self, size: int) -> SealedPointer:
+        return self.runtime.malloc(size)
+
+    def free(self, pointer):
+        return self.runtime.free(self._require_sealed(pointer))
+
+    def load(self, pointer, size: int = 8) -> int:
+        return self.runtime.load(self._require_sealed(pointer), size)
+
+    def store(self, pointer, value: int, size: int = 8) -> None:
+        self.runtime.store(self._require_sealed(pointer), value, size)
+
+    def offset(self, pointer, delta: int) -> SealedPointer:
+        return self._require_sealed(pointer).offset(delta)
+
+    def forge_pac(self, pointer, wrong: int) -> SealedPointer:
+        p = self._require_sealed(pointer)
+        mask = self.runtime.generator.pac_space - 1
+        return SealedPointer(p.address, p.base, p.pac ^ ((wrong or 1) & mask))
+
+    def raw_write(self, address: int, value: int) -> None:
+        self.memory.write_u64(address, value)
+
+    # PACTight seals return addresses too (its pcptr class).
+
+    def call(self) -> None:
+        self.runtime.call(_CALL_SITE + 16 * self.runtime.depth)
+
+    def smash_ret(self, value: int) -> None:
+        self.runtime.smash_return(value)
+
+    def ret(self) -> int:
+        return self.runtime.ret()
+
+
+class PACStackAdapter(BaselineAdapter):
+    """PACStack-style authenticated return-address chain over a raw heap."""
+
+    name = "pacstack"
+    signs_pointers = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stack = PACStackRuntime()
+
+    def call(self) -> None:
+        self.stack.call(_CALL_SITE + 16 * self.stack.depth)
+
+    def smash_ret(self, value: int) -> None:
+        self.stack.smash_return(value)
+
+    def ret(self) -> int:
+        return self.stack.ret()
+
+
+class _RegistryAdapters(Mapping):
+    """Live ``name -> factory`` view over the mechanism registry, so the
+    pre-registry call sites (and tests) keep working unchanged."""
+
+    def __getitem__(self, name: str):
+        return REGISTRY.spec(name).factory
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(REGISTRY.names())
+
+    def __len__(self) -> int:
+        return len(REGISTRY)
+
+    def __contains__(self, name: object) -> bool:
+        return name in REGISTRY
+
+    def keys(self) -> List[str]:  # type: ignore[override]
+        return REGISTRY.names()
+
+
+#: Every registered mechanism, in registry order (a live registry view).
+MECHANISM_ADAPTERS: Mapping[str, object] = _RegistryAdapters()
 
 
 def make_adapter(mechanism: str):
-    """Instantiate a fresh adapter for ``mechanism``."""
-    factory = MECHANISM_ADAPTERS.get(mechanism)
-    if factory is None:
-        raise KeyError(
-            f"unknown mechanism {mechanism!r}; known: {', '.join(MECHANISM_ADAPTERS)}"
-        )
-    return factory()
+    """Instantiate a fresh adapter for ``mechanism`` (strict: an unknown
+    name raises :class:`~repro.mechanisms.registry.UnknownMechanismError`
+    listing the registered choices)."""
+    return REGISTRY.make_adapter(mechanism)

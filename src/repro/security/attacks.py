@@ -16,7 +16,8 @@ from enum import Enum
 from typing import Callable, Dict
 
 from ..baselines.watchdog import WatchdogPointer
-from .adapters import DETECTION_EXCEPTIONS
+from ..mechanisms.registry import REGISTRY
+from .adapters import DETECTION_EXCEPTIONS  # noqa: F401  (re-export)
 
 
 class AttackOutcome(Enum):
@@ -40,7 +41,9 @@ class AttackResult:
 def _run(attack_name, adapter, action) -> AttackResult:
     try:
         action()
-    except DETECTION_EXCEPTIONS as exc:
+    # The registry union, not the static tuple, so plugin mechanisms'
+    # fault types count as detections too.
+    except REGISTRY.detection_exceptions() as exc:
         return AttackResult(
             attack=attack_name,
             mechanism=adapter.name,

@@ -33,7 +33,6 @@ from repro.cpu.core import Simulator
 from repro.cpu.pipeline import PipelineModel
 from repro.errors import ConfigError, SimulationError
 from repro.experiments.common import (
-    MECHANISMS,
     ExperimentSuite,
     RunSettings,
     _result_to_payload,
@@ -41,6 +40,7 @@ from repro.experiments.common import (
 )
 from repro.kernel import KERNELS
 from repro.kernel.fast import run_fast
+from repro.mechanisms import REGISTRY
 from repro.obs import ObsSettings
 from repro.workloads import generate_trace, get_profile
 from repro.workloads.profiles import ALL_PROFILES
@@ -48,8 +48,9 @@ from repro.workloads.profiles import ALL_PROFILES
 SEED = 7
 SCALE = 8
 
-#: Fig. 14 mechanisms plus the §X extension baselines.
-ALL_MECHANISMS = MECHANISMS + ["mte", "rest"]
+#: Every registered mechanism that declares kernel support — the cell
+#: grid grows automatically when a mechanism plugin registers.
+ALL_MECHANISMS = list(REGISTRY.timed_names(kernel_only=True))
 
 # ----------------------------------------------------------------- helpers
 

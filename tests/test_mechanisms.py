@@ -1,0 +1,391 @@
+"""Mechanism plugin registry: round-trips, strict parsing, new baselines.
+
+The registry is process-wide state, so every test that registers a dummy
+mechanism unregisters it in a ``finally`` — the builtin twelve must be
+exactly what every other test file sees.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.adversary.chaos import ChaosCampaign, ChaosConfig, run_scenario_cell
+from repro.adversary.scenarios import SCENARIOS, build_scenario, parse_scenarios
+from repro.baselines.cryptsan import CryptSanFault, CryptSanRuntime
+from repro.baselines.pacsan import PACSanFault, PACSanRuntime
+from repro.baselines.pacstack import PACStackFault, PACStackRuntime
+from repro.baselines.pactight import PACTightFault, PACTightRuntime
+from repro.compiler.passes import resolve_lowering
+from repro.errors import WorkloadError
+from repro.experiments.common import RunSettings
+from repro.experiments.parallel import CellSpec, cell_fingerprint
+from repro.experiments.pareto import timed_mechanisms
+from repro.mechanisms import (
+    REGISTRY,
+    MechanismRegistryError,
+    MechanismSpec,
+    ScenarioOracle,
+    UnknownMechanismError,
+    parse_mechanism,
+    parse_mechanisms,
+    register_mechanism,
+    registry_fingerprint,
+)
+from repro.security.adapters import (
+    MECHANISM_ADAPTERS,
+    BaselineAdapter,
+    PAAdapter,
+    make_adapter,
+)
+
+BUILTIN = (
+    "baseline", "rest", "pa", "mte", "cheri", "watchdog", "aos", "pa+aos",
+    "cryptsan", "pacsan", "pactight", "pacstack",
+)
+
+
+class DummyAdapter(BaselineAdapter):
+    name = "dummy"
+
+
+def dummy_spec(**overrides) -> MechanismSpec:
+    kwargs = dict(
+        name="dummy",
+        factory=DummyAdapter,
+        description="test-only plugin",
+        lowering="baseline",
+        kernel=True,
+        cache_token="dummy-v1",
+    )
+    kwargs.update(overrides)
+    return MechanismSpec(**kwargs)
+
+
+# ------------------------------------------------------------- enumeration
+
+
+class TestBuiltinRegistry:
+    def test_canonical_order(self):
+        assert tuple(REGISTRY.names()) == BUILTIN
+
+    def test_every_spec_constructs_its_adapter(self):
+        for name in REGISTRY.names():
+            adapter = make_adapter(name)
+            assert adapter.name == name
+
+    def test_mapping_view_is_live_and_read_only(self):
+        assert set(MECHANISM_ADAPTERS) == set(BUILTIN)
+        assert len(MECHANISM_ADAPTERS) == len(BUILTIN)
+        assert "aos" in MECHANISM_ADAPTERS
+        with pytest.raises(TypeError):
+            MECHANISM_ADAPTERS["rogue"] = object
+
+    def test_cheri_is_the_only_untimed_builtin(self):
+        assert REGISTRY.untimed_names() == ["cheri"]
+        assert "cheri" not in REGISTRY.timed_names()
+        assert set(REGISTRY.timed_names(kernel_only=True)) == set(BUILTIN) - {
+            "cheri"
+        }
+
+    def test_fingerprint_is_stable_hex16(self):
+        first = registry_fingerprint()
+        assert first == registry_fingerprint()
+        assert len(first) == 16
+        int(first, 16)  # hex digest prefix
+
+    def test_detection_union_covers_every_spec(self):
+        union = REGISTRY.detection_exceptions()
+        for spec in REGISTRY.specs():
+            for exc in spec.detects:
+                assert exc in union
+
+
+# ----------------------------------------------------------- strict errors
+
+
+class TestStrictErrors:
+    def test_unknown_spec_lists_choices(self):
+        with pytest.raises(UnknownMechanismError, match="choose from: baseline"):
+            REGISTRY.spec("sgx")
+
+    def test_make_adapter_unknown_is_not_a_bare_keyerror(self):
+        with pytest.raises(UnknownMechanismError):
+            make_adapter("sgx")
+
+    def test_parse_mechanism_strict(self):
+        assert parse_mechanism("aos") == "aos"
+        with pytest.raises(UnknownMechanismError, match="pactight"):
+            parse_mechanism("pactite")
+
+    def test_parse_mechanisms_empty_means_all(self):
+        assert parse_mechanisms(None) == list(BUILTIN)
+        assert parse_mechanisms(()) == list(BUILTIN)
+        assert parse_mechanisms(["pa", "aos"]) == ["pa", "aos"]
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(MechanismRegistryError, match="already registered"):
+            REGISTRY.register(
+                dummy_spec(name="baseline", cache_token="rogue-v1")
+            )
+
+    def test_cache_token_collision_raises(self):
+        with pytest.raises(MechanismRegistryError, match="cache token"):
+            REGISTRY.register(dummy_spec(cache_token="aos-v1"))
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(MechanismRegistryError, match="cannot unregister"):
+            REGISTRY.unregister("sgx")
+
+    def test_spec_requires_cache_token(self):
+        with pytest.raises(MechanismRegistryError, match="cache_token"):
+            MechanismSpec(name="x", factory=DummyAdapter, cache_token="")
+
+    def test_kernel_requires_lowering(self):
+        with pytest.raises(MechanismRegistryError, match="kernel=True"):
+            MechanismSpec(
+                name="x", factory=DummyAdapter, cache_token="x-v1", kernel=True
+            )
+
+    def test_cli_rejects_unknown_mechanism_with_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--mechanism", "bogus"]) == 2
+        assert "choose from" in capsys.readouterr().err
+        assert main(["attack", "--mechanisms", "aos", "bogus"]) == 2
+
+
+# ------------------------------------------------------------- round-trips
+
+
+class TestDummyPluginRoundTrip:
+    """A dummy registered via the decorator shows up everywhere at once."""
+
+    def test_dummy_joins_every_enumeration(self):
+        baseline_cell = cell_fingerprint(RunSettings(), CellSpec("gcc", "baseline"))
+        before = registry_fingerprint()
+
+        @register_mechanism(
+            "dummy",
+            description="test-only plugin",
+            lowering="baseline",
+            kernel=True,
+            cache_token="dummy-v1",
+            oracle=ScenarioOracle(),
+        )
+        class _Dummy(BaselineAdapter):
+            name = "dummy"
+
+        try:
+            # CLI choices.
+            assert parse_mechanism("dummy") == "dummy"
+            assert "dummy" in parse_mechanisms(None)
+            # Live adapters view + factory.
+            assert "dummy" in MECHANISM_ADAPTERS
+            assert make_adapter("dummy").name == "dummy"
+            # Lowering alias resolves to the baseline timing model.
+            assert resolve_lowering("dummy") == "baseline"
+            assert "dummy" in timed_mechanisms()
+            # Chaos sweep: the default config picks the dummy up at run
+            # time (serial run — worker processes re-import builtins only).
+            config = ChaosConfig(scenarios=("double-free",))
+            assert "dummy" in config.mechanism_names()
+            matrix = ChaosCampaign(config).run()
+            cell = matrix.cell("double-free", "dummy")
+            assert cell is not None and cell.verdict != "missed-detection"
+            # Cache fingerprints: the dummy's cells are keyed by its own
+            # token, and the registry fingerprint itself changed.
+            dummy_cell = cell_fingerprint(RunSettings(), CellSpec("gcc", "dummy"))
+            assert dummy_cell != baseline_cell
+            assert registry_fingerprint() != before
+        finally:
+            REGISTRY.unregister("dummy")
+
+        assert "dummy" not in MECHANISM_ADAPTERS
+        assert registry_fingerprint() == before
+
+    def test_oracle_rows_resolve_for_plugins(self):
+        REGISTRY.register(dummy_spec())
+        try:
+            row = REGISTRY.expectations("double-free", "temporal")
+            assert row["dummy"].value == "known-escape"
+            instance = build_scenario("double-free")
+            assert instance.expected("aos").value == "must-detect"
+        finally:
+            REGISTRY.unregister("dummy")
+
+    def test_chaos_config_rejects_unknown_mechanism(self):
+        with pytest.raises(WorkloadError, match="unknown mechanism"):
+            ChaosConfig(mechanisms=("aos", "sgx"))
+
+
+# --------------------------------------------------- consistency check tool
+
+
+def _load_check_registry():
+    path = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "tools"
+        / "check_registry.py"
+    )
+    spec = importlib.util.spec_from_file_location("check_registry", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCheckRegistryTool:
+    def test_builtin_registry_is_consistent(self):
+        tool = _load_check_registry()
+        assert tool.check_registry() == []
+
+    def test_catches_missing_detects_and_bad_override(self):
+        tool = _load_check_registry()
+        REGISTRY.register(
+            dummy_spec(
+                detects=(),
+                oracle=ScenarioOracle(
+                    overrides={"no-such-scenario": REGISTRY.spec("aos").oracle.spatial}
+                ),
+            )
+        )
+        try:
+            problems = "\n".join(tool.check_registry())
+            assert "declares no detection exception types" in problems
+            assert "no-such-scenario" in problems
+        finally:
+            REGISTRY.unregister("dummy")
+
+
+# ------------------------------------------------------- the new baselines
+
+
+class TestCryptSanRuntime:
+    def test_oob_touches_untagged_granule(self):
+        rt = CryptSanRuntime()
+        ptr = rt.malloc(32)
+        rt.store(ptr, 0xAB)  # in bounds
+        with pytest.raises(CryptSanFault):
+            rt.load(ptr.offset(32))  # first byte past the object
+
+    def test_uaf_detected_after_free(self):
+        rt = CryptSanRuntime()
+        ptr = rt.malloc(32)
+        rt.free(ptr)
+        with pytest.raises(CryptSanFault):
+            rt.load(ptr)
+
+    def test_version_bump_detects_reuse(self):
+        rt = CryptSanRuntime()
+        stale = rt.malloc(32)
+        rt.free(stale)
+        fresh = rt.malloc(32)  # same slot, bumped version
+        assert fresh.address == stale.address
+        rt.load(fresh)
+        with pytest.raises(CryptSanFault):
+            rt.load(stale)
+
+
+class TestPACSanRuntime:
+    def test_bounds_checked_per_access(self):
+        rt = PACSanRuntime()
+        ptr = rt.malloc(48)
+        rt.store(ptr, 1)
+        with pytest.raises(PACSanFault):
+            rt.store(ptr.offset(48), 2)
+
+    def test_double_free_detected(self):
+        rt = PACSanRuntime()
+        ptr = rt.malloc(48)
+        rt.free(ptr)
+        with pytest.raises(PACSanFault):
+            rt.free(ptr)
+
+
+class TestPACTightRuntime:
+    def test_no_bounds_check_spatial_blind_spot(self):
+        rt = PACTightRuntime()
+        ptr = rt.malloc(32)
+        rt.load(ptr.offset(64))  # sealed pointer wanders: no fault
+
+    def test_freed_identity_tag_detected(self):
+        rt = PACTightRuntime()
+        ptr = rt.malloc(32)
+        rt.free(ptr)
+        with pytest.raises(PACTightFault):
+            rt.load(ptr)
+
+    def test_smashed_return_address_fails_seal(self):
+        rt = PACTightRuntime()
+        rt.call(0x400010)
+        rt.smash_return(0x666000)
+        with pytest.raises(PACTightFault):
+            rt.ret()
+
+
+class TestPACStackRuntime:
+    def test_honest_call_ret_chain(self):
+        rt = PACStackRuntime()
+        rt.call(0x400010)
+        rt.call(0x400020)
+        assert rt.ret() == 0x400020
+        assert rt.ret() == 0x400010
+
+    def test_smashed_return_breaks_the_chain(self):
+        rt = PACStackRuntime()
+        rt.call(0x400010)
+        rt.call(0x400020)
+        rt.smash_return(0x666000)
+        with pytest.raises(PACStackFault):
+            rt.ret()
+
+    def test_underflow_detected(self):
+        rt = PACStackRuntime()
+        with pytest.raises(PACStackFault):
+            rt.ret()
+
+
+# ------------------------------------------------- ret-addr-corruption cell
+
+
+class TestRetAddrCorruptionScenario:
+    def test_registered_in_the_corpus(self):
+        assert "ret-addr-corruption" in SCENARIOS
+        assert "ret-addr-corruption" in parse_scenarios(None)
+        instance = build_scenario("ret-addr-corruption")
+        assert instance.category == "control"
+        assert [s.op for s in instance.steps] == [
+            "call", "call", "smash-ret", "ret", "ret",
+        ]
+
+    @pytest.mark.parametrize(
+        "mechanism, verdict",
+        [
+            ("baseline", "escape-confirmed"),  # raw frames, silent overwrite
+            ("aos", "escape-confirmed"),       # the return path AOS ignores
+            ("pa", "as-expected"),             # signed return addresses
+            ("pa+aos", "as-expected"),
+            ("pactight", "as-expected"),       # sealed return addresses
+            ("pacstack", "as-expected"),       # the chain's whole purpose
+            ("mte", "unmodeled"),              # no call-stack model
+            ("cryptsan", "unmodeled"),
+        ],
+    )
+    def test_verdicts(self, mechanism, verdict):
+        run = run_scenario_cell(("ret-addr-corruption", mechanism, 7, None))
+        assert run.verdict == verdict, run.detail
+        if verdict == "as-expected":
+            assert run.observed == "detected"
+
+    def test_signed_adapters_detect_smash(self):
+        adapter = PAAdapter()
+        adapter.call()
+        adapter.smash_ret(0x666000)
+        with pytest.raises(Exception, match="corrupted|authentication|fails"):
+            adapter.ret()
+
+    def test_baseline_adapter_survives_smash(self):
+        adapter = BaselineAdapter()
+        adapter.call()
+        adapter.smash_ret(0x666000)
+        assert adapter.ret() == 0x666000

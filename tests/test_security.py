@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.mechanisms import REGISTRY
 from repro.security import run_security_analysis
 from repro.security.analysis import expected_aos
 from repro.security.attacks import ATTACKS, AttackOutcome
@@ -54,10 +55,10 @@ class TestMatrixShape:
     def test_all_attacks_ran_on_all_mechanisms(self, matrix):
         assert set(matrix.results) == set(ATTACKS)
         for per_mech in matrix.results.values():
-            assert set(per_mech) == {
-                "baseline", "rest", "pa", "mte", "cheri", "watchdog", "aos",
-                "pa+aos",
-            }
+            assert set(per_mech) == set(REGISTRY.names())
+        assert {"cryptsan", "pacsan", "pactight", "pacstack"} <= set(
+            REGISTRY.names()
+        )
 
     def test_format_table_renders(self, matrix):
         text = matrix.format_table()

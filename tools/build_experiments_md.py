@@ -177,26 +177,49 @@ per mechanism, and §VII-C documents plain AOS's one escape — zeroing a
 pointer's AHC makes it look unsigned, so the Fig. 6 selective check skips
 it; the PA+AOS variant closes the hole with an on-load `autm` (Fig. 13).
 
-**Reproduction:** `python -m repro attack` sweeps a corpus of ten named,
-seeded exploit recipes (adjacent overflow, linear and non-linear OOB,
-intra-object overflow, UAF with and without slot reuse, double free, PAC
-forgery and replay, and `ahc-zero-escape` as a first-class scenario)
-across every mechanism adapter.  Each cell compares the observed outcome
-against an expected-verdict oracle — `must-detect`, `may-detect`,
-`known-escape` (reported by name, never a silent pass) or `unsupported`
-(the adapter does not model the primitive; an explicit verdict, not a
-pass).  The sweep runs under the supervision layer by default, so a
-scenario that crashes or hangs the simulator lands as a quarantined
-*robustness bug* — a finding of the campaign, not a failure of it; the
-only failing verdict is a `must-detect` cell that goes undetected, which
-makes the process exit non-zero.  `--pareto` joins the per-mechanism
-detection rate (detected fraction of *modeled* cells; crashed/timed-out
-cells count against) with the Fig. 14 normalized-time machinery — the
-geomean overhead over `gcc`, `povray`, `gobmk` — and marks the
-non-dominated frontier; CHERI has no timing lowering, so it is listed
-coverage-only rather than silently dropped.  **Verdict: the full 10×8
-matrix matches the oracle — `ahc-zero-escape` is escape-confirmed on
-`aos` and detected on `pa+aos`, exactly the §VII-C/Fig. 13 contrast.**""",
+**Reproduction:** `python -m repro attack` sweeps a corpus of eleven
+named, seeded exploit recipes (adjacent overflow, linear and non-linear
+OOB, intra-object overflow, UAF with and without slot reuse, double
+free, PAC forgery and replay, return-address corruption, and
+`ahc-zero-escape` as a first-class scenario) across every mechanism
+registered in the plugin registry (`repro.mechanisms`) — the paper's
+seven comparison points plus four PA-based related-work baselines:
+CryptSan (per-granule MAC shadow tags), PACSan (signed shadow metadata
+checked on every access), PACTight (sealed pointer identities + signed
+returns) and PACStack (a chained, authenticated return stack).  Each
+cell compares the observed outcome against an expected-verdict oracle —
+`must-detect`, `may-detect`, `known-escape` (reported by name, never a
+silent pass) or `unsupported` (the adapter does not model the
+primitive; an explicit verdict, not a pass).  The sweep runs under the
+supervision layer by default, so a scenario that crashes or hangs the
+simulator lands as a quarantined *robustness bug* — a finding of the
+campaign, not a failure of it; the only failing verdict is a
+`must-detect` cell that goes undetected, which makes the process exit
+non-zero.  **Verdict: the full 11×12 matrix matches the oracle —
+`ahc-zero-escape` is escape-confirmed on `aos` and detected on
+`pa+aos` (the §VII-C/Fig. 13 contrast), while `ret-addr-corruption`
+separates the return-path mechanisms (pa, pa+aos, pactight, pacstack
+detect; baseline and plain aos escape-confirmed).**""",
+    ),
+    (
+        "Detection-coverage vs overhead Pareto (CryptSan/PACSan-style comparison)",
+        "security_pareto",
+        """**Paper:** §X positions AOS against software PA-based sanitizers
+qualitatively; the related-work papers (CryptSan, PACSan, PACTight,
+PACStack) each report their own overhead/coverage trade-off.
+
+**Reproduction:** `python -m repro attack --pareto` joins the
+per-mechanism detection rate (detected fraction of *modeled* corpus
+cells; crashed/timed-out cells count against) with the Fig. 14
+normalized-time machinery — the geomean overhead over `gcc`, `povray`,
+`gobmk` — and marks the non-dominated frontier.  Every mechanism with a
+timing lowering gets a point, including all four PA-based baselines;
+CHERI has no timing lowering, so it is listed coverage-only rather than
+silently dropped.  The spread is the expected one: PACStack is nearly
+free but protects only the return path, PACTight buys seal/unseal
+temporal coverage for a few percent, CryptSan/PACSan pay per-access
+shadow traffic for near-AOS coverage, and PA+AOS anchors the
+high-coverage end.""",
     ),
     (
         "Design-choice ablations (beyond the paper's own figures)",
