@@ -70,6 +70,9 @@ ARTIFACTS = {
     "attack": "adversarial scenario corpus chaos campaign (§VII, §VII-C)",
     "trace": "cycle-stamped event trace + metrics (Chrome/Perfetto export)",
     "mechanisms": "registered mechanism plugins (--list/--json/--fingerprint)",
+    "serve": "distributed campaign coordinator over a durable work queue",
+    "worker": "lease-based queue worker process (claim/run/ack loop)",
+    "cache": "artifact cache maintenance (--stats/--prune)",
 }
 
 
@@ -160,6 +163,86 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent artifact cache for this invocation",
+    )
+    cache.add_argument(
+        "--cache-backend", choices=["local", "shared", "memory"], default="local",
+        help="cache storage backend: 'local' (classic per-user layout), "
+        "'shared' (content-addressed store with cross-fingerprint dedup, "
+        "for caches shared between workers/users), 'memory' (ephemeral)",
+    )
+    cache.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="size cap for the artifact cache; least-recently-used entries "
+        "are evicted past it (default: $REPRO_CACHE_MAX_BYTES or unlimited)",
+    )
+    cache.add_argument(
+        "--stats", action="store_true", dest="cache_stats",
+        help="cache only: print usage statistics and exit",
+    )
+    cache.add_argument(
+        "--prune", action="store_true", dest="cache_prune",
+        help="cache only: evict LRU entries down to --cache-max-bytes "
+        "(or $REPRO_CACHE_MAX_BYTES) and garbage-collect shared-store blobs",
+    )
+    queue = parser.add_argument_group("queue options (serve/worker)")
+    queue.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="queue directory (SQLite job store + heartbeat board); workers "
+        "and coordinators sharing it form one campaign service",
+    )
+    queue.add_argument(
+        "--campaign-id", default="campaign", metavar="ID",
+        help="serve only: campaign name inside the queue (default 'campaign')",
+    )
+    queue.add_argument(
+        "--queue-workers", type=int, default=3, metavar="N",
+        help="serve only: worker processes to spawn (default 3)",
+    )
+    queue.add_argument(
+        "--priority", type=int, default=0,
+        help="serve only: campaign priority (higher is served first)",
+    )
+    queue.add_argument(
+        "--weight", type=float, default=1.0,
+        help="serve only: fair-share weight among equal-priority campaigns",
+    )
+    queue.add_argument(
+        "--claim-batch", type=int, default=2, metavar="N",
+        help="cells a worker leases per claim (default 2)",
+    )
+    queue.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="SECONDS",
+        help="lease TTL; a dead worker's cells are reclaimed after this "
+        "(live workers refresh their leases at ttl/3; default 15)",
+    )
+    queue.add_argument(
+        "--worker-heartbeat-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="a worker whose board heartbeat is older than this is presumed "
+        "dead and its leases reclaimed early (default 5)",
+    )
+    queue.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="worker only: stable identity on the queue (default worker-<pid>)",
+    )
+    queue.add_argument(
+        "--verify-serial", action="store_true",
+        help="serve only: after the distributed run, re-run the campaign "
+        "serially in-process and assert byte-identical merged results",
+    )
+    queue.add_argument(
+        "--queue-fault", default=None, metavar="KIND",
+        help="chaos injection against the queue layer itself: 'worker-kill' "
+        "(SIGKILL the first worker after --kill-after-cells cells) or "
+        "'lease-clock-skew' (skew the first worker's lease clock)",
+    )
+    queue.add_argument(
+        "--kill-after-cells", type=int, default=None, metavar="K",
+        help="worker-kill fault: SIGKILL after acking K cells (default 2)",
+    )
+    queue.add_argument(
+        "--clock-skew", type=float, default=None, metavar="SECONDS",
+        help="lease-clock-skew fault: offset of the skewed worker's clock "
+        "(default -30, i.e. leases stamped 30s in the past)",
     )
     fault = parser.add_argument_group("faultinject options")
     fault.add_argument(
@@ -262,6 +345,34 @@ def supervisor_config(args) -> "SupervisorConfig | None":
     return SupervisorConfig(**kwargs)
 
 
+def campaign_config_from_args(args) -> "CampaignConfig":
+    """The :class:`CampaignConfig` the faultinject/serve flags describe."""
+    from .faults import CampaignConfig
+
+    overrides = {}
+    if args.workloads:
+        overrides["workloads"] = tuple(args.workloads)
+    if args.mechanisms:
+        overrides["mechanisms"] = tuple(args.mechanisms)
+    if args.fault_locations is not None:
+        overrides["locations"] = args.fault_locations
+    if args.fault_timeout is not None:
+        overrides["timeout_s"] = args.fault_timeout
+    if args.fault_kinds:
+        from .faults import parse_fault_kind
+
+        overrides["kinds"] = tuple(
+            parse_fault_kind(value) for value in args.fault_kinds
+        )
+    overrides["seed"] = args.seed
+    overrides["paranoid"] = args.paranoid
+    if args.inject_hang:
+        overrides["hang_cells"] = (args.inject_hang,)
+    if getattr(args, "fault_quick", args.quick):
+        return CampaignConfig.quick(**overrides)
+    return CampaignConfig(**overrides)
+
+
 def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
     if name == "fig11":
         return run_fig11(n=args.pac_samples).format()
@@ -290,32 +401,11 @@ def run_artifact(name: str, suite: ExperimentSuite, args) -> str:
 
         return run_extended_comparison(suite, workloads=args.workloads).format()
     if name == "faultinject":
-        from .faults import Campaign, CampaignConfig
+        from .faults import Campaign
 
-        overrides = {}
-        if args.workloads:
-            overrides["workloads"] = tuple(args.workloads)
-        if args.mechanisms:
-            overrides["mechanisms"] = tuple(args.mechanisms)
-        if args.fault_locations is not None:
-            overrides["locations"] = args.fault_locations
-        if args.fault_timeout is not None:
-            overrides["timeout_s"] = args.fault_timeout
-        if args.fault_kinds:
-            from .faults import parse_fault_kind
-
-            overrides["kinds"] = tuple(
-                parse_fault_kind(value) for value in args.fault_kinds
-            )
-        overrides["seed"] = args.seed
-        overrides["paranoid"] = args.paranoid
-        if args.inject_hang:
-            overrides["hang_cells"] = (args.inject_hang,)
-        if getattr(args, "fault_quick", args.quick):
-            config = CampaignConfig.quick(**overrides)
-        else:
-            config = CampaignConfig(**overrides)
-        campaign = Campaign(config, checkpoint=args.fault_checkpoint)
+        campaign = Campaign(
+            campaign_config_from_args(args), checkpoint=args.fault_checkpoint
+        )
         result = campaign.run(jobs=args.jobs, supervise=supervisor_config(args))
         report = result.format_report()
         if result.supervision is not None:
@@ -526,7 +616,7 @@ def run_attack(args, profiler: PhaseProfiler) -> int:
                 kernel=args.kernel,
             ),
             jobs=args.jobs,
-            cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
+            cache=artifact_cache_from_args(args),
         )
         with profiler.phase("pareto"):
             pareto = run_security_pareto(
@@ -548,6 +638,202 @@ def run_attack(args, profiler: PhaseProfiler) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def artifact_cache_from_args(args):
+    """The :class:`ArtifactCache` the cache flags describe (None = off)."""
+    if args.no_cache:
+        return None
+    from .experiments.backends import make_backend
+    from .experiments.parallel import ArtifactCache
+
+    root = args.cache_dir or default_cache_dir()
+    return ArtifactCache(
+        backend=make_backend(args.cache_backend, root),
+        max_bytes=args.cache_max_bytes,
+    )
+
+
+def run_cache(args) -> int:
+    """The ``cache`` artifact: inspect or prune the artifact store."""
+    cache = artifact_cache_from_args(args)
+    if cache is None:
+        print("repro: error: cache --no-cache is contradictory", file=sys.stderr)
+        return 2
+    if args.cache_prune:
+        if cache.max_bytes is None:
+            print(
+                "repro: error: cache --prune needs a cap: pass "
+                "--cache-max-bytes N or set $REPRO_CACHE_MAX_BYTES",
+                file=sys.stderr,
+            )
+            return 2
+        report = cache.prune()
+        print(report.format())
+        return 0
+    # --stats is the default action (and the explicit flag's).
+    usage = cache.usage()
+    lines = [f"artifact cache: {usage['backend']}"]
+    cap = usage["max_bytes"]
+    lines.append(
+        f"  entries: {usage['entries']}  bytes: {usage['bytes']}"
+        + (f"  cap: {cap}" if cap is not None else "  cap: unlimited")
+    )
+    for kind, stats in sorted(usage["kinds"].items()):
+        lines.append(
+            f"  {kind}: {stats['entries']} entries, {stats['bytes']} bytes"
+        )
+    dedup = usage.get("dedup")
+    if dedup:
+        lines.append(
+            f"  dedup: {dedup['refs']} refs -> {dedup['objects']} objects, "
+            f"{dedup['deduped_bytes']} bytes saved"
+        )
+    print("\n".join(lines))
+    return 0
+
+
+def _worker_cache_from_args(args):
+    """Workers cache cell results only when a store is explicitly named
+    (the queue database is already durable; the artifact store adds
+    cross-campaign and cross-user reuse on top)."""
+    if args.no_cache or not (args.cache_dir or args.cache_backend != "local"):
+        return None
+    return artifact_cache_from_args(args)
+
+
+def run_worker(args) -> int:
+    """The ``worker`` artifact: one lease-based queue worker process."""
+    from .queue import WorkerConfig, worker_main
+
+    if not args.queue:
+        print("repro: error: worker requires --queue DIR", file=sys.stderr)
+        return 2
+    kill_after = None
+    clock_skew = 0.0
+    if args.queue_fault:
+        from .faults import QueueFaultKind, parse_queue_fault_kind
+
+        fault = parse_queue_fault_kind(args.queue_fault)
+        if fault is QueueFaultKind.WORKER_KILL:
+            kill_after = args.kill_after_cells if args.kill_after_cells else 2
+        elif fault is QueueFaultKind.LEASE_CLOCK_SKEW:
+            clock_skew = args.clock_skew if args.clock_skew is not None else -30.0
+    if args.kill_after_cells is not None:
+        kill_after = args.kill_after_cells
+    if args.clock_skew is not None:
+        clock_skew = args.clock_skew
+    config = WorkerConfig(
+        queue_root=args.queue,
+        worker_id=args.worker_id or "",
+        batch=args.claim_batch,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_timeout_s=args.worker_heartbeat_timeout,
+        kill_after_cells=kill_after,
+        clock_skew_s=clock_skew,
+    )
+    return worker_main(config, cache=_worker_cache_from_args(args))
+
+
+def run_serve(args) -> int:
+    """The ``serve`` artifact: coordinate a distributed campaign.
+
+    Exit codes: 0 on a completed campaign, 130 after a graceful drain
+    (resumable by re-running the same command), 1 when ``--verify-serial``
+    finds a divergence from the serial path.
+    """
+    from .queue import (
+        CampaignService,
+        ServiceConfig,
+        enqueue_campaign,
+        verify_against_serial,
+    )
+
+    if not args.queue:
+        print("repro: error: serve requires --queue DIR", file=sys.stderr)
+        return 2
+    config = campaign_config_from_args(args)
+    kill_after = None
+    clock_skew = 0.0
+    if args.queue_fault:
+        from .faults import QueueFaultKind, parse_queue_fault_kind
+
+        fault = parse_queue_fault_kind(args.queue_fault)
+        if fault is QueueFaultKind.WORKER_KILL:
+            kill_after = args.kill_after_cells if args.kill_after_cells else 2
+        elif fault is QueueFaultKind.LEASE_CLOCK_SKEW:
+            clock_skew = args.clock_skew if args.clock_skew is not None else -30.0
+    worker_args: List[str] = []
+    if args.no_cache:
+        worker_args.append("--no-cache")
+    else:
+        if args.cache_dir:
+            worker_args += ["--cache-dir", args.cache_dir]
+        if args.cache_backend != "local":
+            worker_args += ["--cache-backend", args.cache_backend]
+    service = CampaignService(
+        ServiceConfig(
+            queue_root=args.queue,
+            workers=max(1, args.queue_workers),
+            batch=args.claim_batch,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_timeout_s=args.worker_heartbeat_timeout,
+            worker_args=tuple(worker_args),
+            kill_worker_after_cells=kill_after,
+            clock_skew_s=clock_skew,
+        )
+    )
+    added = enqueue_campaign(
+        service.queue,
+        args.campaign_id,
+        config,
+        priority=args.priority,
+        weight=args.weight,
+    )
+    counts = service.queue.counts(args.campaign_id)
+    print(
+        f"[serve] campaign {args.campaign_id!r}: {added} cell(s) enqueued, "
+        f"{counts.done} already done, {counts.total} total "
+        f"({args.queue_workers} workers over {args.queue})",
+        flush=True,
+    )
+    if args.queue_fault:
+        detail = (
+            f"kill after {kill_after} cell(s)"
+            if kill_after is not None
+            else f"clock skew {clock_skew:+.1f}s"
+        )
+        print(f"[serve] queue-fault injection: {args.queue_fault} ({detail})")
+    service.install_signal_handlers()
+    report = service.run([args.campaign_id])
+    print(report.format())
+    result = report.results[args.campaign_id]
+    if report.drained:
+        print(
+            "[serve] drained — completed cells are durable in the queue; "
+            "re-run the same command to resume",
+            flush=True,
+        )
+        return 130
+    charged = sum(
+        attempts
+        for _state, attempts in service.queue.job_states(args.campaign_id).values()
+    )
+    print(
+        f"[serve] recovery: {len(report.reclaims)} coordinator reclaim(s), "
+        f"{charged} attempt charge(s) across cells",
+        flush=True,
+    )
+    print()
+    print(result.format_report())
+    if args.verify_serial:
+        mismatch = verify_against_serial(config, result)
+        if mismatch is None:
+            print("serial-equivalence: OK")
+        else:
+            print(f"serial-equivalence: MISMATCH — {mismatch}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -604,6 +890,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     # ``all`` always bounds its faultinject leg, even without ``--quick``.
     args.fault_quick = args.quick or args.artifact == "all"
 
+    if args.artifact == "cache":
+        return run_cache(args)
+    if args.artifact == "worker":
+        return run_worker(args)
+    if args.artifact == "serve":
+        try:
+            return run_serve(args)
+        except KeyboardInterrupt:
+            print(_resume_hint(args), file=sys.stderr)
+            return 130
+
     if args.artifact == "trace":
         try:
             with trap_signals():
@@ -643,7 +940,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             kernel=args.kernel,
         ),
         jobs=args.jobs,
-        cache=None if args.no_cache else args.cache_dir or default_cache_dir(),
+        cache=artifact_cache_from_args(args),
         supervise=supervisor_config(args),
         paranoid=args.paranoid,
     )
@@ -685,7 +982,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if suite.cache is not None:
         stats = suite.cache.stats
         print(
-            f"[artifact cache @ {suite.cache.root}: {stats.hits} hits, "
+            f"[artifact cache @ {suite.cache.root or suite.cache.backend.describe()}: "
+            f"{stats.hits} hits, "
             f"{stats.misses} misses, {stats.stores} stores]"
         )
     if args.profile:

@@ -15,12 +15,23 @@ All timing experiments share an :class:`~repro.experiments.common.ExperimentSuit
 so traces are generated and lowered once per (workload, mechanism).
 """
 
+from .backends import (
+    BACKEND_CHOICES,
+    CacheBackend,
+    CacheEntry,
+    LocalDirBackend,
+    MemoryBackend,
+    SharedStoreBackend,
+    make_backend,
+)
 from .common import ExperimentSuite, RunSettings, SPEC_WORKLOADS
 from .parallel import (
     ArtifactCache,
     CellSpec,
+    PruneReport,
     cell_fingerprint,
     default_cache_dir,
+    default_cache_max_bytes,
     run_cells,
     run_cells_supervised,
     simulate_cell,
@@ -37,12 +48,21 @@ from .tables import run_table1, run_table2, run_table3, run_table4
 
 __all__ = [
     "ArtifactCache",
+    "BACKEND_CHOICES",
+    "CacheBackend",
+    "CacheEntry",
     "CellSpec",
     "ExperimentSuite",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "PruneReport",
     "RunSettings",
     "SPEC_WORKLOADS",
+    "SharedStoreBackend",
     "cell_fingerprint",
     "default_cache_dir",
+    "default_cache_max_bytes",
+    "make_backend",
     "run_cells",
     "run_cells_supervised",
     "simulate_cell",

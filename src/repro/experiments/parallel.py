@@ -160,6 +160,18 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def default_cache_max_bytes() -> Optional[int]:
+    """``$REPRO_CACHE_MAX_BYTES`` as an int, or None (unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`ArtifactCache` instance."""
@@ -168,6 +180,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evicted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -175,94 +188,175 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+@dataclass
+class PruneReport:
+    """What one :meth:`ArtifactCache.prune` pass did."""
+
+    evicted: int = 0
+    reclaimed_bytes: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
+    #: Unreferenced blob bytes reclaimed by the shared store's GC pass.
+    gc_bytes: int = 0
+
+    def format(self) -> str:
+        return (
+            f"evicted {self.evicted} entries "
+            f"({self.reclaimed_bytes + self.gc_bytes} bytes reclaimed, "
+            f"{self.gc_bytes} via shared-store GC); "
+            f"{self.remaining_entries} entries / "
+            f"{self.remaining_bytes} bytes remain"
+        )
+
+
 class ArtifactCache:
     """Persistent, content-addressed store for traces and simulation results.
 
-    Layout: ``<root>/results/<sha256>.json`` holds one
-    :class:`SimulationResult` payload (JSON, human-inspectable) and
-    ``<root>/traces/<sha256>.pkl`` one pickled :class:`WorkloadTrace`.
-    Writes are atomic (temp file + ``os.replace``), so a killed run never
-    leaves a torn entry; unreadable or undecodable entries are counted in
-    :attr:`CacheStats.corrupt`, deleted best-effort, and treated as misses.
+    Storage is a pluggable :class:`~repro.experiments.backends.CacheBackend`
+    (local directory, in-memory, or a deduplicating shared store — see
+    :mod:`repro.experiments.backends`); the default is the classic
+    ``<root>/results/<sha256>.json`` + ``<root>/traces/<sha256>.pkl``
+    per-user directory, byte-compatible with caches written by earlier
+    versions.  Writes are atomic, so a killed run never leaves a torn
+    entry; unreadable or undecodable entries are counted in
+    :attr:`CacheStats.corrupt`, removed best-effort, and treated as misses.
+
+    ``max_bytes`` (or ``$REPRO_CACHE_MAX_BYTES``) caps total size: after
+    each store the least-recently-used entries (by backend ``used`` stamp)
+    are evicted until the cache fits, so ``~/.cache/repro`` no longer
+    grows without bound.  :meth:`prune` runs the same eviction on demand
+    (``python -m repro cache --prune``).
     """
 
-    def __init__(self, root: Union[None, str, Path] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+    def __init__(
+        self,
+        root: Union[None, str, Path] = None,
+        backend: Optional["CacheBackend"] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        from .backends import CacheBackend, LocalDirBackend  # noqa: F811
+
+        if backend is None:
+            backend = LocalDirBackend(
+                Path(root) if root is not None else default_cache_dir()
+            )
+        elif root is not None:
+            raise ValueError("pass either root or backend, not both")
+        self.backend: CacheBackend = backend
+        #: Kept for callers that print/inspect the cache location; None
+        #: for backends without one (memory).
+        self.root: Optional[Path] = getattr(backend, "root", None)
+        self.max_bytes = max_bytes if max_bytes is not None else default_cache_max_bytes()
         self.stats = CacheStats()
 
     # -------------------------------------------------------------- plumbing
 
-    def _path(self, kind: str, fingerprint: str, suffix: str) -> Path:
-        return self.root / kind / f"{fingerprint}{suffix}"
-
-    def _read(self, path: Path, loader: Callable) -> Optional[object]:
-        if not path.exists():
+    def _get(self, kind: str, fingerprint: str, decoder: Callable) -> Optional[object]:
+        data = self.backend.read(kind, fingerprint)
+        if data is None:
             self.stats.misses += 1
             return None
         try:
-            with open(path, "rb") as fh:
-                value = loader(fh)
+            value = decoder(data)
         except Exception:
-            # Torn write, truncation, stale pickle protocol... anything
-            # unreadable is a miss; drop it so the rewrite starts clean.
+            # Torn write, truncation, stale pickle protocol, wrong type...
+            # anything undecodable is a miss; drop it so the rewrite
+            # starts clean.
             self.stats.corrupt += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.backend.remove(kind, fingerprint)
             return None
         self.stats.hits += 1
         return value
 
-    def _write(self, path: Path, dumper: Callable) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            with open(tmp, "wb") as fh:
-                dumper(fh)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+    def _put(self, kind: str, fingerprint: str, data: bytes) -> None:
+        self.backend.write(kind, fingerprint, data)
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self.prune(self.max_bytes)
 
     # --------------------------------------------------------------- results
 
     def get_result(self, fingerprint: str) -> Optional[dict]:
         """The stored payload for ``fingerprint``, or None on (any) miss."""
-        path = self._path("results", fingerprint, ".json")
-        value = self._read(path, lambda fh: json.load(fh))
-        if value is not None and not isinstance(value, dict):
-            self.stats.hits -= 1
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            return None
-        return value
+
+        def decode(data: bytes) -> dict:
+            value = json.loads(data)
+            if not isinstance(value, dict):
+                raise ValueError("result payload must be a JSON object")
+            return value
+
+        return self._get("results", fingerprint, decode)
 
     def put_result(self, fingerprint: str, payload: dict) -> None:
-        path = self._path("results", fingerprint, ".json")
-        data = json.dumps(payload, sort_keys=True).encode()
-        self._write(path, lambda fh: fh.write(data))
+        self._put("results", fingerprint, json.dumps(payload, sort_keys=True).encode())
 
     # ---------------------------------------------------------------- traces
 
     def get_trace(self, fingerprint: str) -> Optional[WorkloadTrace]:
-        path = self._path("traces", fingerprint, ".pkl")
-        value = self._read(path, pickle.load)
-        if value is not None and not isinstance(value, WorkloadTrace):
-            self.stats.hits -= 1
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            return None
-        return value
+        def decode(data: bytes) -> WorkloadTrace:
+            value = pickle.loads(data)
+            if not isinstance(value, WorkloadTrace):
+                raise ValueError("trace payload must be a WorkloadTrace")
+            return value
+
+        return self._get("traces", fingerprint, decode)
 
     def put_trace(self, fingerprint: str, trace: WorkloadTrace) -> None:
-        path = self._path("traces", fingerprint, ".pkl")
-        self._write(path, lambda fh: pickle.dump(trace, fh))
+        self._put("traces", fingerprint, pickle.dumps(trace))
+
+    # --------------------------------------------------------- maintenance
+
+    def usage(self) -> Dict[str, object]:
+        """Size/entry statistics, the ``repro cache --stats`` payload."""
+        entries = self.backend.entries()
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for entry in entries:
+            bucket = by_kind.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size
+        usage: Dict[str, object] = {
+            "backend": self.backend.describe(),
+            "entries": len(entries),
+            "bytes": sum(entry.size for entry in entries),
+            "max_bytes": self.max_bytes,
+            "kinds": {kind: by_kind[kind] for kind in sorted(by_kind)},
+        }
+        dedup = getattr(self.backend, "dedup_stats", None)
+        if dedup is not None:
+            usage["dedup"] = dedup()
+        return usage
+
+    def prune(self, max_bytes: Optional[int] = None) -> PruneReport:
+        """Evict least-recently-used entries until the cache fits.
+
+        ``max_bytes=None`` falls back to the instance cap; with neither
+        set the call only runs the shared store's garbage collection (if
+        any) and reports current usage.  ``max_bytes=0`` empties the
+        cache.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        report = PruneReport()
+        entries = self.backend.entries()
+        total = sum(entry.size for entry in entries)
+        if cap is not None and total > cap:
+            # Oldest-used first; fingerprint tiebreak keeps eviction
+            # order deterministic when stamps collide (coarse mtimes).
+            for entry in sorted(entries, key=lambda e: (e.used, e.fingerprint)):
+                if total <= cap:
+                    break
+                self.backend.remove(entry.kind, entry.fingerprint)
+                total -= entry.size
+                report.evicted += 1
+                report.reclaimed_bytes += entry.size
+            self.stats.evicted += report.evicted
+        collect = getattr(self.backend, "collect_garbage", None)
+        if collect is not None:
+            report.gc_bytes = collect()
+        remaining = self.backend.entries()
+        report.remaining_entries = len(remaining)
+        report.remaining_bytes = sum(entry.size for entry in remaining)
+        return report
 
     # ------------------------------------------------------------------ misc
 

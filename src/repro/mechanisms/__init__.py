@@ -14,6 +14,7 @@ plugin registry").
 """
 
 from .registry import (
+    ENTRY_POINT_GROUP,
     Expectation,
     MechanismRegistry,
     MechanismRegistryError,
@@ -28,6 +29,7 @@ from .registry import (
 )
 
 __all__ = [
+    "ENTRY_POINT_GROUP",
     "Expectation",
     "MechanismRegistry",
     "MechanismRegistryError",

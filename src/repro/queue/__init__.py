@@ -1,0 +1,61 @@
+"""Durable, crash-tolerant distributed campaign service.
+
+The queue layer shards a fault-injection campaign across worker
+*processes* today with multi-host-shaped interfaces: everything flows
+through one queue directory (SQLite job store + heartbeat board) and the
+pluggable artifact store, never through pipes or sockets, so pointing
+workers on several hosts at a shared directory is the same programming
+model.  See ``DESIGN.md`` §4g for the architecture and the lease state
+machine.
+"""
+
+from .service import (
+    CampaignService,
+    ServiceConfig,
+    ServiceReport,
+    campaign_cell_jobs,
+    collect_campaign,
+    enqueue_campaign,
+    verify_against_serial,
+)
+from .store import (
+    DONE,
+    JOB_STATES,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    Job,
+    QueueCounts,
+    QueueError,
+    QueueEventLog,
+    ReclaimEvent,
+    WorkQueue,
+    canonical_key,
+)
+from .worker import QueueWorker, WorkerConfig, cell_fingerprint, worker_main
+
+__all__ = [
+    "CampaignService",
+    "ServiceConfig",
+    "ServiceReport",
+    "campaign_cell_jobs",
+    "collect_campaign",
+    "enqueue_campaign",
+    "verify_against_serial",
+    "WorkQueue",
+    "Job",
+    "QueueCounts",
+    "QueueError",
+    "QueueEventLog",
+    "ReclaimEvent",
+    "canonical_key",
+    "JOB_STATES",
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "QUARANTINED",
+    "QueueWorker",
+    "WorkerConfig",
+    "worker_main",
+    "cell_fingerprint",
+]

@@ -1,0 +1,637 @@
+"""The durable, crash-tolerant work queue backing distributed campaigns.
+
+A :class:`WorkQueue` is a SQLite database under one queue directory.
+Jobs move through a small state machine::
+
+    pending --claim--> leased --ack--> done
+       ^                 |
+       |                 +--fail/lease-expiry--> pending (attempt charged,
+       |                 |                       seeded backoff not_before)
+       +--release--------+
+                         +--after max attempts--> quarantined
+
+Every transition is one SQLite transaction (``BEGIN IMMEDIATE``), so a
+worker SIGKILLed at *any* instruction leaves the queue in a consistent
+state: either the transition committed or it never happened.  Claims are
+**leases** — a worker owns a job until ``lease_expires`` (stamped with the
+worker's clock, which the lease-clock-skew fault deliberately skews) or
+until its heartbeat on the shared :class:`~repro.supervise.HeartbeatBoard`
+goes stale; :meth:`reclaim` then charges the attempt and requeues the job
+with the :class:`~repro.supervise.RetryPolicy`'s deterministic backoff,
+escalating to the poison-cell quarantine after ``max_attempts`` failures,
+exactly like the in-process supervisor.
+
+**Exactly-once completion** is enforced at the ``done`` transition: the
+acking transaction re-reads the job's state and only the first completion
+writes the result; a worker that lost its lease mid-cell (reclaimed by a
+skewed clock, say) and finishes anyway produces a *duplicate*, which is
+counted and discarded, never merged twice.  Cell results are themselves
+deterministic, so whichever completion wins, the payload is identical.
+
+**Scheduling** is priority-then-fair-share: a claim serves the highest
+priority level that has ready jobs; within that level the campaign with
+the least service per unit weight (leased + finished jobs, divided by its
+``weight``) goes first, so two concurrently enqueued campaigns of equal
+priority drain at proportional rates instead of head-of-line blocking.
+
+Workers only ever touch the queue directory (database + heartbeat board)
+and the artifact store — there is no socket and no coordinator process in
+the data path — which is what keeps the interfaces multi-host-shaped:
+pointing several hosts at one shared directory is the same programming
+model as several processes on one host.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..supervise.heartbeat import HeartbeatBoard
+from ..supervise.policy import RetryPolicy
+
+
+class QueueError(ReproError):
+    """Work-queue misuse or an impossible state transition."""
+
+
+#: Job states (see the module docstring's state machine).
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+JOB_STATES = (PENDING, LEASED, DONE, QUARANTINED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id          TEXT PRIMARY KEY,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    weight      REAL NOT NULL DEFAULT 1.0,
+    config      TEXT NOT NULL,
+    created_seq INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign      TEXT NOT NULL REFERENCES campaigns(id),
+    key           TEXT NOT NULL,
+    payload       TEXT NOT NULL,
+    state         TEXT NOT NULL DEFAULT 'pending',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    not_before    REAL NOT NULL DEFAULT 0,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    result        TEXT,
+    failure       TEXT,
+    UNIQUE (campaign, key)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, campaign);
+"""
+
+
+def canonical_key(key: Any) -> str:
+    """Stable string form of a JSON-able job key (matches the checkpoint
+    store's canonicalisation, so queue keys and checkpoint keys align)."""
+    return json.dumps(key, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One claimed unit of work, as handed to a worker."""
+
+    id: int
+    campaign: str
+    key: Any
+    payload: dict
+    attempts: int
+    lease_expires: float
+
+
+@dataclass(frozen=True)
+class ReclaimEvent:
+    """One lease-expiry decision taken by :meth:`WorkQueue.reclaim`."""
+
+    job_id: int
+    campaign: str
+    key: Any
+    owner: str
+    outcome: str  # "requeued" | "quarantined"
+    reason: str
+
+
+@dataclass
+class QueueCounts:
+    """Per-state job counts (optionally restricted to one campaign)."""
+
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    quarantined: int = 0
+
+    @property
+    def depth(self) -> int:
+        """Unfinished work: pending + leased."""
+        return self.pending + self.leased
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done + self.quarantined
+
+    def format(self) -> str:
+        return (
+            f"pending: {self.pending}  leased: {self.leased}  "
+            f"done: {self.done}  quarantined: {self.quarantined}"
+        )
+
+
+@dataclass
+class QueueEventLog:
+    """In-process accounting of everything this handle did to the queue.
+
+    These mirror the obs counters (``queue.*``) so tests and reports can
+    assert on requeue/duplicate behaviour without an obs registry.
+    """
+
+    enqueued: int = 0
+    claimed: int = 0
+    completed: int = 0
+    duplicates: int = 0
+    late_acks: int = 0
+    requeued: int = 0
+    lease_expired: int = 0
+    quarantined: int = 0
+    released: int = 0
+    failures: int = 0
+
+
+class WorkQueue:
+    """SQLite-backed durable job queue with lease-based claims.
+
+    ``clock`` is the *stamping* clock used for leases and backoff gates;
+    the lease-clock-skew fault kind injects a skewed one to attack lease
+    bookkeeping (the exactly-once guarantees must hold regardless).
+    ``metrics`` is an optional :class:`~repro.obs.MetricsRegistry`
+    receiving ``queue.*`` counters and the ``queue.depth`` gauge.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        retry: RetryPolicy = RetryPolicy(),
+        clock: Callable[[], float] = time.time,
+        metrics=None,
+        busy_timeout_s: float = 30.0,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "queue.sqlite"
+        self.retry = retry
+        self.clock = clock
+        self.metrics = metrics
+        self.events = QueueEventLog()
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout_s, check_same_thread=False
+        )
+        self._conn.isolation_level = None  # explicit BEGIN IMMEDIATE below
+        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_s * 1000)}")
+        # executescript manages its own transaction (it commits any open
+        # one first), so the schema is applied outside _txn on purpose.
+        self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------- plumbing
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def board(self) -> HeartbeatBoard:
+        """The queue's shared heartbeat board (``<root>/board``)."""
+        return HeartbeatBoard(self.root / "board")
+
+    def _txn(self):
+        return _Transaction(self._conn, self._lock)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(f"queue.{name}", amount)
+
+    def _gauge_depth(self) -> None:
+        if self.metrics is not None:
+            counts = self.counts()
+            self.metrics.set_gauge("queue.depth", counts.depth)
+
+    # ------------------------------------------------------------ campaigns
+
+    def create_campaign(
+        self,
+        campaign_id: str,
+        config: dict,
+        priority: int = 0,
+        weight: float = 1.0,
+    ) -> bool:
+        """Register a campaign; returns False if it already exists.
+
+        Re-registering an existing id is the resume path and must carry
+        the same config — a changed config under the same id would mix
+        incompatible cells, so it raises instead.
+        """
+        if weight <= 0:
+            raise QueueError("campaign weight must be positive")
+        encoded = json.dumps(config, sort_keys=True)
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT config FROM campaigns WHERE id = ?", (campaign_id,)
+            ).fetchone()
+            if row is not None:
+                if row[0] != encoded:
+                    raise QueueError(
+                        f"campaign {campaign_id!r} already exists with a "
+                        f"different configuration; pick a new campaign id"
+                    )
+                return False
+            seq = self._conn.execute(
+                "SELECT COALESCE(MAX(created_seq), 0) + 1 FROM campaigns"
+            ).fetchone()[0]
+            self._conn.execute(
+                "INSERT INTO campaigns (id, priority, weight, config, created_seq)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (campaign_id, priority, weight, encoded, seq),
+            )
+            return True
+
+    def campaign_config(self, campaign_id: str) -> dict:
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT config FROM campaigns WHERE id = ?", (campaign_id,)
+            ).fetchone()
+        if row is None:
+            raise QueueError(f"unknown campaign {campaign_id!r}")
+        return json.loads(row[0])
+
+    def campaign_ids(self) -> List[str]:
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT id FROM campaigns ORDER BY created_seq"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(
+        self, campaign_id: str, items: Iterable[Tuple[Any, dict]]
+    ) -> int:
+        """Add ``(key, payload)`` jobs; keys already present (any state)
+        are skipped, so re-enqueueing a campaign is the resume path."""
+        added = 0
+        with self._txn():
+            for key, payload in items:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO jobs (campaign, key, payload)"
+                    " VALUES (?, ?, ?)",
+                    (campaign_id, canonical_key(key), json.dumps(payload)),
+                )
+                added += cursor.rowcount
+        self.events.enqueued += added
+        self._count("enqueued", added)
+        self._gauge_depth()
+        return added
+
+    # ---------------------------------------------------------------- claim
+
+    def _pick_campaign(self, now: float) -> Optional[str]:
+        """Priority-then-fair-share campaign selection (see module doc)."""
+        rows = self._conn.execute(
+            """
+            SELECT c.id, c.priority, c.weight, c.created_seq,
+                   (SELECT COUNT(*) FROM jobs j
+                     WHERE j.campaign = c.id AND j.state != 'pending') AS served,
+                   (SELECT COUNT(*) FROM jobs j
+                     WHERE j.campaign = c.id AND j.state = 'pending'
+                       AND j.not_before <= ?) AS ready
+            FROM campaigns c
+            """,
+            (now,),
+        ).fetchall()
+        candidates = [row for row in rows if row[5] > 0]
+        if not candidates:
+            return None
+        top = max(row[1] for row in candidates)
+        contenders = [row for row in candidates if row[1] == top]
+        # Least service per unit weight first; creation order tiebreak.
+        contenders.sort(key=lambda row: (row[4] / row[2], row[3]))
+        return contenders[0][0]
+
+    def claim(self, owner: str, batch: int = 1, ttl_s: float = 15.0) -> List[Job]:
+        """Lease up to ``batch`` ready jobs of one campaign to ``owner``."""
+        if batch < 1:
+            raise QueueError("claim batch must be >= 1")
+        now = self.clock()
+        claimed: List[Job] = []
+        with self._txn():
+            campaign = self._pick_campaign(now)
+            if campaign is None:
+                return []
+            rows = self._conn.execute(
+                "SELECT id, key, payload, attempts FROM jobs"
+                " WHERE campaign = ? AND state = 'pending' AND not_before <= ?"
+                " ORDER BY id LIMIT ?",
+                (campaign, now, batch),
+            ).fetchall()
+            expires = now + ttl_s
+            for job_id, key, payload, attempts in rows:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'leased', lease_owner = ?,"
+                    " lease_expires = ? WHERE id = ?",
+                    (owner, expires, job_id),
+                )
+                claimed.append(
+                    Job(
+                        id=job_id,
+                        campaign=campaign,
+                        key=json.loads(key),
+                        payload=json.loads(payload),
+                        attempts=attempts,
+                        lease_expires=expires,
+                    )
+                )
+        self.events.claimed += len(claimed)
+        self._count("claimed", len(claimed))
+        return claimed
+
+    def extend(self, owner: str, job_ids: Sequence[int], ttl_s: float) -> int:
+        """Refresh ``owner``'s leases; returns how many were still held."""
+        if not job_ids:
+            return 0
+        expires = self.clock() + ttl_s
+        refreshed = 0
+        with self._txn():
+            for job_id in job_ids:
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET lease_expires = ? WHERE id = ?"
+                    " AND state = 'leased' AND lease_owner = ?",
+                    (expires, job_id, owner),
+                )
+                refreshed += cursor.rowcount
+        return refreshed
+
+    # ------------------------------------------------------------ completion
+
+    def ack(self, owner: str, job_id: int, result: dict) -> str:
+        """Record a completed job.  Returns the transition taken:
+
+        ``"done"``
+            First completion — the result is stored.  If ``owner`` had
+            already lost the lease (reclaimed, or re-leased elsewhere)
+            the completion still wins the race but is counted as a late
+            ack.
+        ``"duplicate"``
+            The job was already done (someone else's ack won); this
+            result is discarded, never merged.
+        """
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT state, lease_owner FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise QueueError(f"unknown job id {job_id}")
+            state, lease_owner = row
+            if state == DONE:
+                outcome = "duplicate"
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'done', result = ?,"
+                    " lease_owner = NULL, lease_expires = NULL, failure = NULL"
+                    " WHERE id = ?",
+                    (json.dumps(result, sort_keys=True), job_id),
+                )
+                outcome = "done"
+                late = not (state == LEASED and lease_owner == owner)
+                if late:
+                    self.events.late_acks += 1
+                    self._count("late-ack")
+        if outcome == "done":
+            self.events.completed += 1
+            self._count("done")
+        else:
+            self.events.duplicates += 1
+            self._count("duplicate")
+        self._gauge_depth()
+        return outcome
+
+    def _charge_failure(
+        self, job_id: int, key: str, attempts: int, reason: str, now: float
+    ) -> str:
+        """Shared fail/reclaim bookkeeping; caller holds the transaction."""
+        attempts += 1
+        if attempts >= self.retry.max_attempts:
+            self._conn.execute(
+                "UPDATE jobs SET state = 'quarantined', attempts = ?,"
+                " failure = ?, lease_owner = NULL, lease_expires = NULL"
+                " WHERE id = ?",
+                (attempts, reason, job_id),
+            )
+            return "quarantined"
+        delay = self.retry.delay(key, attempts)
+        self._conn.execute(
+            "UPDATE jobs SET state = 'pending', attempts = ?, failure = ?,"
+            " not_before = ?, lease_owner = NULL, lease_expires = NULL"
+            " WHERE id = ?",
+            (attempts, reason, now + delay, job_id),
+        )
+        return "requeued"
+
+    def fail(self, owner: str, job_id: int, reason: str) -> str:
+        """Charge a failed attempt against a job ``owner`` still leases.
+
+        Returns ``"requeued"``, ``"quarantined"``, or ``"stale"`` when the
+        lease was lost in the meantime (someone else owns the job's fate
+        now — charging it twice would double-count one failure).
+        """
+        now = self.clock()
+        with self._txn():
+            row = self._conn.execute(
+                "SELECT state, lease_owner, key, attempts FROM jobs WHERE id = ?",
+                (job_id,),
+            ).fetchone()
+            if row is None:
+                raise QueueError(f"unknown job id {job_id}")
+            state, lease_owner, key, attempts = row
+            if state != LEASED or lease_owner != owner:
+                return "stale"
+            outcome = self._charge_failure(job_id, key, attempts, reason, now)
+        self.events.failures += 1
+        self._count("failed")
+        if outcome == "quarantined":
+            self.events.quarantined += 1
+            self._count("quarantined")
+        else:
+            self.events.requeued += 1
+            self._count("requeued")
+        self._gauge_depth()
+        return outcome
+
+    def release(self, owner: str, job_ids: Sequence[int]) -> int:
+        """Return leased jobs to pending *uncharged* (graceful drain)."""
+        released = 0
+        with self._txn():
+            for job_id in job_ids:
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET state = 'pending', lease_owner = NULL,"
+                    " lease_expires = NULL WHERE id = ?"
+                    " AND state = 'leased' AND lease_owner = ?",
+                    (job_id, owner),
+                )
+                released += cursor.rowcount
+        self.events.released += released
+        self._count("released", released)
+        self._gauge_depth()
+        return released
+
+    # -------------------------------------------------------------- reclaim
+
+    def reclaim(
+        self,
+        board: Optional[HeartbeatBoard] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+    ) -> List[ReclaimEvent]:
+        """Requeue (or quarantine) every job whose lease is dead.
+
+        A lease is dead when its TTL expired, or — with a ``board`` — when
+        the owning worker's heartbeat is older than
+        ``heartbeat_timeout_s`` (a SIGKILLed worker is detected at
+        heartbeat granularity instead of waiting out the TTL).  Each
+        reclaim charges one attempt, exactly as a supervisor-detected
+        crash does.
+        """
+        now = self.clock()
+        events: List[ReclaimEvent] = []
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT id, campaign, key, attempts, lease_owner, lease_expires"
+                " FROM jobs WHERE state = 'leased'"
+            ).fetchall()
+            for job_id, campaign, key, attempts, owner, expires in rows:
+                if expires is not None and expires < now:
+                    reason = (
+                        f"lease expired {now - expires:.1f}s ago"
+                        f" (owner {owner})"
+                    )
+                elif board is not None and heartbeat_timeout_s is not None:
+                    beat = board.last_beat(owner)
+                    if beat is None or now - beat <= heartbeat_timeout_s:
+                        continue
+                    reason = (
+                        f"worker {owner} heartbeat stale for {now - beat:.1f}s"
+                        f" (presumed dead)"
+                    )
+                else:
+                    continue
+                outcome = self._charge_failure(job_id, key, attempts, reason, now)
+                events.append(
+                    ReclaimEvent(
+                        job_id=job_id,
+                        campaign=campaign,
+                        key=json.loads(key),
+                        owner=owner,
+                        outcome=outcome,
+                        reason=reason,
+                    )
+                )
+        for event in events:
+            self.events.lease_expired += 1
+            self._count("lease-expired")
+            if event.outcome == "quarantined":
+                self.events.quarantined += 1
+                self._count("quarantined")
+            else:
+                self.events.requeued += 1
+                self._count("requeued")
+        if events:
+            self._gauge_depth()
+        return events
+
+    # ------------------------------------------------------------- queries
+
+    def counts(self, campaign_id: Optional[str] = None) -> QueueCounts:
+        query = "SELECT state, COUNT(*) FROM jobs"
+        params: Tuple = ()
+        if campaign_id is not None:
+            query += " WHERE campaign = ?"
+            params = (campaign_id,)
+        query += " GROUP BY state"
+        with self._txn():
+            rows = self._conn.execute(query, params).fetchall()
+        counts = QueueCounts()
+        for state, count in rows:
+            setattr(counts, state, count)
+        return counts
+
+    def is_complete(self, campaign_id: str) -> bool:
+        """True when no job of the campaign is pending or leased."""
+        return self.counts(campaign_id).depth == 0
+
+    def idle(self) -> bool:
+        """True when *no* campaign has pending or leased jobs."""
+        return self.counts().depth == 0
+
+    def results(self, campaign_id: str) -> Dict[str, dict]:
+        """``canonical key -> result payload`` for every done job."""
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT key, result FROM jobs"
+                " WHERE campaign = ? AND state = 'done'",
+                (campaign_id,),
+            ).fetchall()
+        return {key: json.loads(result) for key, result in rows}
+
+    def quarantined(self, campaign_id: str) -> Dict[str, str]:
+        """``canonical key -> failure reason`` for every poisoned job."""
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT key, failure FROM jobs"
+                " WHERE campaign = ? AND state = 'quarantined'",
+                (campaign_id,),
+            ).fetchall()
+        return {key: failure or "quarantined" for key, failure in rows}
+
+    def job_states(self, campaign_id: str) -> Dict[str, Tuple[str, int]]:
+        """``canonical key -> (state, attempts)`` — the audit view."""
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT key, state, attempts FROM jobs WHERE campaign = ?",
+                (campaign_id,),
+            ).fetchall()
+        return {key: (state, attempts) for key, state, attempts in rows}
+
+
+@dataclass
+class _Transaction:
+    """``BEGIN IMMEDIATE`` transaction scope, serialized per handle."""
+
+    conn: sqlite3.Connection
+    lock: threading.Lock
+    _entered: bool = field(default=False, init=False)
+
+    def __enter__(self) -> "_Transaction":
+        self.lock.acquire()
+        try:
+            self.conn.execute("BEGIN IMMEDIATE")
+            self._entered = True
+        except BaseException:
+            self.lock.release()
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self.conn.execute("COMMIT")
+            else:
+                self.conn.execute("ROLLBACK")
+        finally:
+            self.lock.release()

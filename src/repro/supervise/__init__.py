@@ -16,7 +16,7 @@ bounds) after a cell and turns silent corruption into a first-class
 failure.
 """
 
-from .heartbeat import HeartbeatBoard
+from .heartbeat import HeartbeatBoard, sweep_stale_boards
 from .oracle import InvariantOracle, Violation
 from .policy import LADDER, ExecutionLevel, RetryPolicy, SupervisorConfig
 from .signals import trap_signals
@@ -41,5 +41,6 @@ __all__ = [
     "Task",
     "Violation",
     "WorkerError",
+    "sweep_stale_boards",
     "trap_signals",
 ]

@@ -78,6 +78,69 @@ class HeartbeatBoard:
     def clear(self, key: str) -> None:
         self.finish_task(key)
 
+    # ------------------------------------------------------------- hygiene
+
+    def sweep_stale(self, max_age_s: float) -> int:
+        """Delete stamp files older than ``max_age_s``; returns the count.
+
+        A SIGKILLed run leaves its last stamps behind; a later run sharing
+        the board (persistent queue directories do) must not mistake those
+        for live workers *or* let them accumulate forever.  Only files with
+        the board's stamp suffixes are touched.
+        """
+        cutoff = time.time() - max_age_s
+        removed = 0
+        try:
+            entries = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for path in entries:
+            if path.suffix not in (".start", ".beat"):
+                continue
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with a concurrent finish_task
+        return removed
+
+
+def sweep_stale_boards(
+    parent=None, max_age_s: float = 3600.0, prefix: str = "repro-supervise-"
+) -> int:
+    """Remove abandoned supervisor board directories; returns the count.
+
+    Supervisors create their boards via ``tempfile.mkdtemp(prefix=...)``
+    and remove them on clean exit; a SIGKILLed run leaks the directory.
+    A board whose *newest* stamp is older than ``max_age_s`` (or which is
+    empty) cannot belong to a live run, so supervisor and queue-service
+    startup call this to keep the temp directory honest.
+    """
+    import shutil
+    import tempfile
+
+    root = Path(parent) if parent is not None else Path(tempfile.gettempdir())
+    cutoff = time.time() - max_age_s
+    removed = 0
+    try:
+        candidates = [p for p in root.iterdir() if p.name.startswith(prefix)]
+    except OSError:
+        return 0
+    for board in candidates:
+        if not board.is_dir():
+            continue
+        try:
+            newest = max(
+                (f.stat().st_mtime for f in board.iterdir()), default=0.0
+            )
+        except OSError:
+            continue
+        if newest < cutoff:
+            shutil.rmtree(board, ignore_errors=True)
+            removed += 1
+    return removed
+
 
 def beat_forever(
     board: HeartbeatBoard, key: str, interval_s: float, stop: threading.Event

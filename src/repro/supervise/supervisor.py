@@ -45,7 +45,7 @@ from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError, SupervisionError
-from .heartbeat import HeartbeatBoard, start_beat_thread
+from .heartbeat import HeartbeatBoard, start_beat_thread, sweep_stale_boards
 from .policy import LADDER, ExecutionLevel, SupervisorConfig
 
 #: Cap on stored failure detail, so a worker traceback cannot bloat
@@ -332,6 +332,10 @@ class Supervisor:
         keys = [task.key for task in tasks]
         if len(set(keys)) != len(keys):
             raise SupervisionError("duplicate task keys in supervised batch")
+        # Board hygiene: SIGKILLed earlier runs leak their mkdtemp board
+        # directories; sweep the clearly-abandoned ones before creating
+        # this run's boards so stale stamps never accumulate.
+        sweep_stale_boards()
         report = SupervisionReport()
         results: Dict[str, Any] = {}
         queue = deque(_Pending(task) for task in tasks)

@@ -1,0 +1,487 @@
+"""Tests for the durable work queue (repro.queue): store semantics,
+lease lifecycle, scheduling, worker loop, and campaign collection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    ALL_QUEUE_KINDS,
+    CampaignConfig,
+    FaultKind,
+    QueueFaultKind,
+    parse_queue_fault_kind,
+)
+from repro.obs import MetricsRegistry
+from repro.queue import (
+    QueueError,
+    QueueWorker,
+    WorkerConfig,
+    WorkQueue,
+    campaign_cell_jobs,
+    canonical_key,
+    cell_fingerprint,
+    collect_campaign,
+    enqueue_campaign,
+    verify_against_serial,
+)
+from repro.supervise import RetryPolicy
+
+
+def fast_retry(max_retries=1):
+    """Zero-delay retry policy so tests never sleep on backoff."""
+    return RetryPolicy(max_retries=max_retries, backoff_base_s=0.0, backoff_cap_s=0.0)
+
+
+def tiny_config(**overrides):
+    """A 2-cell campaign whose cells run in milliseconds."""
+    defaults = dict(
+        workloads=("gcc",),
+        mechanisms=("aos",),
+        kinds=(FaultKind.PTR_PAC_FLIP, FaultKind.USE_AFTER_FREE),
+        locations=1,
+        objects=8,
+        churn=1,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class FakeClock:
+    """Manually advanced clock for lease-expiry tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_queue(tmp_path, retry=None, clock=None, metrics=None):
+    return WorkQueue(
+        tmp_path / "q",
+        retry=retry or fast_retry(),
+        clock=clock or time.time,
+        metrics=metrics,
+    )
+
+
+def enqueue_pairs(queue, campaign, pairs):
+    queue.create_campaign(campaign, {"n": len(pairs)})
+    return queue.enqueue(campaign, pairs)
+
+
+PAIRS = [(["cell", i], {"i": i}) for i in range(4)]
+
+
+class TestWorkQueueStore:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        assert enqueue_pairs(queue, "c", PAIRS) == 4
+        assert queue.enqueue("c", PAIRS) == 0  # resume path: no duplicates
+        assert queue.counts("c").pending == 4
+
+    def test_claim_leases_fifo_and_ack_completes(self, tmp_path):
+        queue = make_queue(tmp_path)
+        enqueue_pairs(queue, "c", PAIRS)
+        jobs = queue.claim("w0", batch=2, ttl_s=10)
+        assert [job.key for job in jobs] == [["cell", 0], ["cell", 1]]
+        assert queue.counts("c").leased == 2
+        assert queue.ack("w0", jobs[0].id, {"v": 1}) == "done"
+        counts = queue.counts("c")
+        assert (counts.done, counts.leased, counts.pending) == (1, 1, 2)
+        assert queue.results("c")[canonical_key(["cell", 0])] == {"v": 1}
+
+    def test_ack_is_exactly_once(self, tmp_path):
+        queue = make_queue(tmp_path)
+        enqueue_pairs(queue, "c", PAIRS)
+        [job] = queue.claim("w0", batch=1, ttl_s=10)
+        assert queue.ack("w0", job.id, {"v": 1}) == "done"
+        assert queue.ack("w0", job.id, {"v": 2}) == "duplicate"
+        assert queue.ack("w1", job.id, {"v": 3}) == "duplicate"
+        # The first completion's payload survives; duplicates are discarded.
+        assert queue.results("c")[canonical_key(["cell", 0])] == {"v": 1}
+        assert queue.events.duplicates == 2
+
+    def test_fail_requeues_with_backoff_then_quarantines(self, tmp_path):
+        clock = FakeClock()
+        retry = RetryPolicy(max_retries=1, backoff_base_s=5.0, jitter=0.0)
+        queue = make_queue(tmp_path, retry=retry, clock=clock)
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        [job] = queue.claim("w0", batch=1, ttl_s=10)
+        assert queue.fail("w0", job.id, "boom") == "requeued"
+        # Backoff gate: not claimable until the seeded delay passes.
+        assert queue.claim("w0", batch=1, ttl_s=10) == []
+        clock.advance(6.0)
+        [job2] = queue.claim("w0", batch=1, ttl_s=10)
+        assert job2.attempts == 1
+        assert queue.fail("w0", job2.id, "boom again") == "quarantined"
+        assert queue.counts("c").quarantined == 1
+        reason = queue.quarantined("c")[canonical_key(["cell", 0])]
+        assert "boom again" in reason
+
+    def test_fail_without_lease_is_stale_and_uncharged(self, tmp_path):
+        queue = make_queue(tmp_path)
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        [job] = queue.claim("w0", batch=1, ttl_s=10)
+        assert queue.fail("w1", job.id, "not mine") == "stale"
+        assert queue.job_states("c")[canonical_key(["cell", 0])] == ("leased", 0)
+
+    def test_release_returns_jobs_uncharged(self, tmp_path):
+        queue = make_queue(tmp_path)
+        enqueue_pairs(queue, "c", PAIRS)
+        jobs = queue.claim("w0", batch=3, ttl_s=10)
+        assert queue.release("w0", [job.id for job in jobs]) == 3
+        counts = queue.counts("c")
+        assert (counts.pending, counts.leased) == (4, 0)
+        # No attempt charged: a graceful drain is not a failure.
+        assert all(
+            attempts == 0 for _, attempts in queue.job_states("c").values()
+        )
+
+    def test_lease_expiry_reclaims_and_charges(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, retry=fast_retry(), clock=clock)
+        enqueue_pairs(queue, "c", PAIRS[:2])
+        queue.claim("w0", batch=2, ttl_s=5.0)
+        assert queue.reclaim() == []  # leases still live
+        clock.advance(6.0)
+        events = queue.reclaim()
+        assert len(events) == 2
+        assert {event.outcome for event in events} == {"requeued"}
+        assert all("lease expired" in event.reason for event in events)
+        counts = queue.counts("c")
+        assert (counts.pending, counts.leased) == (2, 0)
+        # A reclaim charges the attempt exactly like a supervisor crash.
+        assert all(
+            attempts == 1 for _, attempts in queue.job_states("c").values()
+        )
+
+    def test_extend_keeps_lease_alive(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock)
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        [job] = queue.claim("w0", batch=1, ttl_s=5.0)
+        clock.advance(4.0)
+        assert queue.extend("w0", [job.id], ttl_s=5.0) == 1
+        clock.advance(4.0)  # beyond the original expiry, inside the new one
+        assert queue.reclaim() == []
+        assert queue.extend("w1", [job.id], ttl_s=5.0) == 0  # not the owner
+
+    def test_heartbeat_staleness_reclaims_before_ttl(self, tmp_path):
+        queue = make_queue(tmp_path)
+        board = queue.board()
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        queue.claim("w0", batch=1, ttl_s=3600.0)  # far-future lease
+        board.start_task("w0")
+        # Beat is fresh: no reclaim even with a tiny timeout window.
+        assert queue.reclaim(board, heartbeat_timeout_s=30.0) == []
+        time.sleep(0.05)
+        events = queue.reclaim(board, heartbeat_timeout_s=0.01)
+        assert len(events) == 1
+        assert "heartbeat stale" in events[0].reason
+
+    def test_reclaim_quarantines_after_max_attempts(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, retry=fast_retry(max_retries=1), clock=clock)
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        for expected in ("requeued", "quarantined"):
+            queue.claim("w0", batch=1, ttl_s=1.0)
+            clock.advance(2.0)
+            [event] = queue.reclaim()
+            assert event.outcome == expected
+        assert queue.counts("c").quarantined == 1
+
+    def test_late_ack_after_reclaim_still_wins_once(self, tmp_path):
+        """A worker that lost its lease mid-cell but finishes anyway gets
+        its (deterministic) result recorded — and a later rerun completion
+        is the duplicate, never a second merge."""
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock=clock)
+        enqueue_pairs(queue, "c", PAIRS[:1])
+        [job] = queue.claim("w0", batch=1, ttl_s=1.0)
+        clock.advance(2.0)
+        queue.reclaim()  # w0's lease is gone; job back to pending
+        [rerun] = queue.claim("w1", batch=1, ttl_s=10.0)
+        assert rerun.id == job.id and rerun.key == ["cell", 0]
+        assert queue.ack("w0", job.id, {"v": 1}) == "done"  # late but first
+        assert queue.events.late_acks == 1
+        assert queue.ack("w1", rerun.id, {"v": 1}) == "duplicate"
+        assert queue.counts("c").done == 1
+
+    def test_campaign_config_conflict_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        assert queue.create_campaign("c", {"shape": 1}) is True
+        assert queue.create_campaign("c", {"shape": 1}) is False  # resume
+        with pytest.raises(QueueError, match="different configuration"):
+            queue.create_campaign("c", {"shape": 2})
+
+    def test_durability_across_handles(self, tmp_path):
+        queue = make_queue(tmp_path)
+        enqueue_pairs(queue, "c", PAIRS)
+        [job, _held] = queue.claim("w0", batch=2, ttl_s=10)
+        queue.ack("w0", job.id, {"v": 1})
+        queue.close()
+        reopened = make_queue(tmp_path)
+        counts = reopened.counts("c")
+        assert (counts.done, counts.pending, counts.leased) == (1, 2, 1)
+        assert reopened.campaign_config("c") == {"n": 4}
+
+    def test_metrics_counters_and_depth_gauge(self, tmp_path):
+        metrics = MetricsRegistry()
+        queue = make_queue(tmp_path, metrics=metrics)
+        enqueue_pairs(queue, "c", PAIRS[:2])
+        [job, other] = queue.claim("w0", batch=2, ttl_s=10)
+        queue.ack("w0", job.id, {"v": 1})
+        queue.ack("w0", job.id, {"v": 1})
+        queue.fail("w0", other.id, "boom")
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["queue.enqueued"] == 2
+        assert snapshot["queue.claimed"] == 2
+        assert snapshot["queue.done"] == 1
+        assert snapshot["queue.duplicate"] == 1
+        assert snapshot["queue.requeued"] == 1
+        assert metrics.snapshot()["gauges"]["queue.depth"] == 1.0
+
+
+class TestScheduling:
+    def test_priority_wins(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.create_campaign("low", {}, priority=0)
+        queue.create_campaign("high", {}, priority=5)
+        queue.enqueue("low", [(["l", i], {}) for i in range(2)])
+        queue.enqueue("high", [(["h", i], {}) for i in range(2)])
+        claimed = [queue.claim("w0", batch=1, ttl_s=10)[0] for _ in range(3)]
+        assert [job.campaign for job in claimed] == ["high", "high", "low"]
+
+    def test_fair_share_alternates_equal_weights(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.create_campaign("a", {"id": "a"})
+        queue.create_campaign("b", {"id": "b"})
+        queue.enqueue("a", [(["a", i], {}) for i in range(3)])
+        queue.enqueue("b", [(["b", i], {}) for i in range(3)])
+        order = [queue.claim("w0", batch=1, ttl_s=10)[0].campaign for _ in range(6)]
+        # Least-served-first: perfect alternation, no head-of-line blocking.
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_fair_share_respects_weights(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.create_campaign("heavy", {"id": "h"}, weight=2.0)
+        queue.create_campaign("light", {"id": "l"}, weight=1.0)
+        queue.enqueue("heavy", [(["h", i], {}) for i in range(4)])
+        queue.enqueue("light", [(["l", i], {}) for i in range(2)])
+        order = [queue.claim("w0", batch=1, ttl_s=10)[0].campaign for _ in range(6)]
+        # weight 2 drains twice as fast: h gets 2 of the first 3 claims.
+        assert order.count("heavy") == 4
+        assert order[:3].count("heavy") == 2
+
+    def test_batch_claims_stay_within_one_campaign(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.create_campaign("a", {"id": "a"})
+        queue.create_campaign("b", {"id": "b"})
+        queue.enqueue("a", [(["a", i], {}) for i in range(2)])
+        queue.enqueue("b", [(["b", i], {}) for i in range(2)])
+        jobs = queue.claim("w0", batch=4, ttl_s=10)
+        assert len({job.campaign for job in jobs}) == 1
+
+    def test_concurrent_claims_never_double_lease(self, tmp_path):
+        queue_path = tmp_path
+        pairs = [(["cell", i], {}) for i in range(20)]
+        seed_queue = make_queue(queue_path)
+        enqueue_pairs(seed_queue, "c", pairs)
+        claimed, lock = [], threading.Lock()
+
+        def claimer(name):
+            handle = make_queue(queue_path)
+            while True:
+                jobs = handle.claim(name, batch=2, ttl_s=30)
+                if not jobs:
+                    break
+                with lock:
+                    claimed.extend(job.id for job in jobs)
+            handle.close()
+
+        threads = [
+            threading.Thread(target=claimer, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(claimed) == 20
+        assert len(set(claimed)) == 20  # no job leased twice
+
+
+class TestQueueFaultKinds:
+    def test_parser_roundtrip(self):
+        for kind in ALL_QUEUE_KINDS:
+            assert parse_queue_fault_kind(kind.value) is kind
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(FaultInjectionError, match="worker-kill"):
+            parse_queue_fault_kind("power-cut")
+
+    def test_disjoint_from_simulator_fault_kinds(self):
+        """Queue faults must not leak into the injector's sweep vocabulary
+        (the handler-completeness contract enumerates FaultKind)."""
+        simulator = {kind.value for kind in FaultKind}
+        queue_level = {kind.value for kind in QueueFaultKind}
+        assert not simulator & queue_level
+
+    def test_clock_skew_writes_expired_leases(self, tmp_path):
+        """A fast-forward clock stamps leases already in the past: the
+        unskewed reclaimer may steal them instantly, yet completion stays
+        exactly-once (the chaos invariant)."""
+        skewed = make_queue(tmp_path, clock=lambda: time.time() - 3600.0)
+        enqueue_pairs(skewed, "c", PAIRS[:1])
+        [job] = skewed.claim("w0", batch=1, ttl_s=5.0)
+        honest = make_queue(tmp_path)
+        [event] = honest.reclaim()
+        assert event.outcome == "requeued"
+        [rerun] = honest.claim("w1", batch=1, ttl_s=5.0)
+        assert skewed.ack("w0", job.id, {"v": 1}) == "done"
+        assert honest.ack("w1", rerun.id, {"v": 1}) == "duplicate"
+        assert honest.counts("c").done == 1
+
+
+class TestCampaignPayloadRoundtrip:
+    def test_config_roundtrips_through_json(self):
+        config = tiny_config(paranoid=True, hang_cells=("*:*:ptr-pac-flip:0",))
+        clone = CampaignConfig.from_payload(config.to_payload())
+        assert clone == config
+
+    def test_cell_jobs_match_sweep_grid(self):
+        config = tiny_config()
+        jobs = list(campaign_cell_jobs(config))
+        assert len(jobs) == 2
+        key, payload = jobs[0]
+        assert key == ["cell", "gcc", "aos", "ptr-pac-flip", 0]
+        assert payload["workload"] == "gcc"
+        assert payload["seed"] == config.seed
+
+    def test_cell_fingerprint_is_stable_and_config_sensitive(self):
+        config = tiny_config()
+        key = ["cell", "gcc", "aos", "ptr-pac-flip", 0]
+        base = cell_fingerprint(config.to_payload(), key)
+        assert base == cell_fingerprint(config.to_payload(), key)
+        other = cell_fingerprint(tiny_config(seed=99).to_payload(), key)
+        assert base != other
+
+
+class TestQueueWorker:
+    def test_single_worker_drains_campaign(self, tmp_path):
+        config = tiny_config()
+        worker = QueueWorker(
+            WorkerConfig(queue_root=tmp_path / "q", worker_id="w0", batch=2)
+        )
+        enqueue_campaign(worker.queue, "c", config)
+        assert worker.run() == 0
+        assert worker.cells_done == 2
+        assert worker.queue.is_complete("c")
+        result = collect_campaign(worker.queue, "c")
+        assert len(result.results) == 2
+        assert not result.quarantined
+
+    def test_distributed_results_match_serial_byte_for_byte(self, tmp_path):
+        config = tiny_config()
+        worker = QueueWorker(
+            WorkerConfig(queue_root=tmp_path / "q", worker_id="w0", batch=1)
+        )
+        enqueue_campaign(worker.queue, "c", config)
+        worker.run()
+        result = collect_campaign(worker.queue, "c")
+        assert verify_against_serial(config, result) is None
+
+    def test_worker_uses_artifact_cache(self, tmp_path):
+        from repro.experiments import ArtifactCache, MemoryBackend
+
+        config = tiny_config()
+        cache = ArtifactCache(backend=MemoryBackend())
+        first = QueueWorker(
+            WorkerConfig(queue_root=tmp_path / "q1", worker_id="w0"), cache=cache
+        )
+        enqueue_campaign(first.queue, "c", config)
+        first.run()
+        assert first.cache_hits == 0
+        # Same config under a different campaign/queue: every cell hits.
+        second = QueueWorker(
+            WorkerConfig(queue_root=tmp_path / "q2", worker_id="w1"), cache=cache
+        )
+        enqueue_campaign(second.queue, "c2", config)
+        second.run()
+        assert second.cache_hits == 2
+        assert verify_against_serial(
+            config, collect_campaign(second.queue, "c2")
+        ) is None
+
+    def test_drain_releases_unstarted_cells(self, tmp_path):
+        config = tiny_config()
+        worker = QueueWorker(
+            WorkerConfig(queue_root=tmp_path / "q", worker_id="w0", batch=2)
+        )
+        enqueue_campaign(worker.queue, "c", config)
+        worker.request_drain()  # drain before the loop even starts
+        assert worker.run() == 130
+        counts = worker.queue.counts("c")
+        assert (counts.pending, counts.leased) == (2, 0)
+        # Uncharged: the drained cells retry with a clean slate.
+        assert all(
+            attempts == 0
+            for _, attempts in worker.queue.job_states("c").values()
+        )
+
+    def test_bad_payload_fails_job_not_worker(self, tmp_path):
+        worker = QueueWorker(
+            WorkerConfig(
+                queue_root=tmp_path / "q",
+                worker_id="w0",
+                retry=fast_retry(max_retries=0),
+            )
+        )
+        worker.queue.create_campaign("c", tiny_config().to_payload())
+        worker.queue.enqueue("c", [(["cell", "junk"], {"nope": True})])
+        assert worker.run() == 0  # loop survives the poisonous payload
+        reason = worker.queue.quarantined("c")[canonical_key(["cell", "junk"])]
+        assert "worker-side error" in reason
+
+
+class TestCollect:
+    def test_collect_orders_results_in_sweep_order(self, tmp_path):
+        config = tiny_config()
+        queue = make_queue(tmp_path)
+        enqueue_campaign(queue, "c", config)
+        # Complete cells in *reverse* claim order.
+        jobs = queue.claim("w0", batch=2, ttl_s=10)
+        for job in reversed(jobs):
+            from repro.faults.campaign import run_campaign_cell
+            from repro.faults.injector import FaultSpec
+
+            payload = job.payload
+            result = run_campaign_cell(
+                config,
+                payload["workload"],
+                payload["mechanism"],
+                FaultSpec(
+                    kind=FaultKind(payload["kind"]),
+                    location=payload["location"],
+                    seed=payload["seed"],
+                ),
+            )
+            queue.ack("w0", job.id, result.to_payload())
+        collected = collect_campaign(queue, "c")
+        kinds = [result.kind for result in collected.results]
+        assert kinds == ["ptr-pac-flip", "use-after-free"]  # sweep order
+
+    def test_verify_reports_quarantine_as_mismatch(self, tmp_path):
+        config = tiny_config()
+        queue = make_queue(tmp_path, retry=fast_retry(max_retries=0))
+        enqueue_campaign(queue, "c", config)
+        [job] = queue.claim("w0", batch=1, ttl_s=10)
+        queue.fail("w0", job.id, "poisoned")
+        result = collect_campaign(queue, "c")
+        assert verify_against_serial(config, result) is not None
