@@ -30,6 +30,7 @@ from .scenarios import (
     Step,
     build_scenario,
     compile_scenario,
+    export_scenario,
     parse_scenarios,
     scenario_trace,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "classify_verdict",
     "compile_scenario",
     "execute_scenario",
+    "export_scenario",
     "parse_scenarios",
     "run_quick_chaos",
     "run_scenario_cell",

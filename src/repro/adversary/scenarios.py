@@ -527,3 +527,38 @@ def compile_scenario(
     instance = build_scenario(name, seed=seed)
     trace = scenario_trace(instance, scale=scale)
     return lower_trace(trace, mechanism, config=config or scaled_config(mechanism, scale))
+
+
+def export_scenario(
+    name: str,
+    path,
+    format: str = "jsonl",
+    seed: int = 7,
+    scale: int = 8,
+    profile: str = "gcc",
+) -> WorkloadTrace:
+    """Compile one named scenario and export it as a versioned trace file.
+
+    The exploit's access pattern — stale loads into freed chunks, OOB
+    offsets past the object bound — is *valid* trace schema (the importer
+    admits attack traces), so a re-ingested scenario lowers and simulates
+    identically to the direct :func:`compile_scenario` path; see
+    ``tests/test_traces_roundtrip.py``.
+    """
+    from ..traces import record_trace
+
+    instance = build_scenario(name, seed=seed)
+    trace = scenario_trace(instance, scale=scale, profile=profile)
+    record_trace(
+        trace,
+        path,
+        format=format,
+        generator={
+            "source": "scenario",
+            "scenario": name,
+            "seed": seed,
+            "scale": scale,
+            "profile": profile,
+        },
+    )
+    return trace

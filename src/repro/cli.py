@@ -69,11 +69,21 @@ ARTIFACTS = {
     "faultinject": "fault-injection campaign + detection coverage (§VII)",
     "attack": "adversarial scenario corpus chaos campaign (§VII, §VII-C)",
     "trace": "cycle-stamped event trace + metrics (Chrome/Perfetto export)",
+    "trace-export": "export a synthetic workload window as a versioned trace file",
+    "trace-import": "ingest a JSONL/binary trace file, validate and simulate it",
     "mechanisms": "registered mechanism plugins (--list/--json/--fingerprint)",
     "serve": "distributed campaign coordinator over a durable work queue",
     "worker": "lease-based queue worker process (claim/run/ack loop)",
     "cache": "artifact cache maintenance (--stats/--prune)",
 }
+
+#: Artifacts ``all`` must skip: file writers (``trace``, ``trace-export``),
+#: exit-code owners (``attack``, ``trace-import``), and operational faces
+#: that need extra arguments (``serve``, ``worker``, ``cache``).  Run them
+#: directly instead.
+OPERATIONAL_ARTIFACTS = frozenset(
+    ("trace", "attack", "serve", "worker", "cache", "trace-export", "trace-import")
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,6 +163,27 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--profile", action="store_true",
         help="print the engine's per-phase wall-clock profile at exit",
+    )
+    traces = parser.add_argument_group("trace frontend options")
+    traces.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="timing artifacts: run over this ingested trace file instead of "
+        "the synthetic workloads (cells are cached by the file's sha256)",
+    )
+    traces.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="trace-export only: output path "
+        "(default <workload>.trace.<jsonl|bin>)",
+    )
+    traces.add_argument(
+        "--trace-format", choices=["jsonl", "binary"], default="jsonl",
+        help="trace-export only: wire format (default jsonl)",
+    )
+    traces.add_argument(
+        "--verify-roundtrip", action="store_true",
+        help="trace-import only: regenerate the synthetic source named in "
+        "the trace header and assert byte-identical simulation results on "
+        "both kernels (requires a trace produced by trace-export)",
     )
     cache = parser.add_argument_group("artifact cache options")
     cache.add_argument(
@@ -506,6 +537,175 @@ def run_trace(args, profiler: PhaseProfiler) -> str:
         lines.append(f"events jsonl -> {args.events_out}")
     lines.append("open the trace in https://ui.perfetto.dev ('Open trace file')")
     return "\n".join(lines)
+
+
+def run_trace_export(args) -> int:
+    """The ``trace-export`` artifact: synthetic window -> trace file.
+
+    The exported file embeds the full workload profile and generator
+    provenance, so ``trace-import --verify-roundtrip`` can regenerate the
+    source and prove the export/import cycle byte-identical.
+    """
+    from .errors import WorkloadError
+    from .traces import export_workload, trace_digest
+    from .workloads import get_profile
+
+    workload = args.target or "gcc"
+    try:
+        get_profile(workload)
+    except (KeyError, WorkloadError):
+        print(f"repro: error: unknown workload {workload!r}", file=sys.stderr)
+        return 2
+    extension = "jsonl" if args.trace_format == "jsonl" else "bin"
+    path = args.trace_file or f"{workload}.trace.{extension}"
+    trace = export_workload(
+        workload,
+        path,
+        format=args.trace_format,
+        instructions=args.instructions,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    import os
+
+    print(
+        f"exported {workload} (instructions={args.instructions} "
+        f"seed={args.seed} scale={args.scale}) -> {path}"
+    )
+    print(
+        f"  {len(trace.preamble)} preamble objects + {len(trace.events)} "
+        f"events, {os.path.getsize(path)} bytes ({args.trace_format})"
+    )
+    print(f"  sha256: {trace_digest(path)}")
+    return 0
+
+
+def run_trace_import(args, profiler: PhaseProfiler) -> int:
+    """The ``trace-import`` artifact: trace file -> validated simulation.
+
+    Streams the file once to validate + summarise it (any schema
+    violation exits 2 with the named ``TraceFormatError``), then simulates
+    it under ``--mechanism`` with the artifact cache keyed on the trace's
+    sha256 digest.  ``--verify-roundtrip`` additionally regenerates the
+    synthetic source recorded in the header and asserts byte-identical
+    results on both kernels (exit 1 on divergence).
+    """
+    import dataclasses
+    import hashlib
+    import json
+
+    from .errors import TraceFormatError
+    from .traces import scan_trace
+
+    if not args.target:
+        print("repro: error: trace-import requires a trace file", file=sys.stderr)
+        return 2
+    try:
+        with profiler.phase("scan"):
+            stats = scan_trace(args.target)
+    except FileNotFoundError:
+        print(f"repro: error: no such trace file: {args.target}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(
+            f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr
+        )
+        return 2
+    print(stats.format_summary())
+
+    suite = ExperimentSuite(
+        RunSettings(
+            instructions=args.instructions,
+            seed=args.seed,
+            scale=args.scale,
+            kernel=args.kernel,
+        ),
+        jobs=args.jobs,
+        cache=artifact_cache_from_args(args),
+    )
+    with profiler.phase("simulate"):
+        name = suite.ingest_trace(args.target)
+        result = suite.result(name, args.mechanism)
+        line = (
+            f"simulated {name} under {args.mechanism} ({args.kernel} kernel): "
+            f"{result.instructions} instructions, {result.cycles:.0f} cycles "
+            f"(IPC {result.ipc:.2f})"
+        )
+        if args.mechanism != "baseline":
+            line += f", {suite.normalized_time(name, args.mechanism):.3f}x baseline"
+        print(line)
+    payload = json.dumps(
+        dataclasses.asdict(result), sort_keys=True, separators=(",", ":")
+    )
+    print(f"result-digest: {hashlib.sha256(payload.encode()).hexdigest()}")
+
+    code = 0
+    if args.verify_roundtrip:
+        code = _verify_roundtrip(args, stats, profiler)
+    if suite.cache is not None:
+        cache_stats = suite.cache.stats
+        print(
+            f"[artifact cache: {cache_stats.hits} hits, "
+            f"{cache_stats.misses} misses, {cache_stats.stores} stores]"
+        )
+    return code
+
+
+def _verify_roundtrip(args, stats, profiler: PhaseProfiler) -> int:
+    """Prove simulate(generate(p)) == simulate(import(record(p))) for the
+    ingested file, on both kernels.  Needs trace-export provenance."""
+    import dataclasses
+
+    from .compiler import lower_trace
+    from .cpu.core import Simulator
+    from .experiments.common import scaled_config
+    from .kernel import KERNELS
+    from .traces import import_trace
+    from .workloads import generate_trace, get_profile
+
+    generator = stats.header.generator or {}
+    if generator.get("source") != "synthetic":
+        print(
+            "repro: error: --verify-roundtrip needs a trace produced by "
+            "trace-export (no synthetic generator provenance in the header)",
+            file=sys.stderr,
+        )
+        return 2
+    with profiler.phase("verify-roundtrip"):
+        regenerated = generate_trace(
+            get_profile(generator["workload"]),
+            instructions=generator["instructions"],
+            seed=generator["seed"],
+            scale=generator["scale"],
+        )
+        imported = import_trace(args.target)
+        if imported != regenerated:
+            print(
+                "round-trip: FAILED — imported trace differs from the "
+                "regenerated synthetic source",
+                file=sys.stderr,
+            )
+            return 1
+        config = scaled_config(args.mechanism, regenerated.scale)
+        for kernel in KERNELS:
+            direct = Simulator(config, kernel=kernel).run(
+                lower_trace(regenerated, args.mechanism, config=config)
+            )
+            ingested = Simulator(config, kernel=kernel).run(
+                lower_trace(imported, args.mechanism, config=config)
+            )
+            if dataclasses.asdict(direct) != dataclasses.asdict(ingested):
+                print(
+                    f"round-trip: FAILED — {kernel} kernel results diverge "
+                    "between generated and ingested traces",
+                    file=sys.stderr,
+                )
+                return 1
+    print(
+        "round-trip: byte-identical (trace equality + "
+        f"{'/'.join(KERNELS)} kernel results)"
+    )
+    return 0
 
 
 def format_mechanism_table() -> str:
@@ -901,6 +1101,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_resume_hint(args), file=sys.stderr)
             return 130
 
+    if args.artifact == "trace-export":
+        return run_trace_export(args)
+    if args.artifact == "trace-import":
+        try:
+            with trap_signals():
+                code = run_trace_import(args, profiler)
+        except KeyboardInterrupt:
+            print(_resume_hint(args), file=sys.stderr)
+            return 130
+        if args.profile:
+            print()
+            print(profiler.format())
+        return code
+
     if args.artifact == "trace":
         try:
             with trap_signals():
@@ -944,10 +1158,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         supervise=supervisor_config(args),
         paranoid=args.paranoid,
     )
-    # ``trace`` writes files and ``attack`` owns its exit code: both are
-    # excluded from the ``all`` sweep (run them directly).
+    if args.trace:
+        from .errors import TraceFormatError
+
+        try:
+            ingested = suite.ingest_trace(args.trace)
+        except FileNotFoundError:
+            print(
+                f"repro: error: no such trace file: {args.trace}", file=sys.stderr
+            )
+            return 2
+        except TraceFormatError as exc:
+            print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+        args.workloads = [ingested]
+        print(f"[ingested trace {args.trace} as workload {ingested!r}]")
     names = (
-        [n for n in ARTIFACTS if n not in ("trace", "attack")]
+        [n for n in ARTIFACTS if n not in OPERATIONAL_ARTIFACTS]
         if args.artifact == "all"
         else [args.artifact]
     )

@@ -83,3 +83,31 @@ class InvariantViolation(ReproError):
 class SupervisionError(ReproError):
     """The supervision layer itself was misused (bad policy parameters,
     duplicate task keys) — distinct from the task failures it manages."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file violates the versioned trace schema (`repro.traces`).
+
+    This is the contract the ingestion frontend makes with callers: a
+    malformed, truncated or inconsistent trace file *always* raises this
+    (or a subclass) — it never produces a silent partial
+    :class:`~repro.workloads.WorkloadTrace`/``Program``.
+    """
+
+
+class TraceVersionError(TraceFormatError):
+    """The trace header declares a schema version this decoder does not
+    speak (forward-incompatible versions are rejected, never guessed)."""
+
+
+class TraceDecodeError(TraceFormatError):
+    """The byte/line stream itself is malformed: bad magic, truncated
+    frame or line, unknown record kind, missing end-of-trace record,
+    trailing garbage, or a field that fails schema validation."""
+
+
+class TraceSemanticError(TraceFormatError):
+    """The record stream decodes but describes an impossible program:
+    duplicate allocation ids, frees of unknown objects, double frees,
+    accesses to objects that were never declared, preamble objects
+    appearing after window events."""

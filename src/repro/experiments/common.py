@@ -170,6 +170,8 @@ class ExperimentSuite:
                 else SupervisorConfig(jobs=self.jobs)
             )
         self.supervision_reports: List = []
+        #: Ingested trace workloads: alias -> (file path, sha256, scale).
+        self._ingested: Dict[str, Tuple[str, str, int]] = {}
         self._traces: Dict[str, WorkloadTrace] = {}
         self._lowered: Dict[Tuple[str, str], LoweredWorkload] = {}
         self._results: Dict[Tuple[str, str], SimulationResult] = {}
@@ -213,9 +215,51 @@ class ExperimentSuite:
         """The scale-matched Table IV configuration for this suite."""
         return scaled_config(mechanism, self.settings.scale)
 
+    # ------------------------------------------------------------ ingestion
+
+    def ingest_trace(self, path, name: Optional[str] = None) -> str:
+        """Register a trace file (see :mod:`repro.traces`) as a workload.
+
+        Returns the workload alias (default ``trace:<file stem>``) usable
+        anywhere a profile name is: ``result()``, ``normalized_time()``,
+        the figure drivers' ``workloads=`` lists.  The trace is imported
+        once here (validating it eagerly — malformed files fail at
+        ingestion, not mid-sweep); cells built for it carry the file path
+        so pool workers re-import it, and are cached under the file's
+        streamed sha256 digest instead of profile fingerprints.
+        """
+        from ..traces import import_trace, trace_digest
+
+        path = str(path)
+        trace = import_trace(path)
+        if name is None:
+            name = f"trace:{Path(path).stem}"
+        self._ingested[name] = (path, trace_digest(path), trace.scale)
+        self._traces[name] = trace
+        return name
+
+    def ingested_digest(self, workload: str) -> Optional[str]:
+        """The cache-keying sha256 for an ingested workload (None if not)."""
+        entry = self._ingested.get(workload)
+        return entry[1] if entry else None
+
+    def _ingested_cell(self, cell: "CellSpec") -> "CellSpec":
+        """Attach ingested-trace identity to a bare cell spec, if needed."""
+        entry = self._ingested.get(cell.workload)
+        if entry is None or cell.trace_digest is not None:
+            return cell
+        path, digest, scale = entry
+        return dataclasses.replace(
+            cell, trace_path=path, trace_digest=digest, trace_scale=scale
+        )
+
     # ------------------------------------------------------------- building
 
     def trace(self, workload: str) -> WorkloadTrace:
+        if workload not in self._traces and workload in self._ingested:
+            from ..traces import import_trace
+
+            self._traces[workload] = import_trace(self._ingested[workload][0])
         if workload not in self._traces:
             trace = None
             fingerprint = None
@@ -261,6 +305,10 @@ class ExperimentSuite:
         if cache_key not in self._results:
             result = self._cached_result(workload, mechanism, config, key)
             if result is None:
+                if config is None and workload in self._ingested:
+                    # Ingested traces are configured for their *declared*
+                    # scale, which may differ from the suite settings'.
+                    config = scaled_config(mechanism, self._ingested[workload][2])
                 config = config or self.config_for(mechanism)
                 lowered = self.lowered(workload, mechanism, config=config, key=key)
                 inspect = None
@@ -295,7 +343,7 @@ class ExperimentSuite:
             return None
         from .parallel import CellSpec, cell_fingerprint
 
-        cell = CellSpec(workload, mechanism, config=config, key=key)
+        cell = self._ingested_cell(CellSpec(workload, mechanism, config=config, key=key))
         payload = self._cache.get_result(cell_fingerprint(self.settings, cell))
         if payload is None:
             return None
@@ -316,7 +364,7 @@ class ExperimentSuite:
             return
         from .parallel import CellSpec, cell_fingerprint
 
-        cell = CellSpec(workload, mechanism, config=config, key=key)
+        cell = self._ingested_cell(CellSpec(workload, mechanism, config=config, key=key))
         self._cache.put_result(
             cell_fingerprint(self.settings, cell), _result_to_payload(result)
         )
@@ -340,6 +388,10 @@ class ExperimentSuite:
         from .parallel import generate_traces, trace_fingerprint
 
         missing = [w for w in dict.fromkeys(workloads) if w not in self._traces]
+        # Ingested workloads re-import from their file, never regenerate.
+        for workload in [w for w in missing if w in self._ingested]:
+            self.trace(workload)
+        missing = [w for w in missing if w not in self._ingested]
         if self._cache is not None:
             still = []
             for workload in missing:
@@ -375,6 +427,10 @@ class ExperimentSuite:
         pending = []
         seen = set(self._results)
         for cell in cells:
+            # Figure drivers build bare CellSpecs; stamp ingested-trace
+            # identity on them here so fingerprints/workers do the right
+            # thing without every driver knowing about the trace frontend.
+            cell = self._ingested_cell(cell)
             if cell.cache_key in seen:
                 continue
             seen.add(cell.cache_key)

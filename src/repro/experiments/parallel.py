@@ -58,12 +58,23 @@ class CellSpec:
     configuration (the Fig. 15 ``aos-l1b`` style variants); it defaults to
     the mechanism name, matching ``ExperimentSuite.result``'s memo keys.
     ``config=None`` means "the suite's scale-matched Table IV config".
+
+    ``trace_path``/``trace_digest`` mark an *ingested* cell: the workload
+    is a trace file (see :mod:`repro.traces`), not a synthetic profile.
+    Workers re-import the file instead of regenerating from a profile,
+    and the cache fingerprint is keyed on the streamed sha256 digest of
+    the file's bytes rather than on profile/settings fingerprints.
     """
 
     workload: str
     mechanism: str
     config: Optional[SystemConfig] = None
     key: Optional[str] = None
+    trace_path: Optional[str] = None
+    trace_digest: Optional[str] = None
+    #: The ingested trace's declared scale (header field); drives the
+    #: scale-matched config instead of ``settings.scale`` for these cells.
+    trace_scale: Optional[int] = None
 
     @property
     def cache_key(self) -> Tuple[str, str]:
@@ -71,7 +82,10 @@ class CellSpec:
         return (self.workload, self.key or self.mechanism)
 
     def resolved_config(self, settings: RunSettings) -> SystemConfig:
-        return self.config or scaled_config(self.mechanism, settings.scale)
+        if self.config is not None:
+            return self.config
+        scale = self.trace_scale if self.trace_scale is not None else settings.scale
+        return scaled_config(self.mechanism, scale)
 
 
 def _code_digest() -> str:
@@ -131,8 +145,32 @@ def _mechanism_cache_token(mechanism: str) -> str:
 
 
 def cell_fingerprint(settings: RunSettings, cell: CellSpec) -> str:
-    """Content hash naming one simulation result in the artifact cache."""
+    """Content hash naming one simulation result in the artifact cache.
+
+    Ingested cells (``cell.trace_digest`` set) are keyed on the trace
+    file's streamed sha256 digest instead of the profile + window
+    settings: the file's bytes fully determine the program, so the same
+    trace imported under any alias or ``--instructions`` value hits the
+    same cache entry, while settings that *do* change the result
+    (configuration, observability, kernel) stay in the key.
+    """
     config = cell.resolved_config(settings)
+    if cell.trace_digest is not None:
+        body = _canonical(
+            {
+                "schema": CACHE_SCHEMA,
+                "code": code_version(),
+                "kind": "result",
+                "ingested": True,
+                "trace_digest": cell.trace_digest,
+                "mechanism": cell.mechanism,
+                "mechanism_token": _mechanism_cache_token(cell.mechanism),
+                "config": dataclasses.asdict(config),
+                "obs": dataclasses.asdict(settings.obs),
+                "kernel": settings.kernel,
+            }
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
     body = _canonical(
         {
             "schema": CACHE_SCHEMA,
@@ -412,7 +450,15 @@ def simulate_cell(
     """
     config = cell.resolved_config(settings)
     if trace is None:
-        trace = generate_cell_trace(settings, cell.workload)
+        if cell.trace_path is not None:
+            # Ingested cell: the trace file is the source of truth.  The
+            # import is deterministic (pure function of the file bytes),
+            # so pool workers stay bit-identical to the serial path.
+            from ..traces import import_trace
+
+            trace = import_trace(cell.trace_path)
+        else:
+            trace = generate_cell_trace(settings, cell.workload)
     lowered = lower_trace(trace, cell.mechanism, config=config)
     inspect = None
     if paranoid:

@@ -1,0 +1,115 @@
+"""Golden trace fixture tests: the committed files pin schema v1.
+
+``tools/make_golden_traces.py`` is the single source of the fixtures; the
+drift test regenerates them into a temp directory and byte-compares, so
+any change to the schema, codecs, or generator that would invalidate
+users' existing trace files fails here first (and the fix is either a
+schema version bump or an intentional regeneration, never silence).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.traces import (
+    TraceWriter,
+    import_trace,
+    open_trace,
+    read_header,
+    scan_trace,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "traces"
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+from make_golden_traces import write_fixtures  # noqa: E402
+
+FIXTURES = [
+    "handwritten.v1.jsonl",
+    "handwritten.v1.bin",
+    "bzip2.v1.jsonl",
+    "bzip2.v1.bin",
+]
+
+
+def test_committed_fixtures_match_regenerator(tmp_path):
+    """Schema drift check: regeneration reproduces the committed bytes."""
+    write_fixtures(tmp_path)
+    for name in FIXTURES:
+        regenerated = (tmp_path / name).read_bytes()
+        committed = (GOLDEN / name).read_bytes()
+        assert regenerated == committed, (
+            f"{name}: regenerated fixture differs from the committed one — "
+            "either bump the schema version or intentionally refresh with "
+            "tools/make_golden_traces.py"
+        )
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+def test_decode_reencode_is_byte_identical(name, tmp_path):
+    """Canonical encoding: decode -> re-encode reproduces the file."""
+    source = GOLDEN / name
+    format = "jsonl" if name.endswith(".jsonl") else "binary"
+    copy = tmp_path / name
+    with open_trace(source) as reader:
+        with TraceWriter(copy, reader.header, format=format) as writer:
+            for record in reader:
+                writer.write(record)
+    assert copy.read_bytes() == source.read_bytes()
+
+
+@pytest.mark.parametrize("stem", ["handwritten.v1", "bzip2.v1"])
+def test_cross_format_record_equality(stem):
+    """JSONL and binary fixtures carry the identical logical stream."""
+    with open_trace(GOLDEN / f"{stem}.jsonl") as jsonl_reader:
+        jsonl_records = list(jsonl_reader)
+        jsonl_header = jsonl_reader.header
+    with open_trace(GOLDEN / f"{stem}.bin") as binary_reader:
+        binary_records = list(binary_reader)
+        binary_header = binary_reader.header
+    assert jsonl_header == binary_header
+    assert jsonl_records == binary_records
+
+
+def test_handwritten_covers_every_record_kind():
+    from repro.traces import RECORD_KINDS
+
+    stats = scan_trace(GOLDEN / "handwritten.v1.jsonl")
+    assert set(stats.counts) == set(RECORD_KINDS)
+
+
+def test_handwritten_import_shape():
+    """The no-embedded-profile path: the importer synthesises one from
+    the stream, notes are dropped, and the UAF/OOB records survive."""
+    trace = import_trace(GOLDEN / "handwritten.v1.bin")
+    assert trace.profile.name == "handwritten"
+    assert trace.profile.description.startswith("ingested trace")
+    assert trace.preamble == [(0, 64), (1, 128)]
+    assert trace.object_sizes == {0: 64, 1: 128, 3: 96, 7: 32}
+    assert trace.scale == 2 and trace.seed == 11
+    assert trace.branch_mispredict_rate == 0.03
+    # 22 records minus 2 obj rows and 2 notes = 18 events.
+    assert len(trace.events) == 18
+    assert ("ld", 7, 0, False, False) in trace.events     # use-after-free
+    assert ("st", 3, 4096, False) in trace.events         # out-of-bounds
+    header = read_header(GOLDEN / "handwritten.v1.bin")
+    assert header.profile is None
+    assert header.meta == {"purpose": "golden fixture covering every record kind"}
+
+
+def test_bzip2_fixture_reimports_as_generated():
+    """The synthetic fixture equals regenerating from its provenance."""
+    from repro.workloads import generate_trace, get_profile
+
+    header = read_header(GOLDEN / "bzip2.v1.jsonl")
+    provenance = header.generator
+    assert provenance["source"] == "synthetic"
+    regenerated = generate_trace(
+        get_profile(provenance["workload"]),
+        instructions=provenance["instructions"],
+        seed=provenance["seed"],
+        scale=provenance["scale"],
+    )
+    assert import_trace(GOLDEN / "bzip2.v1.jsonl") == regenerated
+    assert import_trace(GOLDEN / "bzip2.v1.bin") == regenerated

@@ -32,6 +32,14 @@ comparable to the authors' gem5 runs; the comparisons below are about
 *shape*: orderings, ratios, outliers, and which workload exhibits which
 pathology.
 
+**Ingested traces:** every artifact also runs over externally supplied
+trace files (`--trace file`, `python -m repro trace-import`; schema in
+DESIGN.md §4h).  Cells for an ingested workload are cached under the
+streamed sha256 *digest of the trace file* plus mechanism/config/kernel —
+not under the workload name or the suite's window settings, which don't
+describe a file — so editing a single byte of a trace invalidates exactly
+its own cells and nothing else.
+
 ---
 """
 

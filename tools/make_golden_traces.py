@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden trace fixtures (tests/golden/traces).
+
+Run from the repo root after any *intentional* schema or codec change::
+
+    PYTHONPATH=src python tools/make_golden_traces.py
+
+Two fixture pairs, each in both wire formats:
+
+- ``handwritten.v1.{jsonl,bin}`` — a hand-assembled stream exercising
+  every record kind (including ``note``) with *no* embedded profile, so
+  the importer's profile synthesis path is pinned too.  The stream also
+  contains a use-after-free load and an out-of-bounds offset on purpose:
+  both are valid schema (attack traces) and must keep importing cleanly.
+- ``bzip2.v1.{jsonl,bin}`` — a small synthetic export (bzip2, 1200
+  instructions, seed 7, scale 8) with the full profile embedded, the
+  round-trip anchor.
+
+``tests/test_traces_golden.py`` regenerates these into a temp directory
+and byte-compares against the committed copies, so schema drift that
+would invalidate users' existing trace files fails loudly in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.traces import TraceHeader, TraceRecord, TraceWriter  # noqa: E402
+from repro.traces.recorder import export_workload  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden" / "traces"
+
+#: Every v1 record kind appears at least once; object 7 is freed and then
+#: loaded (use-after-free), and object 3's store offset 4096 is far past
+#: its 96-byte size (out-of-bounds) — both deliberately valid.
+HANDWRITTEN_HEADER = TraceHeader(
+    name="handwritten", scale=2, seed=11, mispredict_rate=0.03,
+    meta={"purpose": "golden fixture covering every record kind"},
+)
+HANDWRITTEN_RECORDS = (
+    TraceRecord(kind="obj", obj=0, size=64),
+    TraceRecord(kind="obj", obj=1, size=128),
+    TraceRecord(kind="note", text="window starts here"),
+    TraceRecord(kind="alloc", obj=3, size=96),
+    TraceRecord(kind="load", obj=0, offset=8),
+    TraceRecord(kind="load", obj=1, offset=16, ptr=True, chase=True),
+    TraceRecord(kind="store", obj=3, offset=24, ptr=True),
+    TraceRecord(kind="store", obj=3, offset=4096),
+    TraceRecord(kind="uload", space=0, offset=32),
+    TraceRecord(kind="ustore", space=1, offset=40),
+    TraceRecord(kind="call"),
+    TraceRecord(kind="branch", mispredict=True),
+    TraceRecord(kind="branch"),
+    TraceRecord(kind="alu"),
+    TraceRecord(kind="falu"),
+    TraceRecord(kind="ptr"),
+    TraceRecord(kind="ret"),
+    TraceRecord(kind="alloc", obj=7, size=32),
+    TraceRecord(kind="free", obj=7),
+    TraceRecord(kind="load", obj=7, offset=0),
+    TraceRecord(kind="free", obj=3),
+    TraceRecord(kind="note", text="window ends here"),
+)
+
+SYNTHETIC = {"workload": "bzip2", "instructions": 1200, "seed": 7, "scale": 8}
+
+
+def write_fixtures(directory) -> list:
+    """Write all golden fixtures into ``directory``; returns their paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for format, extension in (("jsonl", "jsonl"), ("binary", "bin")):
+        path = directory / f"handwritten.v1.{extension}"
+        with TraceWriter(path, HANDWRITTEN_HEADER, format=format) as writer:
+            for record in HANDWRITTEN_RECORDS:
+                writer.write(record)
+        paths.append(path)
+        path = directory / f"{SYNTHETIC['workload']}.v1.{extension}"
+        export_workload(SYNTHETIC["workload"], path, format=format, **{
+            k: v for k, v in SYNTHETIC.items() if k != "workload"
+        })
+        paths.append(path)
+    return paths
+
+
+def main() -> int:
+    for path in write_fixtures(GOLDEN_DIR):
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
