@@ -130,9 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel", choices=list(KERNELS), default="reference",
-        help="simulation kernel: 'reference' (readable scoreboard model) or "
+        help="simulation kernel: 'reference' (readable scoreboard model), "
         "'fast' (flattened transcription, byte-identical results, ~2x+ "
-        "faster; see tests/test_kernel_equivalence.py)",
+        "faster) or 'specialized' (trace-speculative generated code, "
+        "guarded fallback to reference; see tests/test_kernel_equivalence.py)",
+    )
+    parser.add_argument(
+        "--batch", choices=["auto", "never", "always"], default="auto",
+        help="cross-cell lockstep batching of simulation cells (specialized "
+        "kernel only; 'auto' batches exactly when --kernel specialized)",
+    )
+    parser.add_argument(
+        "--guard-inject", default="", metavar="SPEC",
+        help="deterministic specialization guard-failure injection: 'entry' "
+        "or 'after:<N>', optionally '@<substr>'-filtered by program name; "
+        "forces the reference-kernel fallback path (testing/CI seam, also "
+        "via $REPRO_GUARD_INJECT)",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -619,9 +632,11 @@ def run_trace_import(args, profiler: PhaseProfiler) -> int:
             seed=args.seed,
             scale=args.scale,
             kernel=args.kernel,
+            guard_inject=args.guard_inject,
         ),
         jobs=args.jobs,
         cache=artifact_cache_from_args(args),
+        batch=args.batch,
     )
     with profiler.phase("simulate"):
         name = suite.ingest_trace(args.target)
@@ -814,9 +829,11 @@ def run_attack(args, profiler: PhaseProfiler) -> int:
                 seed=args.seed,
                 scale=args.scale,
                 kernel=args.kernel,
+                guard_inject=args.guard_inject,
             ),
             jobs=args.jobs,
             cache=artifact_cache_from_args(args),
+            batch=args.batch,
         )
         with profiler.phase("pareto"):
             pareto = run_security_pareto(
@@ -1152,11 +1169,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics
             else ObsSettings(),
             kernel=args.kernel,
+            guard_inject=args.guard_inject,
         ),
         jobs=args.jobs,
         cache=artifact_cache_from_args(args),
         supervise=supervisor_config(args),
         paranoid=args.paranoid,
+        batch=args.batch,
     )
     if args.trace:
         from .errors import TraceFormatError

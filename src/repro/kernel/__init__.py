@@ -1,12 +1,20 @@
-"""Simulation kernels: the reference semantics and the fast path.
+"""Simulation kernels: reference semantics, fast path, and specialization.
 
-Two kernels execute a lowered program:
+Three kernels execute a lowered program:
 
-- ``"reference"`` — :class:`repro.cpu.pipeline.PipelineModel`, the readable
+- ``"reference"``   — :class:`repro.cpu.pipeline.PipelineModel`, the readable
   scoreboard model that defines the simulator's semantics;
-- ``"fast"``      — :func:`repro.kernel.fast.run_fast`, a flattened/inlined
+- ``"fast"``        — :func:`repro.kernel.fast.run_fast`, a flattened/inlined
   transcription of the same arithmetic, byte-identical by contract
-  (``tests/test_kernel_equivalence.py``) and ~2x+ faster.
+  (``tests/test_kernel_equivalence.py``) and ~2x+ faster;
+- ``"specialized"`` — :mod:`repro.kernel.specialize`, trace-speculative
+  straight-line code generated from a training run (the first run of each
+  workload profile × mechanism trains via the fast kernel), guarded so any
+  behaviour outside the trained envelope falls back to the reference kernel
+  with byte-identical results.
+
+Cross-cell batching (:mod:`repro.kernel.batch`) is not a fourth kernel but a
+driver: it advances many specialized runs in lockstep from one loop.
 
 The kernel is selected per run via ``RunSettings.kernel`` (or the
 ``--kernel`` CLI flag) and participates in artifact-cache fingerprints, so
@@ -18,7 +26,7 @@ from __future__ import annotations
 from ..errors import ConfigError
 
 #: Valid kernel names, reference first (the default).
-KERNELS = ("reference", "fast")
+KERNELS = ("reference", "fast", "specialized")
 
 
 def validate_kernel(name: str) -> str:

@@ -1,0 +1,185 @@
+"""Cross-cell batching: advance many specialized runs in lockstep.
+
+Not a fourth kernel — a *driver* over the specialized one.  Each
+(workload, mechanism, seed) cell contributes one **lane**: a generated
+specialized-kernel generator (:func:`repro.kernel.specialize.start_specialized`)
+operating over its own structure-of-arrays columns from
+:mod:`repro.kernel.flatten`.  One loop here round-robins ``next()`` across
+all live lanes, so a whole campaign slice advances in lockstep chunks of
+``CHUNK_MASK + 1`` instructions per lane instead of cell-at-a-time.
+
+Results are byte-identical to per-cell runs by construction — each lane is
+exactly the generator a solo ``kernel="specialized"`` run would drive, over
+its own private hierarchy/MCU/HBT state; only the interleaving of Python
+frames differs.  The same guard/fallback contract applies per lane: a
+:class:`~repro.kernel.specialize.GuardAbort` (including the injection seam)
+discards that lane's mutated state and reruns just that cell from pristine
+state on the reference kernel, while the other lanes keep lockstepping.
+
+Cells whose (profile × mechanism × config) has no cached specialization yet
+are **training cells**: they run eagerly up front via ``Simulator.run``
+(which executes the fast kernel and compiles the specialization), so later
+cells in the same batch — e.g. other seeds of the same profile — join the
+lockstep. Campaigns batch automatically through
+:func:`repro.experiments.parallel.run_cells` / ``ExperimentSuite`` and the
+queue workers (``batch="auto"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from ..config import SystemConfig
+from . import specialize as spec_mod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.core import SimulationResult, Simulator
+    from ..obs import Observability
+
+
+@dataclass
+class BatchCell:
+    """One cell handed to :func:`run_batch`.
+
+    ``lowered`` is a :class:`~repro.compiler.passes.LoweredWorkload` or a
+    bare :class:`~repro.isa.program.Program` — anything ``Simulator.run``
+    accepts.  ``guard_inject`` is this cell's deterministic abort seam
+    (see :func:`repro.kernel.specialize.parse_injection`); ``inspect`` is
+    the post-drain audit hook, as in ``Simulator.run``.
+    """
+
+    label: str
+    config: SystemConfig
+    lowered: object
+    obs: Optional["Observability"] = None
+    guard_inject: str = ""
+    inspect: Optional[Callable] = None
+
+
+@dataclass
+class BatchStats:
+    """Process-wide accounting for the lockstep driver."""
+
+    batches: int = 0
+    cells: int = 0
+    lockstepped: int = 0   # cells that ran as lockstep lanes to completion
+    trained: int = 0       # cells that ran eagerly as training runs
+    solo: int = 0          # cells routed to plain Simulator.run (traced obs)
+    fell_back: int = 0     # lanes aborted by a guard and rerun on reference
+    rounds: int = 0        # lockstep rounds driven (max over lanes per batch)
+
+    def reset(self) -> None:
+        self.batches = 0
+        self.cells = 0
+        self.lockstepped = 0
+        self.trained = 0
+        self.solo = 0
+        self.fell_back = 0
+        self.rounds = 0
+
+
+STATS = BatchStats()
+
+
+@dataclass
+class _Lane:
+    """One live lockstep lane: a started specialized generator + its state."""
+
+    index: int
+    cell: BatchCell
+    sim: "Simulator"
+    gen: object
+    name: str
+    hierarchy: object
+    mcu: object
+    hbt: object
+
+
+def _fallback(sim: "Simulator", cell: BatchCell) -> "SimulationResult":
+    """Rerun one aborted cell from pristine state on the reference kernel."""
+    from ..cpu.pipeline import PipelineModel
+
+    program, name, hierarchy, mcu, va_mask, hbt = sim._wire(cell.lowered)
+    pipeline = PipelineModel(
+        sim.config, hierarchy, mcu=mcu, va_mask=va_mask, obs=sim.obs
+    )
+    result = pipeline.run(program)
+    if cell.inspect is not None:
+        cell.inspect(mcu, hbt)
+    STATS.fell_back += 1
+    return sim._assemble(result, name, hierarchy, mcu, hbt)
+
+
+def run_batch(cells: Sequence[BatchCell]) -> List["SimulationResult"]:
+    """Run a batch of cells, lockstepping every specialized lane.
+
+    Returns one :class:`~repro.cpu.core.SimulationResult` per cell, in
+    input order, byte-identical to what per-cell ``Simulator.run`` calls
+    with ``kernel="specialized"`` would produce.
+
+    Cells are admitted **in order**, so a training cell compiles the
+    specialization that later same-profile cells (other seeds) then join
+    the lockstep with; a traced cell (``obs.tracer`` set) is routed to a
+    plain per-cell run, matching the solo dispatcher.
+    """
+    from ..cpu.core import Simulator
+
+    results: List[Optional["SimulationResult"]] = [None] * len(cells)
+    lanes: List[_Lane] = []
+    STATS.batches += 1
+    STATS.cells += len(cells)
+
+    for index, cell in enumerate(cells):
+        sim = Simulator(
+            cell.config,
+            obs=cell.obs,
+            kernel="specialized",
+            guard_inject=cell.guard_inject,
+        )
+        if cell.obs is not None and cell.obs.tracer is not None:
+            # Traced runs never specialize (same rule as Simulator.run).
+            results[index] = sim.run(cell.lowered, inspect=cell.inspect)
+            STATS.solo += 1
+            continue
+        name = cell.lowered.name
+        spec = spec_mod.lookup(name, cell.config)
+        if spec is None:
+            # Training cell: run eagerly so the rest of the batch can
+            # join the lockstep (Simulator.run trains and compiles).
+            results[index] = sim.run(cell.lowered, inspect=cell.inspect)
+            STATS.trained += 1
+            continue
+        program, name, hierarchy, mcu, va_mask, hbt = sim._wire(cell.lowered)
+        try:
+            gen = spec_mod.start_specialized(
+                spec, cell.config, hierarchy, mcu, va_mask, program,
+                inject=sim.guard_inject,
+            )
+        except spec_mod.GuardAbort as exc:
+            # Pre-run guard (geometry/kinds): nothing mutated; rerun solo.
+            spec_mod.record_abort(exc, sim.obs)
+            results[index] = _fallback(sim, cell)
+            continue
+        lanes.append(_Lane(index, cell, sim, gen, name, hierarchy, mcu, hbt))
+
+    # Lockstep: one chunk per live lane per round, in cell order.
+    while lanes:
+        STATS.rounds += 1
+        for lane in list(lanes):
+            try:
+                next(lane.gen)
+            except StopIteration as stop:
+                if lane.cell.inspect is not None:
+                    lane.cell.inspect(lane.mcu, lane.hbt)
+                results[lane.index] = lane.sim._assemble(
+                    stop.value, lane.name, lane.hierarchy, lane.mcu, lane.hbt
+                )
+                STATS.lockstepped += 1
+                lanes.remove(lane)
+            except spec_mod.GuardAbort as exc:
+                spec_mod.record_abort(exc, lane.sim.obs)
+                results[lane.index] = _fallback(lane.sim, lane.cell)
+                lanes.remove(lane)
+
+    return results  # type: ignore[return-value]

@@ -1,0 +1,569 @@
+"""Trace-speculative specialized kernel (train → codegen → guarded run).
+
+The third simulation kernel.  Where ``"fast"`` is a hand-written
+transcription of the reference scoreboard loop, ``"specialized"`` *records*
+what one training run of a (workload profile × mechanism) cell actually did
+and emits straight-line Python for exactly that behaviour:
+
+- dispatch branches for instruction kinds the training run never saw are
+  not emitted at all (a guard refuses programs that need them);
+- if the training run saw no validation fault, no HBT resize, or no signed
+  pointer, the corresponding code — fault counting, the Fig. 10 resize
+  steering, the whole MCU check path — is dropped and replaced by a guard;
+- per-instruction address arithmetic (cache set index/tag, PAC/AHC/BWB-tag
+  decomposition) is precomputed into derived columns
+  (:meth:`repro.kernel.flatten.FlatProgram.derived`, numpy-accelerated when
+  numpy is importable, pure Python otherwise);
+- scoreboard queues become preallocated ring buffers, cache hit paths are
+  inlined with cold-path miss helpers, and the Fig. 8a way scan is unrolled
+  per bounds slot.
+
+The generated source is ``exec``-compiled once and cached in-process, keyed
+by program family (``profile:mechanism``), the config digest, the mechanism
+registry fingerprint and :data:`SPEC_VERSION`.
+
+**Guard taxonomy** (every guard raises :class:`GuardAbort`; the dispatcher
+in :mod:`repro.cpu.core` catches it, discards the partially-mutated run
+state, and re-runs the cell on the reference kernel — byte-identical by
+construction, counted in ``kernel.guard_abort``):
+
+- ``geometry``  — live cache/MCU/layout geometry differs from the training
+  run's (pre-run, no state touched);
+- ``kinds``     — the program contains a specialized dispatch code the
+  training run never exercised (pre-run);
+- ``resize``    — the HBT is mid-migration at entry, or a ``bndstr``/
+  ``bndclr`` left it resizing, in a kernel specialized resize-free;
+- ``fault``     — a validation fault in a kernel specialized fault-free;
+- ``injected``  — the deterministic test seam (``RunSettings.guard_inject``
+  / ``REPRO_GUARD_INJECT``), for exercising the fallback path on demand.
+
+The generated kernel is a *generator* that yields every
+``CHUNK_MASK + 1`` instructions, which is what lets
+:mod:`repro.kernel.batch` advance many cells in lockstep from one driver
+loop, and lets the injection seam abort mid-run deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterator, Optional, Tuple
+
+from ..config import SystemConfig
+from ..cpu.pipeline import PipelineResult
+from ..isa.program import Program
+from .flatten import (
+    KIND_BNDCLR,
+    KIND_BNDSTR,
+    KIND_BRANCH_MISS,
+    KIND_LOAD,
+    KIND_MARKER,
+    KIND_OTHER,
+    KIND_STORE,
+    KIND_WCHK,
+    FlatProgram,
+    flatten_program,
+)
+
+#: Bumped whenever codegen output changes shape; part of every cache key.
+SPEC_VERSION = 2
+
+#: The generated generator yields whenever ``i & CHUNK_MASK == 0``.
+CHUNK_MASK = 4095
+
+# Specialized dispatch codes: the flatten kinds, with validated loads and
+# stores split out so the per-instruction ``address > va_mask`` and
+# ``ahc != 0`` tests move from the hot loop into column precomputation.
+SC_LOAD_CHK = 8     # validated load, signed (AHC != 0): full MCU check
+SC_STORE_CHK = 9    # validated store, signed
+SC_LOAD_CHK0 = 10   # validated load, AHC == 0: ports only, zero latency
+SC_STORE_CHK0 = 11  # validated store, AHC == 0
+
+_MISS = object()  # shared tag-absent sentinel for generated cache probes
+
+
+class GuardAbort(Exception):
+    """A specialization guard failed; the run must fall back to reference.
+
+    Deliberately *not* a :class:`~repro.errors.SimulationError`: a guard
+    abort is not a failure of the simulation, it is the specialized kernel
+    declining a program outside its trained envelope.
+    """
+
+    def __init__(self, guard: str, detail: str = "") -> None:
+        super().__init__(f"specialization guard {guard!r} failed"
+                         + (f": {detail}" if detail else ""))
+        self.guard = guard
+        self.detail = detail
+
+
+@dataclass
+class SpecializeStats:
+    """Process-wide accounting for the specialization machinery."""
+
+    trainings: int = 0
+    compiles: int = 0
+    cache_hits: int = 0
+    runs: int = 0
+    guard_aborts: int = 0
+    injected_aborts: int = 0
+    last_guard: str = ""
+    #: Native (C) backend: libraries attached / runs dispatched to them.
+    c_compiles: int = 0
+    c_runs: int = 0
+
+    def reset(self) -> None:
+        self.trainings = 0
+        self.compiles = 0
+        self.cache_hits = 0
+        self.runs = 0
+        self.guard_aborts = 0
+        self.injected_aborts = 0
+        self.last_guard = ""
+        self.c_compiles = 0
+        self.c_runs = 0
+
+
+STATS = SpecializeStats()
+
+
+def record_abort(exc: GuardAbort, obs=None) -> None:
+    """Account one guard abort (module stats + the metrics registry)."""
+    STATS.guard_aborts += 1
+    STATS.last_guard = exc.guard
+    if exc.guard == "injected":
+        STATS.injected_aborts += 1
+    if obs is not None:
+        obs.registry.count("kernel.guard_abort")
+        obs.registry.count(f"kernel.guard_abort.{exc.guard}")
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """What one training run observed — the speculation envelope."""
+
+    #: Specialized dispatch codes present in the training program.
+    scodes: FrozenSet[int]
+    #: Codes ordered by descending training frequency (dispatch order).
+    order: Tuple[int, ...]
+    #: Training run produced at least one validation fault.
+    saw_fault: bool
+    #: HBT was resizing at any point during (or at entry to) the window.
+    saw_resize: bool
+
+
+@dataclass
+class SpecializedKernel:
+    """One compiled specialization: source, entry point, and its guards."""
+
+    key: str
+    name: str
+    profile: TraceProfile
+    geometry: Tuple
+    source: str
+    fn: Callable
+    #: Codes the generated dispatch actually handles (scodes + marker).
+    handled: FrozenSet[int] = field(default_factory=frozenset)
+    #: Native backend, attached when the profile is MCU-free and a C
+    #: compiler is available: the emitted C source and a generator with the
+    #: same protocol as ``fn``.  ``None`` falls back to the Python kernel.
+    csource: str = ""
+    cfn: Optional[Callable] = None
+
+
+#: In-process kernel cache: specialization key → compiled kernel.
+_CACHE: Dict[str, SpecializedKernel] = {}
+
+
+def clear_cache() -> None:
+    """Drop all compiled specializations (tests and long-lived workers)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+def config_digest(config: SystemConfig) -> str:
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def specialization_key(name: str, config: SystemConfig) -> str:
+    """Cache key: program family × config × registry × codegen version.
+
+    ``name`` is the lowered program name (``"<profile>:<mechanism>"``), so
+    cells that differ only in seed share one specialization, which is the
+    point: train once per (workload profile × mechanism), reuse across the
+    whole campaign.
+    """
+    from ..mechanisms.registry import registry_fingerprint
+
+    return "|".join(
+        (name, config.mechanism, config_digest(config),
+         registry_fingerprint(), f"v{SPEC_VERSION}")
+    )
+
+
+def lookup(name: str, config: SystemConfig) -> Optional[SpecializedKernel]:
+    spec = _CACHE.get(specialization_key(name, config))
+    if spec is not None:
+        STATS.cache_hits += 1
+    return spec
+
+
+# --------------------------------------------------------------------------
+# Geometry: everything the generated code bakes that is not in the program.
+
+
+def geometry_signature(config: SystemConfig, hierarchy, mcu, va_mask: int) -> Tuple:
+    """Snapshot of every baked constant outside the program columns.
+
+    Compared at run entry against the training snapshot; any mismatch is a
+    ``geometry`` guard abort before the run touches state.
+    """
+    l1d, l2, l1b = hierarchy.l1d, hierarchy.l2, hierarchy.l1b
+    core = config.core
+    sig: Tuple = (
+        va_mask,
+        hierarchy.line_bytes,
+        hierarchy.config.dram_latency,
+        (l1d.num_sets, l1d.line_bits, l1d.assoc, l1d.hit_latency),
+        (l2.num_sets, l2.line_bits, l2.assoc, l2.hit_latency),
+        None if l1b is None
+        else (l1b.num_sets, l1b.line_bits, l1b.assoc, l1b.hit_latency),
+        (core.width, core.branch_mispredict_penalty, core.rob_entries,
+         core.load_queue_entries, core.store_queue_entries, core.mcq_entries),
+    )
+    if mcu is None:
+        return sig + (None,)
+    hbt, layout, bwb = mcu.hbt, mcu.layout, mcu.bwb
+    return sig + ((
+        layout.ahc_shift, layout.ahc_bits, layout.pac_shift, layout.pac_bits,
+        mcu.options.nonblocking_resize, mcu.options.bounds_forwarding,
+        mcu.CHECK_PIPELINE_CYCLES, mcu.MIGRATION_ROWS_PER_OP,
+        hbt.compression, hbt.slots_per_way, hbt.lines_per_way,
+        None if bwb is None else (bwb.entries, bwb.eviction),
+    ),)
+
+
+# --------------------------------------------------------------------------
+# Derived columns (cached per flattened program via FlatProgram.derived).
+
+
+@dataclass(frozen=True)
+class SpecColumns:
+    """Per-program precomputed columns for the specialized dispatch."""
+
+    scode: bytes                  # specialized dispatch codes
+    present: FrozenSet[int]
+    d_idx: Tuple[int, ...]        # L1-D set index (loads/stores masked, wchk raw)
+    d_tag: Tuple[int, ...]        # L1-D tag
+    vaddr: Tuple[int, ...]        # VA-masked address (bounds compare operand)
+    pac: Tuple[int, ...]          # PAC field (forwarding + HBT row key)
+    btag: Tuple[int, ...]         # BWB tag (Algorithm 2)
+    addr33: Tuple[int, ...]       # compressed-bounds compare operand
+    nb32: Tuple[int, ...]         # 1 - bit 32 of the masked address
+    dep_a: Tuple[int, ...]        # first dep distance (0 = no deps)
+    dep_rest: Tuple[Tuple[int, ...], ...]  # remaining dep distances
+    dep_sane: bool                # every dep distance is >= 1
+
+
+def columns_key(va_mask: int, d_bits: int, d_nsets: int,
+                layout: Optional[Tuple[int, int, int, int]]) -> Tuple:
+    return ("spec-cols", SPEC_VERSION, va_mask, d_bits, d_nsets, layout)
+
+
+_NO_DEPS: Tuple[int, ...] = ()
+
+
+def _dep_columns(flat: FlatProgram):
+    """Split dep tuples into a scalar first-dep column plus the tail.
+
+    The emitted kernel checks ``dep_a[i]`` with a plain truthiness test, so a
+    literal 0 distance (self-dependency; the reference kernels read the stale
+    ring slot for it) cannot use the fast path — ``dep_sane`` turns False and
+    the dispatcher aborts to the reference kernel instead.
+    """
+    dep_a = []
+    dep_rest = []
+    sane = True
+    for d in flat.deps:
+        if d:
+            dep_a.append(d[0])
+            dep_rest.append(d[1:] if len(d) > 1 else _NO_DEPS)
+            if 0 in d:
+                sane = False
+        else:
+            dep_a.append(0)
+            dep_rest.append(_NO_DEPS)
+    return tuple(dep_a), tuple(dep_rest), sane
+
+
+def _build_columns_py(flat: FlatProgram, va_mask: int, d_bits: int,
+                      d_nsets: int, layout) -> SpecColumns:
+    n = flat.count
+    kinds = flat.kinds
+    addresses = flat.addresses
+    scode = bytearray(kinds)
+    d_idx = [0] * n
+    d_tag = [0] * n
+    vaddr = [0] * n
+    pac_c = [0] * n
+    btag = [0] * n
+    addr33 = [0] * n
+    nb32 = [0] * n
+    if layout is not None:
+        ahc_shift, ahc_low, pac_shift, pac_low = layout
+    for i in range(n):
+        kind = kinds[i]
+        if kind == KIND_MARKER:
+            continue
+        address = addresses[i]
+        masked = address & va_mask
+        vaddr[i] = masked
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            line = masked >> d_bits
+            d_idx[i] = line % d_nsets
+            d_tag[i] = line // d_nsets
+            if layout is not None and address > va_mask:
+                ahc = (address >> ahc_shift) & ahc_low
+                if ahc:
+                    scode[i] = SC_LOAD_CHK if kind == KIND_LOAD else SC_STORE_CHK
+                    pac = (address >> pac_shift) & pac_low
+                    pac_c[i] = pac
+                    if ahc == 1:
+                        window = (masked >> 7) & 0x3FFF
+                    elif ahc == 2:
+                        window = (masked >> 10) & 0x3FFF
+                    else:
+                        window = (masked >> 12) & 0x3FFF
+                    btag[i] = ((pac & 0xFFFF) << 16) | (window << 2) | ahc
+                    addr33[i] = masked & 0x1FFFFFFFF
+                    nb32[i] = 1 - ((masked >> 32) & 1)
+                else:
+                    scode[i] = SC_LOAD_CHK0 if kind == KIND_LOAD else SC_STORE_CHK0
+        elif kind == KIND_WCHK:
+            line = address >> d_bits
+            d_idx[i] = line % d_nsets
+            d_tag[i] = line // d_nsets
+    dep_a, dep_rest, dep_sane = _dep_columns(flat)
+    return SpecColumns(
+        scode=bytes(scode),
+        present=frozenset(scode),
+        d_idx=tuple(d_idx),
+        d_tag=tuple(d_tag),
+        vaddr=tuple(vaddr),
+        pac=tuple(pac_c),
+        btag=tuple(btag),
+        addr33=tuple(addr33),
+        nb32=tuple(nb32),
+        dep_a=dep_a,
+        dep_rest=dep_rest,
+        dep_sane=dep_sane,
+    )
+
+
+def _build_columns_np(flat: FlatProgram, va_mask: int, d_bits: int,
+                      d_nsets: int, layout) -> SpecColumns:
+    import numpy as np
+
+    kinds = np.frombuffer(flat.kinds, dtype=np.uint8)
+    addr = np.array(flat.addresses, dtype=np.uint64)
+    one = np.uint64(1)
+    masked = addr & np.uint64(va_mask)
+    is_mem = (kinds == KIND_LOAD) | (kinds == KIND_STORE)
+    is_wchk = kinds == KIND_WCHK
+    daddr = np.where(is_mem, masked, np.where(is_wchk, addr, np.uint64(0)))
+    line = daddr >> np.uint64(d_bits)
+    d_idx = line % np.uint64(d_nsets)
+    d_tag = line // np.uint64(d_nsets)
+    scode = kinds.copy()
+    pac_c = np.zeros_like(addr)
+    btag = np.zeros_like(addr)
+    addr33 = np.zeros_like(addr)
+    nb32 = np.zeros_like(addr)
+    vaddr = np.where(kinds != KIND_MARKER, masked, np.uint64(0))
+    if layout is not None:
+        ahc_shift, ahc_low, pac_shift, pac_low = layout
+        ahc = (addr >> np.uint64(ahc_shift)) & np.uint64(ahc_low)
+        validated = is_mem & (addr > np.uint64(va_mask))
+        signed = validated & (ahc != 0)
+        unsigned = validated & (ahc == 0)
+        scode[signed & (kinds == KIND_LOAD)] = SC_LOAD_CHK
+        scode[signed & (kinds == KIND_STORE)] = SC_STORE_CHK
+        scode[unsigned & (kinds == KIND_LOAD)] = SC_LOAD_CHK0
+        scode[unsigned & (kinds == KIND_STORE)] = SC_STORE_CHK0
+        pac = (addr >> np.uint64(pac_shift)) & np.uint64(pac_low)
+        window = np.where(
+            ahc == 1, (masked >> np.uint64(7)) & np.uint64(0x3FFF),
+            np.where(ahc == 2, (masked >> np.uint64(10)) & np.uint64(0x3FFF),
+                     (masked >> np.uint64(12)) & np.uint64(0x3FFF)),
+        )
+        tag_all = ((pac & np.uint64(0xFFFF)) << np.uint64(16)) \
+            | (window << np.uint64(2)) | ahc
+        pac_c = np.where(signed, pac, np.uint64(0))
+        btag = np.where(signed, tag_all, np.uint64(0))
+        addr33 = np.where(signed, masked & np.uint64(0x1FFFFFFFF), np.uint64(0))
+        nb32 = np.where(signed, (~(masked >> np.uint64(32))) & one, np.uint64(0))
+    scode_b = scode.tobytes()
+    dep_a, dep_rest, dep_sane = _dep_columns(flat)
+    return SpecColumns(
+        scode=scode_b,
+        present=frozenset(scode_b),
+        d_idx=tuple(d_idx.tolist()),
+        d_tag=tuple(d_tag.tolist()),
+        vaddr=tuple(vaddr.tolist()),
+        pac=tuple(pac_c.tolist()),
+        btag=tuple(btag.tolist()),
+        addr33=tuple(addr33.tolist()),
+        nb32=tuple(nb32.tolist()),
+        dep_a=dep_a,
+        dep_rest=dep_rest,
+        dep_sane=dep_sane,
+    )
+
+
+def spec_columns(flat: FlatProgram, va_mask: int, d_bits: int, d_nsets: int,
+                 layout: Optional[Tuple[int, int, int, int]]) -> SpecColumns:
+    """The derived columns for ``flat`` under one geometry (memoized)."""
+
+    def build(f: FlatProgram) -> SpecColumns:
+        try:
+            return _build_columns_np(f, va_mask, d_bits, d_nsets, layout)
+        except ImportError:  # pragma: no cover - numpy is normally present
+            return _build_columns_py(f, va_mask, d_bits, d_nsets, layout)
+
+    return flat.derived(columns_key(va_mask, d_bits, d_nsets, layout), build)
+
+
+def _mcu_layout(mcu) -> Optional[Tuple[int, int, int, int]]:
+    if mcu is None:
+        return None
+    layout = mcu.layout
+    return (layout.ahc_shift, (1 << layout.ahc_bits) - 1,
+            layout.pac_shift, (1 << layout.pac_bits) - 1)
+
+
+# --------------------------------------------------------------------------
+# Training and compilation.
+
+
+def build_profile(flat: FlatProgram, config: SystemConfig, hierarchy, mcu,
+                  va_mask: int, saw_fault: bool, saw_resize: bool) -> TraceProfile:
+    """Summarize one training run into a speculation envelope."""
+    cols = spec_columns(flat, va_mask, hierarchy.l1d.line_bits,
+                        hierarchy.l1d.num_sets, _mcu_layout(mcu))
+    scode = cols.scode
+    freq = sorted(cols.present, key=lambda c: (-scode.count(c), c))
+    return TraceProfile(
+        scodes=cols.present,
+        order=tuple(freq),
+        saw_fault=saw_fault,
+        saw_resize=saw_resize,
+    )
+
+
+def specialize(name: str, config: SystemConfig, hierarchy, mcu, va_mask: int,
+               profile: TraceProfile) -> SpecializedKernel:
+    """Emit, compile and cache the specialized kernel for one profile."""
+    from .specialize_gen import emit_source
+
+    key = specialization_key(name, config)
+    source, handled = emit_source(profile, config, hierarchy, mcu, va_mask)
+    namespace: Dict[str, Any] = {
+        "PipelineResult": PipelineResult,
+        "GuardAbort": GuardAbort,
+        "_MISS": _MISS,
+    }
+    code = compile(source, f"<specialized:{name}:{config.mechanism}>", "exec")
+    exec(code, namespace)
+    spec = SpecializedKernel(
+        key=key,
+        name=name,
+        profile=profile,
+        geometry=geometry_signature(config, hierarchy, mcu, va_mask),
+        source=source,
+        fn=namespace["spec_run"],
+        handled=frozenset(handled),
+    )
+    from .specialize_cgen import attach_cbackend
+
+    if attach_cbackend(spec, profile, config, hierarchy, mcu):
+        STATS.c_compiles += 1
+    _CACHE[key] = spec
+    STATS.compiles += 1
+    return spec
+
+
+# --------------------------------------------------------------------------
+# Running.
+
+
+def parse_injection(inject: str, name: str) -> int:
+    """Decode the guard-injection seam into an abort threshold.
+
+    Grammar: ``""`` (off) | ``"entry"`` | ``"after:<N>"``, each optionally
+    suffixed ``"@<substr>"`` to target only programs whose name contains
+    ``substr``.  Returns ``-1`` (no abort) or the instruction index at (or
+    after) which the generated kernel raises ``GuardAbort("injected")`` at
+    its next chunk boundary — deterministic for a given program.
+    """
+    if not inject:
+        return -1
+    spec, _, target = inject.partition("@")
+    if target and target not in name:
+        return -1
+    if spec == "entry":
+        return 0
+    if spec.startswith("after:"):
+        try:
+            return max(0, int(spec[6:]))
+        except ValueError as exc:
+            raise ValueError(f"bad guard injection spec {inject!r}") from exc
+    raise ValueError(f"bad guard injection spec {inject!r}")
+
+
+def start_specialized(spec: SpecializedKernel, config: SystemConfig,
+                      hierarchy, mcu, va_mask: int, program: Program,
+                      inject: str = "") -> Iterator:
+    """Pre-run guards, then the generated generator (not yet started).
+
+    Raises :class:`GuardAbort` for the pre-run guards (``geometry``,
+    ``kinds``, ``deps``) before any run state is touched; the returned
+    generator may itself raise mid-run (``resize``/``fault``/``injected``).
+    """
+    if geometry_signature(config, hierarchy, mcu, va_mask) != spec.geometry:
+        raise GuardAbort("geometry")
+    flat = flatten_program(program)
+    cols = spec_columns(flat, va_mask, hierarchy.l1d.line_bits,
+                        hierarchy.l1d.num_sets, _mcu_layout(mcu))
+    if not cols.present <= spec.handled:
+        extra = sorted(cols.present - spec.handled)
+        raise GuardAbort("kinds", f"untrained dispatch codes {extra}")
+    if not cols.dep_sane:
+        raise GuardAbort("deps", "zero-distance dependency")
+    abort_at = parse_injection(inject, program.name)
+    STATS.runs += 1
+    fn = spec.fn
+    if spec.cfn is not None:
+        from .specialize_cgen import backend_enabled
+
+        if backend_enabled():
+            fn = spec.cfn
+            STATS.c_runs += 1
+    return fn(flat, cols, hierarchy, mcu, abort_at)
+
+
+def run_specialized(spec: SpecializedKernel, config: SystemConfig, hierarchy,
+                    mcu, va_mask: int, program: Program,
+                    inject: str = "") -> PipelineResult:
+    """Drive one specialized run to completion (raises GuardAbort)."""
+    gen = start_specialized(spec, config, hierarchy, mcu, va_mask, program, inject)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value

@@ -1,0 +1,584 @@
+"""Native (C) backend for MCU-free trace specializations.
+
+The generated Python kernel for a profile whose dispatch codes are all in
+``{1, 2, 4, 7}`` (plain loads, stores, branch misses, ALU/other) touches no
+MCU state: the whole scoreboard recurrence plus the L1-D/L2 LRU model is
+closed over plain integers and doubles.  For exactly those profiles this
+module emits the same loop as C, compiles it once per geometry with the
+system C compiler, and drives it chunk-by-chunk from a Python generator
+with the same yield protocol as the generated Python kernel — guard
+injection, lockstep batching and the guard taxonomy behave identically.
+
+Byte-identity with the Python kernel (and therefore with the reference
+kernel) holds because:
+
+- every float operation is an IEEE-754 double add/subtract/compare executed
+  in the same order as the generated Python source (CPython floats *are* C
+  doubles, and the module compiles with ``-ffp-contract=off`` so no FMA
+  contraction can reassociate anything);
+- the dict-based LRU cache sets are mirrored as insertion-ordered arrays
+  with identical probe/evict order, marshalled in on entry and written back
+  into the live dicts on exit.
+
+Compiled libraries are cached on disk keyed by the source digest, so each
+distinct geometry pays one ``cc`` invocation per machine, not per process.
+Any failure — no compiler, read-only tmpdir, unexpected geometry — degrades
+silently to the generated Python kernel.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from array import array
+from typing import Dict, Optional
+
+from ..cpu.pipeline import PipelineResult
+
+#: Dispatch codes the C loop implements.  Everything else (markers, bounds
+#: ops, checked accesses) needs Python-side state and stays on the Python
+#: specialized kernel.
+C_CODES = frozenset((1, 2, 4, 7))
+
+#: Environment kill-switch, read at *run* time: "off" forces the Python
+#: specialized kernel even when a native build is attached (the equivalence
+#: fuzz harness uses it to differentially test both backends).
+ENV_SWITCH = "REPRO_SPEC_CBACKEND"
+
+_LIBS: Dict[str, Optional[ctypes.CDLL]] = {}
+#: id(lib) → (run_chunk with argtypes set, KState class); one binding per
+#: dlopened library so every crun closure shares the same struct class.
+_BOUND: Dict[int, tuple] = {}
+_CC: Optional[str] = None
+_CC_PROBED = False
+
+
+def backend_enabled() -> bool:
+    return os.environ.get(ENV_SWITCH, "auto").lower() not in ("off", "0", "no")
+
+
+def _find_cc() -> Optional[str]:
+    global _CC, _CC_PROBED
+    if not _CC_PROBED:
+        _CC_PROBED = True
+        from shutil import which
+
+        _CC = which("cc") or which("gcc") or which("clang")
+    return _CC
+
+
+def _f(x) -> str:
+    """Python number → C double literal with the exact same value."""
+    return repr(float(x))
+
+
+def eligible(handled, g: dict, mcu) -> bool:
+    """True when the profile's dispatch closes over C-expressible state."""
+    return (
+        mcu is None
+        and bool(handled)
+        and set(handled) <= C_CODES
+        and g["rob_merge"]
+        and g["lq"] > 0
+        and g["sq"] > 0
+    )
+
+
+# --------------------------------------------------------------------------
+# C emission.  Mirrors specialize_gen arm-for-arm for codes {1, 2, 4, 7}.
+
+
+def _c_l2_refill(g: dict, sfx: str, line_var: str, dirty_in: int,
+                 hit_stmt: str, miss_stmt: str, hit_set_dirty: bool) -> str:
+    """One L2 probe/refill, mirroring the Python ``_emit_miss_inline`` L2
+    block.  ``hit_set_dirty`` distinguishes the writeback cascade (reinsert
+    dirty) from the demand fill (preserve the resident dirty bit)."""
+    l2n, l2a = g["l2_nsets"], g["l2_assoc"]
+    lb = g["line_bytes"]
+    hit_dirty = "1" if hit_set_dirty else f"dy{sfx}"
+    return f"""
+        {{
+            i64 li{sfx} = {line_var};
+            i64 si{sfx} = li{sfx} % {l2n};
+            i64 tg{sfx} = li{sfx} / {l2n};
+            i64 b{sfx} = si{sfx} * {l2a};
+            i64 c{sfx} = c2v[si{sfx}];
+            i64 j{sfx} = -1;
+            for (i64 x = 0; x < c{sfx}; x++)
+                if (t2v[b{sfx} + x] == tg{sfx}) {{ j{sfx} = x; break; }}
+            if (j{sfx} >= 0) {{
+                u8 dy{sfx} = d2v[b{sfx} + j{sfx}];
+                l2_hit++;
+                for (i64 x = j{sfx}; x < c{sfx} - 1; x++) {{
+                    t2v[b{sfx} + x] = t2v[b{sfx} + x + 1];
+                    d2v[b{sfx} + x] = d2v[b{sfx} + x + 1];
+                }}
+                t2v[b{sfx} + c{sfx} - 1] = tg{sfx};
+                d2v[b{sfx} + c{sfx} - 1] = {hit_dirty};
+                {hit_stmt}
+            }} else {{
+                l2_mi++;
+                if (c{sfx} >= {l2a}) {{
+                    u8 vd{sfx} = d2v[b{sfx}];
+                    l2_evi++;
+                    for (i64 x = 0; x < c{sfx} - 1; x++) {{
+                        t2v[b{sfx} + x] = t2v[b{sfx} + x + 1];
+                        d2v[b{sfx} + x] = d2v[b{sfx} + x + 1];
+                    }}
+                    c{sfx}--;
+                    if (vd{sfx}) {{ l2_wb++; tr1 += {lb}; }}
+                }}
+                t2v[b{sfx} + c{sfx}] = tg{sfx};
+                d2v[b{sfx} + c{sfx}] = {dirty_in};
+                c2v[si{sfx}] = c{sfx} + 1;
+                tr1 += {lb};
+                tr2++;
+                {miss_stmt}
+            }}
+        }}"""
+
+
+def _c_data_access(g: dict, write: bool) -> str:
+    """L1-D probe + miss cascade, mirroring ``_emit_data_access``."""
+    dn, da, db = g["d_nsets"], g["d_assoc"], g["d_bits"]
+    lb = g["line_bytes"]
+    base = g["d_lat"] + g["l2_lat"]
+    ins = "1" if write else "0"
+    if write:
+        hit_lru = "dt[b + c - 1] = tg; dd[b + c - 1] = 1;"
+        hit_out = ""
+        l2_hit_stmt = ""
+        l2_miss_stmt = ""
+    else:
+        hit_lru = "dt[b + c - 1] = tg; dd[b + c - 1] = dy;"
+        hit_out = f"completion = ready + {_f(g['d_lat'])};"
+        l2_hit_stmt = f"completion = ready + {_f(base)};"
+        l2_miss_stmt = f"completion = ready + {_f(base + g['dram_latency'])};"
+    return f"""
+    {{
+        i64 ix = d_idx[i];
+        i64 tg = d_tag[i];
+        i64 b = ix * {da};
+        i64 c = dc[ix];
+        i64 j = -1;
+        for (i64 x = 0; x < c; x++)
+            if (dt[b + x] == tg) {{ j = x; break; }}
+        if (j >= 0) {{
+            {"u8 dy = dd[b + j];" if not write else ""}
+            for (i64 x = j; x < c - 1; x++) {{
+                dt[b + x] = dt[b + x + 1];
+                dd[b + x] = dd[b + x + 1];
+            }}
+            {hit_lru}
+            {hit_out}
+        }} else {{
+            i64 ln = tg * {dn} + ix;
+            d_miss++;
+            i64 wbl = -1;
+            if (c >= {da}) {{
+                i64 vt = dt[b];
+                u8 vd = dd[b];
+                d_evi++;
+                for (i64 x = 0; x < c - 1; x++) {{
+                    dt[b + x] = dt[b + x + 1];
+                    dd[b + x] = dd[b + x + 1];
+                }}
+                c--;
+                if (vd) {{ d_wb++; wbl = (vt * {dn} + ln % {dn}) << {db}; }}
+            }}
+            dt[b + c] = tg;
+            dd[b + c] = {ins};
+            dc[ix] = c + 1;
+            tr0 += {lb};
+            l2_acc++;
+            {_c_l2_refill(g, "m", f"(ln << {db}) >> {g['l2_bits']}", 0,
+                          l2_hit_stmt, l2_miss_stmt, hit_set_dirty=False)}
+            if (wbl >= 0) {{
+                tr0 += {lb};
+                l2_acc++;
+                {_c_l2_refill(g, "w", f"wbl >> {g['l2_bits']}", 1,
+                              "", "", hit_set_dirty=True)}
+            }}
+        }}
+    }}"""
+
+
+def emit_c(g: dict, order) -> str:
+    """The full C translation unit for one MCU-free geometry."""
+    rm, rk = g["rm"], g["rob_k"]
+    lq, sq = g["lq"], g["sq"]
+    fs, fe = _f(g["fs"]), _f(g["frontend"])
+    arms = []
+    kw = "if"
+    for code in order:
+        if code == 7:
+            body = "            completion = ready + lat[i];"
+        elif code == 1:
+            body = f"""            h = lq_ring[*lq_pos];
+            if (h > ready) {{ lsq_stall += h - ready; ready = h; }}
+{_c_data_access(g, write=False)}"""
+        elif code == 2:
+            body = f"""            h = sq_ring[*sq_pos];
+            if (h > ready) {{ lsq_stall += h - ready; ready = h; }}
+{_c_data_access(g, write=True)}
+            completion = ready + 1.0;"""
+        elif code == 4:
+            body = "            completion = ready + lat[i];"
+        else:  # pragma: no cover - eligibility guarantees the code set
+            raise ValueError(f"code {code} has no C arm")
+        commit_extra = ""
+        if code == 1:
+            commit_extra = (f"lq_ring[*lq_pos] = commit_cursor; "
+                            f"if (++*lq_pos == {lq}) *lq_pos = 0;")
+        elif code == 2:
+            commit_extra = (f"sq_ring[*sq_pos] = commit_cursor; "
+                            f"if (++*sq_pos == {sq}) *sq_pos = 0;")
+        resolve = ""
+        if code == 4:
+            resolve = (f"\n            {{ double rs = completion + "
+                       f"{_f(g['penalty'])}; "
+                       f"if (rs > stall_until) stall_until = rs; }}")
+        arms.append(f"""        {kw} (k == {code}) {{
+{body}
+            commit_cursor += {fs};
+            if (completion > commit_cursor) commit_cursor = completion;
+            {{
+                i64 im = i & {rm};
+                commit_ring[im] = commit_cursor;
+                {commit_extra}
+                completion_ring[im] = completion;
+            }}{resolve}
+        }}""")
+        kw = "else if"
+    arms.append("        else { return 1; }")
+    body = "\n".join(arms)
+    return f"""/* Generated by repro.kernel.specialize_cgen — do not edit. */
+#include <stdint.h>
+typedef int64_t i64;
+typedef unsigned char u8;
+
+typedef struct {{
+    double fetch_time;
+    double commit_cursor;
+    double stall_until;
+    double rob_stall;
+    double lsq_stall;
+    i64 lq_pos;
+    i64 sq_pos;
+    i64 d_miss;
+    i64 d_evi;
+    i64 d_wb;
+    i64 l2_acc;
+    i64 l2_hit;
+    i64 l2_mi;
+    i64 l2_evi;
+    i64 l2_wb;
+    i64 tr0;
+    i64 tr1;
+    i64 tr2;
+    double commit_ring[{g['ring']}];
+    double completion_ring[{g['ring']}];
+    double lq_ring[{lq}];
+    double sq_ring[{sq}];
+}} kstate;
+
+int run_chunk(kstate *st,
+              const u8 *scode, const i64 *d_idx, const i64 *d_tag,
+              const i64 *dep_a, const i64 *dep_off, const i64 *dep_dat,
+              const double *lat,
+              i64 *dt, u8 *dd, i64 *dc,
+              i64 *t2v, u8 *d2v, i64 *c2v,
+              i64 i0, i64 i1)
+{{
+    double fetch_time = st->fetch_time;
+    double commit_cursor = st->commit_cursor;
+    double stall_until = st->stall_until;
+    double rob_stall = st->rob_stall;
+    double lsq_stall = st->lsq_stall;
+    i64 *lq_pos = &st->lq_pos;
+    i64 *sq_pos = &st->sq_pos;
+    i64 d_miss = st->d_miss, d_evi = st->d_evi, d_wb = st->d_wb;
+    i64 l2_acc = st->l2_acc, l2_hit = st->l2_hit, l2_mi = st->l2_mi;
+    i64 l2_evi = st->l2_evi, l2_wb = st->l2_wb;
+    i64 tr0 = st->tr0, tr1 = st->tr1, tr2 = st->tr2;
+    double *commit_ring = st->commit_ring;
+    double *completion_ring = st->completion_ring;
+    double *lq_ring = st->lq_ring;
+    double *sq_ring = st->sq_ring;
+    for (i64 i = i0; i < i1; i++) {{
+        i64 k = scode[i];
+        double ready, completion, h;
+        if (stall_until > fetch_time) fetch_time = stall_until;
+        h = commit_ring[(i + {rk}) & {rm}];
+        if (h > fetch_time) {{ rob_stall += h - fetch_time; fetch_time = h; }}
+        fetch_time += {fs};
+        ready = fetch_time + {fe};
+        {{
+            i64 da = dep_a[i];
+            if (da) {{
+                double t = completion_ring[(i - da) & {rm}];
+                if (t > ready) ready = t;
+                for (i64 x = dep_off[i]; x < dep_off[i + 1]; x++) {{
+                    t = completion_ring[(i - dep_dat[x]) & {rm}];
+                    if (t > ready) ready = t;
+                }}
+            }}
+        }}
+{body}
+    }}
+    st->fetch_time = fetch_time;
+    st->commit_cursor = commit_cursor;
+    st->stall_until = stall_until;
+    st->rob_stall = rob_stall;
+    st->lsq_stall = lsq_stall;
+    st->d_miss = d_miss; st->d_evi = d_evi; st->d_wb = d_wb;
+    st->l2_acc = l2_acc; st->l2_hit = l2_hit; st->l2_mi = l2_mi;
+    st->l2_evi = l2_evi; st->l2_wb = l2_wb;
+    st->tr0 = tr0; st->tr1 = tr1; st->tr2 = tr2;
+    return 0;
+}}
+"""
+
+
+# --------------------------------------------------------------------------
+# Compilation + on-disk library cache.
+
+
+def _cache_dir() -> str:
+    explicit = os.environ.get("REPRO_CKERNEL_DIR")
+    if explicit:
+        return explicit
+    uid = getattr(os, "getuid", lambda: 0)()
+    return os.path.join(tempfile.gettempdir(), f"repro-ckernels-{uid}")
+
+
+def load_library(csource: str) -> Optional[ctypes.CDLL]:
+    """Compile (or reuse from the digest-keyed disk cache) and dlopen."""
+    digest = hashlib.sha256(csource.encode()).hexdigest()[:20]
+    if digest in _LIBS:
+        return _LIBS[digest]
+    lib: Optional[ctypes.CDLL] = None
+    try:
+        cc = _find_cc()
+        if cc is not None:
+            cachedir = _cache_dir()
+            os.makedirs(cachedir, exist_ok=True)
+            so_path = os.path.join(cachedir, f"spec_{digest}.so")
+            if not os.path.exists(so_path):
+                c_path = os.path.join(cachedir, f"spec_{digest}.c")
+                with open(c_path, "w") as fh:
+                    fh.write(csource)
+                tmp = f"{so_path}.tmp.{os.getpid()}"
+                subprocess.run(
+                    [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                     "-o", tmp, c_path],
+                    check=True, capture_output=True, timeout=120,
+                )
+                os.replace(tmp, so_path)
+            lib = ctypes.CDLL(so_path)
+    except (OSError, subprocess.SubprocessError, ValueError):
+        lib = None
+    _LIBS[digest] = lib
+    return lib
+
+
+# --------------------------------------------------------------------------
+# Python-side runner: marshalling + the chunked generator.
+
+
+def _c_columns(flat, cols, d_bits: int, d_nsets: int):
+    """ctypes-ready column arrays, memoized per flattened program."""
+    key = ("c-cols", d_bits, d_nsets)
+
+    def build(_):
+        n = flat.count
+        dep_off = array("q", bytes(8 * (n + 1)))
+        dep_dat = array("q")
+        for i, rest in enumerate(cols.dep_rest):
+            dep_off[i] = len(dep_dat)
+            if rest:
+                dep_dat.extend(rest)
+        dep_off[n] = len(dep_dat)
+        if not dep_dat:
+            dep_dat.append(0)  # keep a valid buffer for the C pointer
+        return (
+            bytearray(cols.scode),
+            array("q", cols.d_idx),
+            array("q", cols.d_tag),
+            array("q", cols.dep_a),
+            dep_off,
+            dep_dat,
+            array("d", flat.latencies),
+        )
+
+    return flat.derived(key, build)
+
+
+def _marshal_sets(sets, assoc: int):
+    """Dict-based LRU sets → (tags, dirty, count) insertion-ordered arrays."""
+    nsets = len(sets)
+    tags = array("q", bytes(8 * nsets * assoc))
+    dirty = bytearray(nsets * assoc)
+    cnt = array("q", bytes(8 * nsets))
+    for si, s in enumerate(sets):
+        b = si * assoc
+        c = 0
+        for tg, dy in s.items():
+            tags[b + c] = tg
+            if dy:
+                dirty[b + c] = 1
+            c += 1
+        cnt[si] = c
+    return tags, dirty, cnt
+
+
+def _unmarshal_sets(sets, assoc: int, tags, dirty, cnt) -> None:
+    """Write final array state back into the live dicts, order-preserving."""
+    for si, s in enumerate(sets):
+        s.clear()
+        b = si * assoc
+        for j in range(cnt[si]):
+            s[tags[b + j]] = bool(dirty[b + j])
+
+
+def make_crun(lib: ctypes.CDLL, g: dict):
+    """Build the chunked generator driving ``lib.run_chunk``.
+
+    Same signature and yield protocol as the generated Python ``spec_run``:
+    yields the chunk start index, honours ``abort_at`` via
+    ``GuardAbort('injected')``, and returns a :class:`PipelineResult` via
+    ``StopIteration.value``.
+    """
+    from .specialize import GuardAbort  # circular at module load otherwise
+
+    c_ll = ctypes.c_longlong
+    c_u8 = ctypes.c_ubyte
+    c_dbl = ctypes.c_double
+
+    # Bind once per library: two specializations sharing a geometry share
+    # the dlopened library, and re-setting ``argtypes`` with a fresh struct
+    # class would invalidate the closures built from the first binding.
+    bound = _BOUND.get(id(lib))
+    if bound is None:
+
+        class KState(ctypes.Structure):
+            _fields_ = [
+                ("fetch_time", c_dbl), ("commit_cursor", c_dbl),
+                ("stall_until", c_dbl), ("rob_stall", c_dbl),
+                ("lsq_stall", c_dbl),
+                ("lq_pos", c_ll), ("sq_pos", c_ll),
+                ("d_miss", c_ll), ("d_evi", c_ll), ("d_wb", c_ll),
+                ("l2_acc", c_ll), ("l2_hit", c_ll), ("l2_mi", c_ll),
+                ("l2_evi", c_ll), ("l2_wb", c_ll),
+                ("tr0", c_ll), ("tr1", c_ll), ("tr2", c_ll),
+                ("commit_ring", c_dbl * g["ring"]),
+                ("completion_ring", c_dbl * g["ring"]),
+                ("lq_ring", c_dbl * g["lq"]),
+                ("sq_ring", c_dbl * g["sq"]),
+            ]
+
+        run = lib.run_chunk
+        run.restype = ctypes.c_int
+        run.argtypes = [
+            ctypes.POINTER(KState),
+            ctypes.POINTER(c_u8), ctypes.POINTER(c_ll), ctypes.POINTER(c_ll),
+            ctypes.POINTER(c_ll), ctypes.POINTER(c_ll), ctypes.POINTER(c_ll),
+            ctypes.POINTER(c_dbl),
+            ctypes.POINTER(c_ll), ctypes.POINTER(c_u8), ctypes.POINTER(c_ll),
+            ctypes.POINTER(c_ll), ctypes.POINTER(c_u8), ctypes.POINTER(c_ll),
+            c_ll, c_ll,
+        ]
+        bound = _BOUND[id(lib)] = (run, KState)
+    run, KState = bound
+
+    d_assoc, l2_assoc = g["d_assoc"], g["l2_assoc"]
+    d_bits, d_nsets = g["d_bits"], g["d_nsets"]
+    chunk = 4096
+
+    def _ptr(buf, ctype):
+        return ctypes.cast(
+            (ctype * len(buf)).from_buffer(buf), ctypes.POINTER(ctype))
+
+    def crun(flat, cols, hierarchy, mcu, abort_at):
+        (scode_b, d_idx, d_tag, dep_a, dep_off, dep_dat,
+         lat) = _c_columns(flat, cols, d_bits, d_nsets)
+        d_sets = hierarchy.l1d._sets
+        l2_sets = hierarchy.l2._sets
+        dt, dd, dc = _marshal_sets(d_sets, d_assoc)
+        t2, d2, c2 = _marshal_sets(l2_sets, l2_assoc)
+        st = KState()
+        args = (
+            ctypes.byref(st),
+            _ptr(scode_b, c_u8), _ptr(d_idx, c_ll), _ptr(d_tag, c_ll),
+            _ptr(dep_a, c_ll), _ptr(dep_off, c_ll), _ptr(dep_dat, c_ll),
+            _ptr(lat, c_dbl),
+            _ptr(dt, c_ll), _ptr(dd, c_u8), _ptr(dc, c_ll),
+            _ptr(t2, c_ll), _ptr(d2, c_u8), _ptr(c2, c_ll),
+        )
+        n = flat.count
+        _i0 = 0
+        while _i0 < n:
+            yield _i0
+            if 0 <= abort_at <= _i0:
+                raise GuardAbort("injected")
+            _i1 = _i0 + chunk
+            if _i1 > n:
+                _i1 = n
+            if run(*args, _i0, _i1):
+                raise GuardAbort("kinds")
+            _i0 = _i1
+        _unmarshal_sets(d_sets, d_assoc, dt, dd, dc)
+        _unmarshal_sets(l2_sets, l2_assoc, t2, d2, c2)
+        scode = cols.scode
+        retired = n - scode.count(0)
+        mispredicts = scode.count(4)
+        _dacc = scode.count(1) + scode.count(2)
+        _sd = hierarchy.l1d.stats
+        _sd.accesses += _dacc
+        _sd.hits += _dacc - st.d_miss
+        _sd.misses += st.d_miss
+        _sd.evictions += st.d_evi
+        _sd.writebacks += st.d_wb
+        _s2 = hierarchy.l2.stats
+        _s2.accesses += st.l2_acc
+        _s2.hits += st.l2_hit
+        _s2.misses += st.l2_mi
+        _s2.evictions += st.l2_evi
+        _s2.writebacks += st.l2_wb
+        hierarchy.traffic.l1_l2_bytes += st.tr0
+        hierarchy.traffic.l2_dram_bytes += st.tr1
+        hierarchy.dram_accesses += st.tr2
+        return PipelineResult(
+            cycles=st.commit_cursor,
+            instructions=retired,
+            branch_mispredicts=mispredicts,
+            mcq_stall_cycles=0.0,
+            rob_stall_cycles=st.rob_stall,
+            lsq_stall_cycles=st.lsq_stall,
+            validation_faults=0,
+        )
+
+    return crun
+
+
+def attach_cbackend(spec, profile, config, hierarchy, mcu) -> bool:
+    """Attach a native runner to ``spec`` when the profile is eligible.
+
+    Returns True when ``spec.cfn`` was set.  All expected failure modes
+    (no compiler, unwritable cache dir) leave ``spec`` untouched.
+    """
+    from .specialize_gen import build_g
+
+    g, handled, order = build_g(profile, config, hierarchy, mcu)
+    if not eligible(handled, g, mcu):
+        return False
+    csource = emit_c(g, order)
+    lib = load_library(csource)
+    if lib is None:
+        return False
+    spec.csource = csource
+    spec.cfn = make_crun(lib, g)
+    return True

@@ -1,0 +1,938 @@
+"""Source emitter for the trace-speculative specialized kernel.
+
+:func:`emit_source` turns a :class:`~repro.kernel.specialize.TraceProfile`
+plus the live run geometry into the source of one generator function::
+
+    def spec_run(flat, cols, hierarchy, mcu, abort_at): ...
+
+which :func:`repro.kernel.specialize.specialize` ``exec``-compiles.  The
+emitted code is a transcription of :func:`repro.kernel.fast.run_fast` with
+the speculation applied:
+
+- only dispatch branches for trained codes exist (plus the trace-marker
+  branch); anything else raises ``GuardAbort("kinds")``;
+- scoreboard queues are preallocated ring buffers (no deque method calls);
+- per-instruction address arithmetic reads precomputed columns;
+- cache probes inline the hit path, with shared cold-path miss helpers;
+- the Fig. 8a way scan is unrolled per bounds slot with early exit;
+- fault/resize handling is emitted only if the training run saw it —
+  otherwise the branch is a ``GuardAbort``;
+- statically-determined counters (retired instructions, mispredicts,
+  checks, data-cache accesses) come from column counts, not loop work.
+
+Everything baked into the source is captured by
+``specialize.geometry_signature`` and re-checked at run entry, so a stale
+specialization aborts instead of lying.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from ..cpu.pipeline import _FRONTEND_DEPTH, _RING, _RING_MASK
+
+#: Yield cadence literal (kept in sync with specialize.CHUNK_MASK).
+CHUNK_MASK_LITERAL = 4095
+
+_MCQ_CODES = frozenset((1, 2, 5, 6, 8, 9, 10, 11))
+_LOAD_CODES = frozenset((1, 8, 10))
+_STORE_CODES = frozenset((2, 9, 11))
+_CHECKED_CODES = frozenset((8, 9, 10, 11))
+
+
+class _W:
+    """Tiny indented-source writer."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.ind = 0
+
+    def w(self, line: str = "") -> None:
+        self.lines.append("    " * self.ind + line if line else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_miss_inline(
+    w: _W,
+    g: dict,
+    pfx: str,
+    sv: str,
+    tv: str,
+    line_expr: str,
+    is_write: bool,
+    out_fmt: str = "",
+) -> None:
+    """Inline cold-path L1 miss (eviction + L2 + writeback cascade).
+
+    Emitted straight into the dispatch arm so every counter is a fast
+    local of the generator — no call frame, no nonlocal cell traffic.
+    ``out_fmt`` receives the hit/miss latency constant (already folded
+    with the L2 latency); empty means the caller discards the latency.
+    """
+    assoc = g[f"{pfx}_assoc"]
+    nsets = g[f"{pfx}_nsets"]
+    bits = g[f"{pfx}_bits"]
+    base_lat = g[f"{pfx}_lat"] + g["l2_lat"]
+    if line_expr.isidentifier():
+        ln = line_expr
+    else:
+        ln = "_ln"
+        w.w(f"_ln = {line_expr}")
+    w.w(f"{pfx}_miss += 1")
+    w.w("_wbl = -1")
+    w.w(f"if len({sv}) >= {assoc}:")
+    w.ind += 1
+    w.w(f"_vt = next(iter({sv}))")
+    w.w(f"{pfx}_evi += 1")
+    w.w(f"if {sv}.pop(_vt):")
+    w.ind += 1
+    w.w(f"{pfx}_wb += 1")
+    w.w(f"_wbl = (_vt * {nsets} + {ln} % {nsets}) << {bits}")
+    w.ind -= 2
+    w.w(f"{sv}[{tv}] = {is_write}")
+    w.w(f"tr0 += {g['line_bytes']}")
+    w.w("l2_acc += 1")
+    w.w(f"_l2 = ({ln} << {bits}) >> {g['l2_bits']}")
+    w.w(f"_s2 = l2_sets[_l2 % {g['l2_nsets']}]")
+    w.w(f"_t2 = _l2 // {g['l2_nsets']}")
+    w.w("_d2 = _s2.pop(_t2, _MISS)")
+    w.w("if _d2 is not _MISS:")
+    w.ind += 1
+    w.w("l2_hit += 1")
+    w.w("_s2[_t2] = _d2")
+    if out_fmt:
+        w.w(out_fmt.format(repr(base_lat)))
+    w.ind -= 1
+    w.w("else:")
+    w.ind += 1
+    w.w("l2_mi += 1")
+    w.w(f"if len(_s2) >= {g['l2_assoc']}:")
+    w.ind += 1
+    w.w("l2_evi += 1")
+    w.w("if _s2.pop(next(iter(_s2))):")
+    w.ind += 1
+    w.w("l2_wb += 1")
+    w.w(f"tr1 += {g['line_bytes']}")
+    w.ind -= 2
+    w.w("_s2[_t2] = False")
+    w.w(f"tr1 += {g['line_bytes']}")
+    w.w("tr2 += 1")
+    if out_fmt:
+        w.w(out_fmt.format(repr(base_lat + g["dram_latency"])))
+    w.ind -= 1
+    w.w("if _wbl >= 0:")
+    w.ind += 1
+    w.w(f"tr0 += {g['line_bytes']}")
+    w.w("l2_acc += 1")
+    w.w(f"_l3 = _wbl >> {g['l2_bits']}")
+    w.w(f"_s3 = l2_sets[_l3 % {g['l2_nsets']}]")
+    w.w(f"_t3 = _l3 // {g['l2_nsets']}")
+    w.w("_d3 = _s3.pop(_t3, _MISS)")
+    w.w("if _d3 is not _MISS:")
+    w.ind += 1
+    w.w("l2_hit += 1")
+    w.w("_s3[_t3] = True")
+    w.ind -= 1
+    w.w("else:")
+    w.ind += 1
+    w.w("l2_mi += 1")
+    w.w(f"if len(_s3) >= {g['l2_assoc']}:")
+    w.ind += 1
+    w.w("l2_evi += 1")
+    w.w("if _s3.pop(next(iter(_s3))):")
+    w.ind += 1
+    w.w("l2_wb += 1")
+    w.w(f"tr1 += {g['line_bytes']}")
+    w.ind -= 2
+    w.w("_s3[_t3] = True")
+    w.w(f"tr1 += {g['line_bytes']}")
+    w.w("tr2 += 1")
+    w.ind -= 2
+
+
+def _emit_rawrow_helper(w: _W, g: dict) -> None:
+    """Decode one HBT row into per-slot compare operands.
+
+    Rows hold bounds-record objects; the walk only needs (lower, upper[,
+    bit28]) integers, so decode each row once and cache it by PAC —
+    ``bndstr``/``bndclr`` invalidate the touched row.
+    """
+    w.w("def _rawrow(row):")
+    w.ind += 1
+    w.w("out = [None] * len(row)")
+    w.w("_x = 0")
+    w.w("for _r in row:")
+    w.ind += 1
+    w.w("if _r is not None:")
+    w.ind += 1
+    if g["compression"]:
+        w.w("_raw = _r.raw")
+        w.w("_lf = _raw & 0x1FFFFFFF")
+        w.w("_lo = _lf << 4")
+        w.w("out[_x] = (_lo, _lo + ((_raw >> 29) & 0xFFFFFFFF), (_lf >> 28) & 1)")
+    else:
+        w.w("out[_x] = (_r.lower, _r.upper)")
+    w.ind -= 1
+    w.w("_x += 1")
+    w.ind -= 1
+    w.w("return out")
+    w.ind -= 1
+    w.w()
+
+
+def _emit_fetch(w: _W, g: dict, code: int) -> None:
+    """Fetch/ROB/deps prologue + per-kind structural hazards."""
+    w.w("if stall_until > fetch_time:")
+    w.ind += 1
+    w.w("fetch_time = stall_until")
+    w.ind -= 1
+    # ROB occupancy: the head entry is the commit time of the instruction
+    # rob_entries back.  The ring starts zeroed, so reads during warmup
+    # compare against 0.0 and never stall — no occupancy counter needed.
+    if g["rob_merge"]:
+        w.w(f"_h = commit_ring[(i + {g['rob_k']}) & {g['rm']}]")
+    else:
+        w.w("_h = rob_ring[rob_pos]")
+    w.w("if _h > fetch_time:")
+    w.ind += 1
+    w.w("rob_stall += _h - fetch_time")
+    w.w("fetch_time = _h")
+    w.ind -= 1
+    w.w(f"fetch_time += {g['fs']!r}")
+    w.w(f"ready = fetch_time + {g['frontend']!r}")
+    # Scalar first-dep fast path: 63% of instructions have no deps and 36%
+    # exactly one, so the tuple iteration only runs for the ~1% tail.
+    w.w("_da = dep_a[i]")
+    w.w("if _da:")
+    w.ind += 1
+    w.w(f"_t2 = completion_ring[(i - _da) & {g['rm']}]")
+    w.w("if _t2 > ready:")
+    w.ind += 1
+    w.w("ready = _t2")
+    w.ind -= 1
+    w.w("_dr = dep_rest[i]")
+    w.w("if _dr:")
+    w.ind += 1
+    w.w("for _dd in _dr:")
+    w.ind += 1
+    w.w(f"_t2 = completion_ring[(i - _dd) & {g['rm']}]")
+    w.w("if _t2 > ready:")
+    w.ind += 1
+    w.w("ready = _t2")
+    w.ind -= 4
+    if code in _LOAD_CODES:
+        qn = "lq"
+    elif code in _STORE_CODES:
+        qn = "sq"
+    else:
+        qn = None
+    if qn is not None:
+        w.w(f"_h = {qn}_ring[{qn}_pos]")
+        w.w("if _h > ready:")
+        w.ind += 1
+        w.w("lsq_stall += _h - ready")
+        w.w("ready = _h")
+        w.ind -= 1
+    if g["has_mcu"] and code in _MCQ_CODES:
+        w.w(f"if mcq_tail - mcq_head >= {g['mcq']}:")
+        w.ind += 1
+        w.w(f"_h = mcq_ring[mcq_head & {g['mm']}]")
+        w.w("mcq_head += 1")
+        w.w("if _h > ready:")
+        w.ind += 1
+        w.w("mcq_stall += _h - ready")
+        w.w("ready = _h")
+        w.ind -= 2
+
+
+def _emit_data_access(w: _W, g: dict, write: bool) -> None:
+    """Inline L1-D probe from precomputed idx/tag columns."""
+    w.w("_ix = d_idx[i]")
+    w.w("_tg = d_tag[i]")
+    w.w("_s = d_sets[_ix]")
+    w.w("_dy = _s.pop(_tg, _MISS)")
+    w.w("if _dy is not _MISS:")
+    w.ind += 1
+    if write:
+        w.w("_s[_tg] = True")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+        _emit_miss_inline(
+            w, g, "d", "_s", "_tg", f"_tg * {g['d_nsets']} + _ix", True
+        )
+        w.ind -= 1
+        w.w("completion = ready + 1.0")
+    else:
+        w.w("_s[_tg] = _dy")
+        w.w(f"completion = ready + {g['d_lat']!r}")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+        _emit_miss_inline(
+            w, g, "d", "_s", "_tg", f"_tg * {g['d_nsets']} + _ix", False,
+            "completion = ready + {}",
+        )
+        w.ind -= 1
+
+
+def _emit_bounds_access(w: _W, g: dict, addr_expr: str) -> None:
+    """Inline one HBT line load through the L1-B (or L1-D when absent)."""
+    pfx = "b" if g["use_l1b"] else "d"
+    sets = "b_sets" if g["use_l1b"] else "d_sets"
+    bits, nsets, lat = g[f"{pfx}_bits"], g[f"{pfx}_nsets"], g[f"{pfx}_lat"]
+    w.w(f"_l = ({addr_expr}) >> {bits}")
+    w.w(f"_sb = {sets}[_l % {nsets}]")
+    w.w(f"_tb = _l // {nsets}")
+    w.w("_db = _sb.pop(_tb, _MISS)")
+    w.w("if _db is not _MISS:")
+    w.ind += 1
+    w.w("_sb[_tb] = _db")
+    w.w(f"check_latency += {lat!r}")
+    w.ind -= 1
+    w.w("else:")
+    w.ind += 1
+    _emit_miss_inline(w, g, pfx, "_sb", "_tb", "_l", False, "check_latency += {}")
+    w.ind -= 1
+
+
+def _emit_slot_scan(w: _W, g: dict, cached: bool = False) -> None:
+    """Unrolled per-slot bounds compare with early exit (sets found_way).
+
+    ``cached`` scans the pre-decoded ``_rr`` operand tuples from ``_rawrow``
+    instead of the record objects in ``_row_l``.
+    """
+    for k in range(g["slots_per_way"]):
+        idx = "_st" if k == 0 else f"_st + {k}"
+        if cached:
+            w.w(f"_e = _rr[{idx}]")
+            if g["compression"]:
+                w.w("if _e is not None and _e[0] <="
+                    " ((_e[2] & _nb) << 33) | _a33 < _e[1]:")
+            else:
+                w.w("if _e is not None and _e[0] <= _va < _e[1]:")
+        else:
+            w.w(f"_r = _row_l[{idx}]")
+            if g["compression"]:
+                w.w("if _r is not None and (_lo := ((_lf := (_raw := _r.raw)"
+                    " & 0x1FFFFFFF) << 4)) <= ((((_lf >> 28) & 1) & _nb) << 33)"
+                    " | _a33 < _lo + ((_raw >> 29) & 0xFFFFFFFF):")
+            else:
+                w.w("if _r is not None and _r.lower <= _va < _r.upper:")
+        w.ind += 1
+        w.w("found_way = way")
+        w.w("break")
+        w.ind -= 1
+
+
+def _emit_walk(w: _W, g: dict, profile) -> None:
+    """The inlined signed check: forwarding, BWB, Fig. 8a way walk."""
+    resize = profile.saw_resize
+    if resize and g["nonblocking"]:
+        w.w("if hbt._resizing:")
+        w.ind += 1
+        w.w(f"hbt_advance({g['migration_rows']})")
+        w.ind -= 1
+    w.w("_va = va_col[i]")
+    w.w("_pacv = pac_col[i]")
+    forwarding = g["forwarding"] and 5 in profile.scodes
+    if forwarding:
+        w.w("_pend = recent_stores.get(_pacv)")
+        w.w("if _pend is not None and _pend[0] <= _va < _pend[0] + _pend[1]:")
+        w.ind += 1
+        w.w("m_forwards += 1")
+        w.w("check_latency = 1")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+    w.w("_tag = btag_col[i]")
+    w.w("way = 0")
+    ways = "hbt.ways" if resize else "_ways"
+    if resize:
+        w.w("_ways_r = hbt.ways")
+        ways = "_ways_r"
+    if g["bwb"]:
+        w.w("_bhit = -1")
+        w.w("_hint = bwb_table.get(_tag)")
+        w.w("if _hint is not None:")
+        w.ind += 1
+        w.w(f"if _hint >= {ways}:")
+        w.ind += 1
+        w.w("del bwb_table[_tag]")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+        w.w("b_hits_c += 1")
+        if g["bwb_lru"]:
+            w.w("bwb_table.move_to_end(_tag)")
+        w.w("way = _hint")
+        w.w("_bhit = _hint")
+        w.ind -= 2
+    ws = g["way_shift"]
+    if resize:
+        w.w("_row_l = hbt_row(_pacv)")
+        w.w("_baser = hbt._base")
+        w.w(f"_ro = _pacv << ({ways}.bit_length() - 1 + {ws})")
+        w.w("_rsz = hbt._resizing")
+        w.w("if _rsz:")
+        w.ind += 1
+        w.w("_oldb = hbt._old_base")
+        w.w("_oldw = hbt._old_ways")
+        w.w("_rptr = hbt._row_ptr")
+        w.w(f"_oldoff = _pacv << (_oldw.bit_length() - 1 + {ws})")
+        w.ind -= 1
+    else:
+        w.w("_rr = _rawrows.get(_pacv)")
+        w.w("if _rr is None:")
+        w.ind += 1
+        w.w("_row_l = _rget(_pacv)")
+        w.w("if _row_l is None or len(_row_l) < _cap:")
+        w.ind += 1
+        w.w("_row_l = hbt_row(_pacv)")
+        w.ind -= 1
+        w.w("_rr = _rawrow(_row_l)")
+        w.w("_rawrows[_pacv] = _rr")
+        w.ind -= 1
+        w.w("_ro = _base + (_pacv << _ro_shift)")
+    if g["compression"]:
+        w.w("_a33 = a33_col[i]")
+        w.w("_nb = nb_col[i]")
+    w.w(f"check_latency = {g['check_base']!r}")
+    w.w("_count = 0")
+    w.w("visits = 0")
+    w.w("found_way = -1")
+    w.w("while True:")
+    w.ind += 1
+    w.w("visits += 1")
+    if resize:
+        w.w("if _rsz and way < _oldw and _pacv >= _rptr:")
+        w.ind += 1
+        w.w(f"first = _oldb + _oldoff + (way << {ws})")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+        w.w(f"first = _baser + _ro + (way << {ws})")
+        w.ind -= 1
+    else:
+        w.w(f"first = _ro + (way << {ws})")
+    _emit_bounds_access(w, g, "first")
+    if g["two_lines"]:
+        _emit_bounds_access(w, g, "first + 64")
+    w.w(f"_st = way * {g['slots_per_way']}")
+    _emit_slot_scan(w, g, cached=not resize)
+    w.w("_count += 1")
+    w.w(f"if _count >= {ways}:")
+    w.ind += 1
+    w.w("break")
+    w.ind -= 1
+    w.w("way += 1")
+    w.w(f"if way == {ways}:")
+    w.ind += 1
+    w.w("way = 0")
+    w.ind -= 2
+    w.w("w_visits += visits")
+    # Histogram observations accumulate locally and flush in the epilogue:
+    # a guard abort mid-run must leave the metrics registry untouched (the
+    # fallback rerun reuses the same per-cell registry).
+    w.w("if hist is not None:")
+    w.ind += 1
+    w.w("hist_acc[visits] = hist_acc.get(visits, 0) + 1")
+    w.ind -= 1
+    w.w("if found_way < 0:")
+    w.ind += 1
+    if profile.saw_fault:
+        w.w("m_faults += 1")
+        w.w("faults += 1")
+    else:
+        w.w("raise GuardAbort('fault')")
+    w.ind -= 1
+    if g["bwb"]:
+        # found_way == _bhit means the hinted way verified: the lookup above
+        # already refreshed LRU order and the value is unchanged, so the
+        # update below would be a no-op — skip its dict traffic.
+        w.w("elif found_way != _bhit:")
+        w.ind += 1
+        w.w("if _tag in bwb_table:")
+        w.ind += 1
+        w.w("bwb_table[_tag] = found_way")
+        if g["bwb_lru"]:
+            w.w("bwb_table.move_to_end(_tag)")
+        w.ind -= 1
+        w.w("else:")
+        w.ind += 1
+        w.w(f"if len(bwb_table) >= {g['bwb_entries']}:")
+        w.ind += 1
+        w.w("bwb_table.popitem(last=False)")
+        w.ind -= 1
+        w.w("bwb_table[_tag] = found_way")
+        w.ind -= 2
+    if forwarding:
+        w.ind -= 1  # close the forwarding else:
+
+
+def _emit_ports(w: _W, zero_latency: bool) -> None:
+    """Two-port delayed retirement (Fig. 6)."""
+    w.w("if port0 <= port1:")
+    w.ind += 1
+    if zero_latency:
+        w.w("check_done = ready if ready > port0 else port0")
+    else:
+        w.w("_cs = ready if ready > port0 else port0")
+        w.w("check_done = _cs + check_latency")
+    w.w("port0 = check_done")
+    w.ind -= 1
+    w.w("else:")
+    w.ind += 1
+    if zero_latency:
+        w.w("check_done = ready if ready > port1 else port1")
+    else:
+        w.w("_cs = ready if ready > port1 else port1")
+        w.w("check_done = _cs + check_latency")
+    w.w("port1 = check_done")
+    w.ind -= 1
+
+
+def _emit_commit(w: _W, g: dict, code: int, checked: bool, busy: bool) -> None:
+    # In-order commit: new cursor = max(old + slot, completion[, check_done]).
+    # The previous cursor is always the last commit time, so no separate
+    # last_commit tracking is needed.
+    w.w(f"commit_cursor += {g['fs']!r}")
+    w.w("if completion > commit_cursor:")
+    w.ind += 1
+    w.w("commit_cursor = completion")
+    w.ind -= 1
+    if checked:
+        w.w("if check_done > commit_cursor:")
+        w.ind += 1
+        w.w("commit_cursor = check_done")
+        w.ind -= 1
+    if g["rob_merge"]:
+        w.w(f"_im = i & {g['rm']}")
+        w.w("commit_ring[_im] = commit_cursor")
+    else:
+        w.w("rob_ring[rob_pos] = commit_cursor")
+        w.w("rob_pos += 1")
+        w.w(f"if rob_pos == {g['rob']}:")
+        w.ind += 1
+        w.w("rob_pos = 0")
+        w.ind -= 1
+    if code in _LOAD_CODES:
+        qn, cap = "lq", g["lq"]
+    elif code in _STORE_CODES:
+        qn, cap = "sq", g["sq"]
+    else:
+        qn = None
+    if qn is not None:
+        w.w(f"{qn}_ring[{qn}_pos] = commit_cursor")
+        w.w(f"{qn}_pos += 1")
+        w.w(f"if {qn}_pos == {cap}:")
+        w.ind += 1
+        w.w(f"{qn}_pos = 0")
+        w.ind -= 1
+    if g["has_mcu"] and code in _MCQ_CODES:
+        if busy:
+            w.w(f"mcq_ring[mcq_tail & {g['mm']}] = "
+                "_busy if _busy > commit_cursor else commit_cursor")
+        else:
+            w.w(f"mcq_ring[mcq_tail & {g['mm']}] = commit_cursor")
+        w.w("mcq_tail += 1")
+    if g["rob_merge"]:
+        w.w("completion_ring[_im] = completion")
+    else:
+        w.w(f"completion_ring[i & {g['rm']}] = completion")
+
+
+def _emit_branch_body(w: _W, g: dict, profile, code: int) -> None:
+    """One complete dispatch branch for ``code``."""
+    if code == 0:
+        w.w(f"completion_ring[i & {g['rm']}] = fetch_time")
+        return
+    _emit_fetch(w, g, code)
+    checked = code in _CHECKED_CODES
+    busy = False
+    if code in (1, 8, 10):
+        _emit_data_access(w, g, write=False)
+    elif code in (2, 9, 11):
+        _emit_data_access(w, g, write=True)
+    elif code == 3:
+        _emit_data_access(w, g, write=False)  # wchk: raw-address columns
+    elif code in (5, 6):
+        signed = 8 in profile.scodes or 9 in profile.scodes
+        w.w("completion = ready + latencies[i]")
+        if code == 5:
+            w.w("_out = mcu_bounds_store(addresses[i], sizes[i])")
+        else:
+            w.w("_out = mcu_bounds_clear(addresses[i])")
+        if signed and not profile.saw_resize:
+            w.w("_rawrows.pop("
+                f"(addresses[i] >> {g['pac_shift']}) & {g['pac_low']}, None)")
+        w.w("if not _out.ok:")
+        w.ind += 1
+        if profile.saw_fault:
+            w.w("faults += 1")
+        else:
+            w.w("raise GuardAbort('fault')")
+        w.ind -= 1
+        w.w("_busy = ready + _out.latency")
+        if not profile.saw_resize:
+            # _out.resized catches the *blocking* resize, which completes
+            # inside the op and leaves _resizing False with the geometry
+            # bindings above (_ways/_cap/_ro_shift) stale.
+            if code == 5:
+                w.w("if _out.resized or hbt._resizing:")
+            else:
+                w.w("if hbt._resizing:")
+            w.ind += 1
+            w.w("raise GuardAbort('resize')")
+            w.ind -= 1
+        busy = True
+    else:  # 4, 7
+        w.w("completion = ready + latencies[i]")
+    if code in (8, 9):
+        _emit_walk(w, g, profile)
+        _emit_ports(w, zero_latency=False)
+    elif code in (10, 11):
+        _emit_ports(w, zero_latency=True)
+    _emit_commit(w, g, code, checked, busy)
+    if code == 4:
+        if g["has_mcu"]:
+            w.w(f"while mcq_head < mcq_tail and "
+                f"mcq_ring[mcq_head & {g['mm']}] <= fetch_time:")
+            w.ind += 1
+            w.w("mcq_head += 1")
+            w.ind -= 1
+            w.w(f"if mcq_tail - mcq_head >= {g['mcq_threshold']!r}:")
+            w.ind += 1
+            w.w(f"_resolve = completion + {g['penalty_discounted']!r}")
+            w.ind -= 1
+            w.w("else:")
+            w.ind += 1
+            w.w(f"_resolve = completion + {g['penalty']!r}")
+            w.ind -= 1
+        else:
+            w.w(f"_resolve = completion + {g['penalty']!r}")
+        w.w("if _resolve > stall_until:")
+        w.ind += 1
+        w.w("stall_until = _resolve")
+        w.ind -= 1
+
+
+def build_g(profile, config, hierarchy, mcu) -> Tuple[dict, Set[int], list]:
+    """Baked emission constants plus the handled-code set and dispatch order.
+
+    Shared between the Python emitter below and the C backend
+    (:mod:`repro.kernel.specialize_cgen`), so both bake byte-identical
+    constants for one (profile, config, geometry).
+    """
+    core = config.core
+    l1d, l2, l1b = hierarchy.l1d, hierarchy.l2, hierarchy.l1b
+    has_mcu = mcu is not None
+    g = {
+        "fs": 1.0 / core.width,
+        "frontend": _FRONTEND_DEPTH,
+        "ring": _RING,
+        "rm": _RING_MASK,
+        "penalty": core.branch_mispredict_penalty,
+        "penalty_discounted": core.branch_mispredict_penalty * 0.7,
+        "rob": core.rob_entries,
+        "lq": core.load_queue_entries,
+        "sq": core.store_queue_entries,
+        "mcq": core.mcq_entries,
+        "mcq_threshold": 0.75 * core.mcq_entries,
+        "mm": (1 << core.mcq_entries.bit_length()) - 1,
+        "line_bytes": hierarchy.line_bytes,
+        "dram_latency": hierarchy.config.dram_latency,
+        "d_nsets": l1d.num_sets, "d_bits": l1d.line_bits,
+        "d_assoc": l1d.assoc, "d_lat": l1d.hit_latency,
+        "l2_nsets": l2.num_sets, "l2_bits": l2.line_bits,
+        "l2_assoc": l2.assoc, "l2_lat": l2.hit_latency,
+        "use_l1b": l1b is not None,
+        "has_mcu": has_mcu,
+    }
+    if l1b is not None:
+        g.update(b_nsets=l1b.num_sets, b_bits=l1b.line_bits,
+                 b_assoc=l1b.assoc, b_lat=l1b.hit_latency)
+    if has_mcu:
+        hbt, bwb = mcu.hbt, mcu.bwb
+        g.update(
+            pac_shift=mcu.layout.pac_shift,
+            pac_low=(1 << mcu.layout.pac_bits) - 1,
+            forwarding=mcu.options.bounds_forwarding,
+            nonblocking=mcu.options.nonblocking_resize,
+            check_base=mcu.CHECK_PIPELINE_CYCLES,
+            migration_rows=mcu.MIGRATION_ROWS_PER_OP,
+            compression=hbt.compression,
+            slots_per_way=hbt.slots_per_way,
+            lines_per_way=hbt.lines_per_way,
+            two_lines=hbt.lines_per_way == 2,
+            way_shift=6 + hbt.lines_per_way - 1,
+            bwb=bwb is not None,
+            bwb_entries=0 if bwb is None else bwb.entries,
+            bwb_lru=bwb is not None and bwb.eviction == "lru",
+        )
+
+    handled: Set[int] = set(profile.scodes)
+    # Marker-free profiles index the ROB ring by instruction number (the
+    # commit time of the instruction rob_entries back), which only works
+    # when every instruction commits — so markers are left out of `handled`
+    # and a marker-bearing program aborts to the reference kernel via the
+    # kinds guard instead of training a pessimistic loop.
+    rob_merge = g["rob"] <= g["ring"] and 0 not in handled
+    if not rob_merge:
+        handled.add(0)
+    g["rob_merge"] = rob_merge
+    g["rob_k"] = g["ring"] - g["rob"]
+    order = [c for c in profile.order if c in handled]
+    if 0 in handled and 0 not in order:
+        order.append(0)
+    return g, handled, order
+
+
+def emit_source(profile, config, hierarchy, mcu, va_mask: int
+                ) -> Tuple[str, FrozenSet[int]]:
+    """Emit the specialized kernel source; returns (source, handled codes)."""
+    g, handled, order = build_g(profile, config, hierarchy, mcu)
+    has_mcu = g["has_mcu"]
+    signed = 8 in handled or 9 in handled
+    bounds_ops = 5 in handled or 6 in handled
+    uses_hbt = has_mcu and (signed or bounds_ops)
+    needs_faults = profile.saw_fault and (signed or bounds_ops)
+
+    w = _W()
+    w.w('"""Generated by repro.kernel.specialize_gen — do not edit."""')
+    w.w(f"# codes={sorted(handled)} fault={profile.saw_fault} "
+        f"resize={profile.saw_resize}")
+    w.w()
+    w.w("def spec_run(flat, cols, hierarchy, mcu, abort_at):")
+    w.ind += 1
+    w.w("scode = cols.scode")
+    w.w("d_idx = cols.d_idx")
+    w.w("d_tag = cols.d_tag")
+    if signed:
+        w.w("va_col = cols.vaddr")
+        w.w("pac_col = cols.pac")
+        w.w("btag_col = cols.btag")
+        if g.get("compression"):
+            w.w("a33_col = cols.addr33")
+            w.w("nb_col = cols.nb32")
+    w.w("addresses = flat.addresses")
+    w.w("latencies = flat.latencies")
+    w.w("dep_a = cols.dep_a")
+    w.w("dep_rest = cols.dep_rest")
+    if 5 in handled:
+        w.w("sizes = flat.sizes")
+    w.w("n = flat.count")
+    w.w("d_sets = hierarchy.l1d._sets")
+    w.w("l2_sets = hierarchy.l2._sets")
+    if g["use_l1b"]:
+        w.w("b_sets = hierarchy.l1b._sets")
+    if has_mcu:
+        w.w("hbt = mcu.hbt")
+        w.w("hist = mcu._h_lines")
+        if signed:
+            w.w("hist_acc = {}")
+        if signed and g["forwarding"]:
+            w.w("recent_stores = mcu._recent_stores")
+        if 5 in handled:
+            w.w("mcu_bounds_store = mcu.bounds_store")
+        if 6 in handled:
+            w.w("mcu_bounds_clear = mcu.bounds_clear")
+        if signed:
+            w.w("hbt_row = hbt._row")
+            if g["bwb"]:
+                w.w("bwb_table = mcu.bwb._table")
+            if profile.saw_resize and g["nonblocking"]:
+                w.w("hbt_advance = hbt.advance_migration")
+    if uses_hbt and not profile.saw_resize:
+        w.w("if hbt._resizing:")
+        w.ind += 1
+        w.w("raise GuardAbort('resize')")
+        w.ind -= 1
+        if signed:
+            w.w("_ways = hbt.ways")
+            w.w(f"_cap = _ways * {g['slots_per_way']}")
+            w.w(f"_ro_shift = _ways.bit_length() - 1 + {g['way_shift']}")
+            w.w("_base = hbt._base")
+            w.w("_rget = hbt._rows.get")
+            w.w("_rawrows = {}")
+    w.w(f"completion_ring = [0.0] * {g['ring']}")
+    if g["rob_merge"]:
+        w.w(f"commit_ring = [0.0] * {g['ring']}")
+    else:
+        w.w(f"rob_ring = [0.0] * {g['rob']}")
+        w.w("rob_pos = 0")
+    if handled & _LOAD_CODES:
+        w.w(f"lq_ring = [0.0] * {g['lq']}")
+        w.w("lq_pos = 0")
+    if handled & _STORE_CODES:
+        w.w(f"sq_ring = [0.0] * {g['sq']}")
+        w.w("sq_pos = 0")
+    if has_mcu and handled & _MCQ_CODES:
+        w.w(f"mcq_ring = [0.0] * {g['mm'] + 1}")
+        w.w("mcq_head = 0")
+        w.w("mcq_tail = 0")
+    w.w("fetch_time = 0.0")
+    w.w("commit_cursor = 0.0")
+    w.w("stall_until = 0.0")
+    w.w("mcq_stall = 0.0")
+    w.w("rob_stall = 0.0")
+    w.w("lsq_stall = 0.0")
+    w.w("port0 = 0.0")
+    w.w("port1 = 0.0")
+    w.w("d_miss = 0")
+    w.w("d_evi = 0")
+    w.w("d_wb = 0")
+    if g["use_l1b"]:
+        w.w("b_miss = 0")
+        w.w("b_evi = 0")
+        w.w("b_wb = 0")
+    w.w("l2_acc = 0")
+    w.w("l2_hit = 0")
+    w.w("l2_mi = 0")
+    w.w("l2_evi = 0")
+    w.w("l2_wb = 0")
+    w.w("tr0 = 0")
+    w.w("tr1 = 0")
+    w.w("tr2 = 0")
+    w.w("m_forwards = 0")
+    w.w("b_hits_c = 0")
+    w.w("w_visits = 0")
+    w.w("faults = 0")
+    w.w("m_faults = 0")
+    w.w()
+    if has_mcu and signed and not profile.saw_resize:
+        _emit_rawrow_helper(w, g)
+
+    # Chunked outer loop: the yield point and injection check run once per
+    # chunk instead of testing `i & mask` on every instruction.
+    w.w("_i0 = 0")
+    w.w("while _i0 < n:")
+    w.ind += 1
+    w.w("yield _i0")
+    w.w("if 0 <= abort_at <= _i0:")
+    w.ind += 1
+    w.w("raise GuardAbort('injected')")
+    w.ind -= 1
+    w.w(f"_i1 = _i0 + {CHUNK_MASK_LITERAL + 1}")
+    w.w("if _i1 > n:")
+    w.ind += 1
+    w.w("_i1 = n")
+    w.ind -= 1
+    w.w("for i in range(_i0, _i1):")
+    w.ind += 1
+    w.w("k = scode[i]")
+    kw = "if"
+    for code in order:
+        w.w(f"{kw} k == {code}:")
+        w.ind += 1
+        _emit_branch_body(w, g, profile, code)
+        w.ind -= 1
+        kw = "elif"
+    w.w("else:")
+    w.ind += 1
+    w.w("raise GuardAbort('kinds')")
+    w.ind -= 2
+    w.w("_i0 = _i1")
+    w.ind -= 1
+
+    # ---- epilogue: static tallies + flush into the real stats objects ----
+    w.w()
+    checked_codes = sorted(handled & _CHECKED_CODES)
+    dacc_codes = sorted(handled & (frozenset((1, 2, 3)) | _CHECKED_CODES))
+    w.w("retired = n - scode.count(0)")
+    w.w(f"mispredicts = {'scode.count(4)' if 4 in handled else '0'}")
+    if dacc_codes:
+        w.w("_dacc = " + " + ".join(f"scode.count({c})" for c in dacc_codes))
+    else:
+        w.w("_dacc = 0")
+    if signed and not g["use_l1b"]:
+        lpw = g["lines_per_way"]
+        w.w(f"_dacc += w_visits * {lpw}" if lpw != 1 else "_dacc += w_visits")
+    w.w("_sd = hierarchy.l1d.stats")
+    w.w("_sd.accesses += _dacc")
+    w.w("_sd.hits += _dacc - d_miss")
+    w.w("_sd.misses += d_miss")
+    w.w("_sd.evictions += d_evi")
+    w.w("_sd.writebacks += d_wb")
+    if g["use_l1b"]:
+        lpw = g.get("lines_per_way", 1)
+        w.w(f"_bacc = w_visits * {lpw}" if lpw != 1 else "_bacc = w_visits")
+        w.w("_sb2 = hierarchy.l1b.stats")
+        w.w("_sb2.accesses += _bacc")
+        w.w("_sb2.hits += _bacc - b_miss")
+        w.w("_sb2.misses += b_miss")
+        w.w("_sb2.evictions += b_evi")
+        w.w("_sb2.writebacks += b_wb")
+    w.w("_s2 = hierarchy.l2.stats")
+    w.w("_s2.accesses += l2_acc")
+    w.w("_s2.hits += l2_hit")
+    w.w("_s2.misses += l2_mi")
+    w.w("_s2.evictions += l2_evi")
+    w.w("_s2.writebacks += l2_wb")
+    w.w("hierarchy.traffic.l1_l2_bytes += tr0")
+    w.w("hierarchy.traffic.l2_dram_bytes += tr1")
+    w.w("hierarchy.dram_accesses += tr2")
+    if has_mcu:
+        if checked_codes:
+            w.w("_checks = " + " + ".join(f"scode.count({c})" for c in checked_codes))
+        else:
+            w.w("_checks = 0")
+        sig_codes = sorted(handled & frozenset((8, 9)))
+        if sig_codes:
+            w.w("_signed = " + " + ".join(f"scode.count({c})" for c in sig_codes))
+        else:
+            w.w("_signed = 0")
+        w.w("_ms = mcu.stats")
+        w.w("_ms.checks += _checks")
+        w.w("_ms.signed_checks += _signed")
+        w.w("_ms.forwards += m_forwards")
+        if signed:
+            lpw = g["lines_per_way"]
+            expr = f"w_visits * {lpw}" if lpw != 1 else "w_visits"
+            w.w(f"_ms.lines_accessed += {expr}")
+            w.w(f"hbt.stats.lines_loaded += {expr}")
+        if needs_faults:
+            w.w("_ms.faults += m_faults")
+        if signed and g["bwb"]:
+            w.w("mcu.bwb.stats.lookups += _signed - m_forwards")
+            w.w("mcu.bwb.stats.hits += b_hits_c")
+        if signed:
+            # Flush the locally-accumulated walk histogram (values are raw
+            # visit counts; one observation per signed check that walked).
+            lpw = g["lines_per_way"]
+            w.w("if hist is not None:")
+            w.ind += 1
+            w.w("_hb = hist.bounds")
+            w.w("_hc = hist.counts")
+            w.w("for _hv, _hn in hist_acc.items():")
+            w.ind += 1
+            if lpw != 1:
+                w.w(f"_hv *= {lpw}")
+            w.w("for _hx in range(len(_hb)):")
+            w.ind += 1
+            w.w("if _hv <= _hb[_hx]:")
+            w.ind += 1
+            w.w("_hc[_hx] += _hn")
+            w.w("break")
+            w.ind -= 2
+            w.w("else:")
+            w.ind += 1
+            w.w("_hc[-1] += _hn")
+            w.ind -= 1
+            w.w("hist.total += _hv * _hn")
+            w.w("hist.count += _hn")
+            w.ind -= 2
+    w.w("return PipelineResult(")
+    w.ind += 1
+    w.w("cycles=commit_cursor,")
+    w.w("instructions=retired,")
+    w.w("branch_mispredicts=mispredicts,")
+    w.w("mcq_stall_cycles=mcq_stall,")
+    w.w("rob_stall_cycles=rob_stall,")
+    w.w("lsq_stall_cycles=lsq_stall,")
+    w.w("validation_faults=faults,")
+    w.ind -= 1
+    w.w(")")
+    return w.source(), frozenset(handled)

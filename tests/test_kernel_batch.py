@@ -1,0 +1,253 @@
+"""The cross-cell lockstep batch driver (:mod:`repro.kernel.batch`).
+
+``run_batch`` advances many (workload, mechanism, seed) cells through the
+specialized kernel in lockstep — one structure-of-arrays driver loop
+instead of N sequential runs.  Its contract is the same byte-identity the
+solo dispatcher has: every batched result must equal what a per-cell
+``Simulator.run(kernel="specialized")`` call produces, which in turn
+equals the reference kernel.
+
+Covered here:
+
+- mixed batches (different workloads, mechanisms, seeds) byte-identical
+  to solo runs, in input order;
+- training admission: the first cell of an untrained profile trains
+  eagerly, later same-profile cells join the lockstep;
+- guard fallback *inside* a batch: an injected abort on one lane reruns
+  that cell on the reference kernel without disturbing sibling lanes;
+- traced cells route to the solo path (tracing never specializes);
+- ``BatchStats`` accounting for all of the above;
+- the experiment-suite surface: ``run_cells(batch=...)`` modes and
+  ``ExperimentSuite(batch=...)`` parity with per-cell runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler import lower_trace
+from repro.cpu.core import Simulator
+from repro.experiments.common import (
+    ExperimentSuite,
+    RunSettings,
+    _result_to_payload,
+    scaled_config,
+)
+from repro.experiments.parallel import CellSpec, run_cells
+from repro.kernel import specialize as sp
+from repro.kernel.batch import STATS as BATCH_STATS
+from repro.kernel.batch import BatchCell, run_batch
+from repro.obs import ObsSettings
+from repro.workloads import generate_trace, get_profile
+
+SEED = 7
+SCALE = 8
+
+
+def payload(result) -> str:
+    return json.dumps(_result_to_payload(result), sort_keys=True)
+
+
+def make_cell(workload: str, mechanism: str, seed: int = SEED,
+              instructions: int = 2500, label: str = "", **kwargs) -> BatchCell:
+    config = scaled_config(mechanism, SCALE)
+    trace = generate_trace(
+        get_profile(workload), instructions=instructions, seed=seed, scale=SCALE
+    )
+    lowered = lower_trace(trace, mechanism, config=config)
+    return BatchCell(
+        label=label or f"{workload}/{mechanism}/{seed}",
+        config=config,
+        lowered=lowered,
+        **kwargs,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    sp.clear_cache()
+    sp.STATS.reset()
+    BATCH_STATS.reset()
+    yield
+    sp.clear_cache()
+    sp.STATS.reset()
+    BATCH_STATS.reset()
+
+
+# ------------------------------------------------------------ byte identity
+
+
+def test_mixed_batch_matches_solo_and_reference():
+    """A mixed batch returns, in input order, exactly what solo runs do."""
+    cells = [
+        make_cell("gcc", "baseline"),
+        make_cell("gcc", "aos"),
+        make_cell("mcf", "aos"),
+        make_cell("povray", "mte", seed=11),
+        make_cell("gcc", "aos", seed=13),
+    ]
+    want = [
+        payload(Simulator(cell.config, kernel="reference").run(cell.lowered))
+        for cell in cells
+    ]
+    results = run_batch(cells)
+    assert [payload(r) for r in results] == want
+    # Re-run now that every profile is trained: all lanes lockstep.
+    results = run_batch(cells)
+    assert [payload(r) for r in results] == want
+    assert BATCH_STATS.lockstepped >= len(cells)
+
+
+def test_seed_sweep_shares_one_training_run():
+    """Cells differing only in seed: the first trains, the rest lockstep."""
+    cells = [make_cell("gcc", "aos", seed=s, label=f"s{s}") for s in (3, 5, 7)]
+    run_batch(cells)
+    assert BATCH_STATS.trained == 1
+    assert BATCH_STATS.lockstepped == 2
+    assert sp.STATS.trainings == 1
+
+
+def test_lockstep_interleaves_chunks():
+    """With all profiles warm, one batch drives multiple rounds — the
+    driver is actually interleaving chunks, not running cells serially."""
+    cells = [
+        make_cell("gcc", "aos", instructions=6000),
+        make_cell("mcf", "aos", instructions=6000),
+    ]
+    run_batch(cells)   # trains both profiles
+    BATCH_STATS.reset()
+    run_batch(cells)
+    assert BATCH_STATS.lockstepped == 2
+    # 6000 trace instructions lower to > 4096 µops, so each lane spans
+    # multiple chunks and the round counter exceeds one.
+    assert BATCH_STATS.rounds > 1
+
+
+# ------------------------------------------------------------ guard fallback
+
+
+def test_injected_abort_falls_back_one_lane_only():
+    """A targeted injection kills exactly one lane; its fallback result
+    and every sibling lane stay byte-identical to the reference."""
+    # The injection filter matches the lowered program name ("gcc:aos"),
+    # so "@gcc" fires on the first lane only.
+    cells = [
+        make_cell("gcc", "aos", instructions=6000, label="victim",
+                  guard_inject="after:1000@gcc"),
+        make_cell("mcf", "aos", instructions=6000, label="bystander",
+                  guard_inject="after:1000@gcc"),
+    ]
+    want = [
+        payload(Simulator(cell.config, kernel="reference").run(cell.lowered))
+        for cell in cells
+    ]
+    run_batch(cells)   # training pass (injection fires at chunk boundaries
+                       # of specialized runs only, never during training)
+    BATCH_STATS.reset()
+    aborts = sp.STATS.injected_aborts
+    results = run_batch(cells)
+    assert [payload(r) for r in results] == want
+    assert sp.STATS.injected_aborts == aborts + 1
+    assert BATCH_STATS.fell_back == 1
+    assert BATCH_STATS.lockstepped == 1
+
+
+def test_pre_run_guard_fallback_in_batch():
+    """A kinds-guard failure (stale specialization for the cell's name)
+    falls back before the lockstep starts; the result is still right."""
+    from repro.isa.instructions import Instruction, Op
+    from repro.isa.program import Program
+    from repro.kernel.flatten import flatten_program
+    from repro.cache.hierarchy import MemoryHierarchy
+
+    cell = make_cell("gcc", "baseline")
+    want = payload(Simulator(cell.config, kernel="reference").run(cell.lowered))
+    narrow = Program(
+        instructions=tuple(Instruction(op=Op.ALU) for _ in range(64)),
+        name=cell.lowered.name,
+    )
+    hierarchy = MemoryHierarchy(cell.config.memory, use_l1b=False)
+    profile = sp.build_profile(
+        flatten_program(narrow), cell.config, hierarchy, None,
+        (1 << 46) - 1, False, False,
+    )
+    sp.specialize(narrow.name, cell.config, hierarchy, None,
+                  (1 << 46) - 1, profile)
+    [result] = run_batch([cell])
+    assert payload(result) == want
+    assert BATCH_STATS.fell_back == 1
+    assert sp.STATS.last_guard == "kinds"
+
+
+# ---------------------------------------------------------------- solo route
+
+
+def test_traced_cell_routes_solo():
+    """A tracer on a cell forces the per-cell reference path (tracing
+    never specializes), counted as ``solo``."""
+    obs = ObsSettings(enabled=True, tracing=True).create()
+    cells = [
+        make_cell("gcc", "aos", obs=obs),
+        make_cell("gcc", "aos", seed=11),
+    ]
+    results = run_batch(cells)
+    assert BATCH_STATS.solo == 1
+    for cell, result in zip(cells, results):
+        want = Simulator(cell.config, kernel="reference").run(cell.lowered)
+        # The traced cell carries a metrics snapshot its obs-free reference
+        # twin lacks; the simulated measurements must still match exactly.
+        got_payload = _result_to_payload(result)
+        want_payload = _result_to_payload(want)
+        got_payload.pop("metrics", None)
+        want_payload.pop("metrics", None)
+        assert json.dumps(got_payload, sort_keys=True) == json.dumps(
+            want_payload, sort_keys=True
+        )
+
+
+# ------------------------------------------------------------- suite surface
+
+
+def test_run_cells_batch_modes_agree():
+    """``batch="auto"`` (specialized kernel), ``"always"`` and ``"never"``
+    all produce byte-identical result maps."""
+    settings = RunSettings(instructions=2500, kernel="specialized")
+    cells = [CellSpec("gcc", "aos"), CellSpec("gcc", "baseline"),
+             CellSpec("mcf", "aos")]
+    maps = {}
+    for mode in ("never", "auto", "always"):
+        sp.clear_cache()
+        maps[mode] = {
+            key: payload(result)
+            for key, result in run_cells(settings, cells, batch=mode).items()
+        }
+    assert maps["auto"] == maps["never"]
+    assert maps["always"] == maps["never"]
+
+
+def test_run_cells_rejects_bad_batch_mode():
+    with pytest.raises(ValueError):
+        run_cells(RunSettings(instructions=1000), [CellSpec("gcc", "aos")],
+                  batch="sometimes")
+
+
+def test_experiment_suite_batch_parity():
+    """ExperimentSuite(batch=...) returns the same results either way."""
+    settings = RunSettings(instructions=2500, kernel="specialized")
+    batched = ExperimentSuite(settings, batch="always")
+    solo = ExperimentSuite(settings, batch="never")
+    for workload, mechanism in (("gcc", "aos"), ("gcc", "baseline")):
+        assert payload(batched.result(workload, mechanism)) == payload(
+            solo.result(workload, mechanism)
+        )
+
+
+def test_batch_stats_cells_accounting():
+    cells = [make_cell("gcc", "baseline"), make_cell("gcc", "baseline", seed=11)]
+    run_batch(cells)
+    assert BATCH_STATS.batches == 1
+    assert BATCH_STATS.cells == 2
+    assert BATCH_STATS.trained + BATCH_STATS.lockstepped + BATCH_STATS.solo \
+        + BATCH_STATS.fell_back == 2

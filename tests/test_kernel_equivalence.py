@@ -1,22 +1,31 @@
-"""Conformance harness: the fast kernel is byte-identical to the reference.
+"""Conformance harness: every kernel is byte-identical to the reference.
 
 ``repro.kernel.fast`` is a flattened transcription of the reference
-scoreboard (:mod:`repro.cpu.pipeline`); its contract is *bit-exact*
-equivalence, not statistical agreement.  Every test here runs the same
-lowered workload through both kernels and compares the JSON-serialised
-:class:`SimulationResult` payloads byte for byte — cycles (floats included),
-cache summaries, traffic, MCU/HBT/BWB statistics and metrics snapshots.
+scoreboard (:mod:`repro.cpu.pipeline`); ``repro.kernel.specialize`` is
+trace-speculative generated code behind guards; ``repro.kernel.batch``
+advances many specialized runs in lockstep.  Their shared contract is
+*bit-exact* equivalence, not statistical agreement.  Every test here runs
+the same lowered workload through all four execution paths — reference,
+fast, specialized (training and steady-state) and batched — and compares
+the JSON-serialised :class:`SimulationResult` payloads byte for byte —
+cycles (floats included), cache summaries, traffic, MCU/HBT/BWB statistics
+and metrics snapshots.
 
 Coverage axes:
 
 - every workload profile (SPEC 2006 + real-world) x {baseline, aos};
-- one workload x every protection mechanism;
+- one workload x every timed mechanism in the registry (the grid is
+  registry-driven: a new plugin grows it automatically);
 - every AOS ablation flag (Fig. 15 axes) plus BWB eviction policy;
 - metrics-bearing observability (the fast path must publish the same
   counters) and tracing observability (the fast kernel must *delegate*);
 - fault-injected cells through the standard seams (dropped ``bndstr``,
   stalled migration, dropped HBT record);
 - the experiment-suite plumbing (``RunSettings.kernel`` -> workers/cache).
+
+The specialized kernel's own guard machinery (injection seam, fallback
+accounting, the native backend) is covered in tests/test_kernel_specialize.py
+and the lockstep driver in tests/test_kernel_batch.py.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from repro.experiments.common import (
     scaled_config,
 )
 from repro.kernel import KERNELS
+from repro.kernel.batch import BatchCell, run_batch
 from repro.kernel.fast import run_fast
 from repro.mechanisms import REGISTRY
 from repro.obs import ObsSettings
@@ -88,11 +98,26 @@ def simulate(kernel, workload, mechanism, instructions, config=None, key=None, o
 
 
 def assert_equivalent(workload, mechanism, instructions, config=None, key=None):
+    """All four execution paths, byte for byte.
+
+    The specialized kernel runs twice: the first call may be the training
+    run (executed on the fast path while the specialization compiles), the
+    second is the steady-state generated code — both must match.  The
+    batched path drives the same cell through the lockstep driver.
+    """
+    config = config or scaled_config(mechanism, SCALE)
     reference = simulate("reference", workload, mechanism, instructions, config, key)
+    want = payload(reference)
+    tag = f"{workload}/{mechanism} ({key or 'default'})"
     fast = simulate("fast", workload, mechanism, instructions, config, key)
-    assert payload(fast) == payload(reference), (
-        f"kernel divergence: {workload}/{mechanism} ({key or 'default'})"
-    )
+    assert payload(fast) == want, f"fast kernel divergence: {tag}"
+    training = simulate("specialized", workload, mechanism, instructions, config, key)
+    assert payload(training) == want, f"specialized (training) divergence: {tag}"
+    steady = simulate("specialized", workload, mechanism, instructions, config, key)
+    assert payload(steady) == want, f"specialized (steady) divergence: {tag}"
+    lowered = get_lowered(workload, mechanism, instructions, config, key=key)
+    [batched] = run_batch([BatchCell(label=tag, config=config, lowered=lowered)])
+    assert payload(batched) == want, f"batched divergence: {tag}"
     return reference
 
 
@@ -113,6 +138,14 @@ def test_equivalence_all_profiles(workload):
 def test_equivalence_all_mechanisms(mechanism):
     """One cache-stressing workload through every protection mechanism."""
     assert_equivalent("gcc", mechanism, instructions=6000)
+
+
+def test_mechanism_grid_is_complete():
+    """The equivalence grid covers every registered mechanism: timed ones
+    run through the kernels above; anything else must be explicitly
+    declared untimed (analytical models have no kernel to diverge)."""
+    assert set(ALL_MECHANISMS) | set(REGISTRY.untimed_names()) == set(REGISTRY.names())
+    assert len(REGISTRY.names()) >= 12
 
 
 # ------------------------------------------------------------- AOS ablations
@@ -156,7 +189,8 @@ def test_equivalence_with_metrics():
             kernel, "gcc", "aos", instructions=5000, obs=obs_settings.create()
         )
     assert results["fast"].metrics, "metrics snapshot missing"
-    assert payload(results["fast"]) == payload(results["reference"])
+    for kernel in KERNELS:
+        assert payload(results[kernel]) == payload(results["reference"]), kernel
 
 
 def test_fast_kernel_delegates_when_tracing():
@@ -256,7 +290,8 @@ def test_equivalence_through_experiment_suite():
     for kernel in KERNELS:
         suite = ExperimentSuite(RunSettings(instructions=4000, kernel=kernel))
         payloads[kernel] = payload(suite.result("mcf", "aos"))
-    assert payloads["fast"] == payloads["reference"]
+    for kernel in KERNELS:
+        assert payloads[kernel] == payloads["reference"], kernel
 
 
 def test_invalid_kernel_rejected():
@@ -291,9 +326,16 @@ def test_equivalence_on_corpus_scenarios(scenario):
             scenario, mechanism, seed=SEED, scale=SCALE, config=config
         )
         reference = Simulator(config, kernel="reference").run(lowered)
-        fast = Simulator(config, kernel="fast").run(lowered)
-        assert payload(fast) == payload(reference), (
-            f"kernel divergence on corpus scenario {scenario}/{mechanism}"
+        for kernel in ("fast", "specialized", "specialized"):
+            result = Simulator(config, kernel=kernel).run(lowered)
+            assert payload(result) == payload(reference), (
+                f"{kernel} divergence on corpus scenario {scenario}/{mechanism}"
+            )
+        [batched] = run_batch(
+            [BatchCell(label=scenario, config=config, lowered=lowered)]
+        )
+        assert payload(batched) == payload(reference), (
+            f"batched divergence on corpus scenario {scenario}/{mechanism}"
         )
 
 
@@ -310,4 +352,6 @@ def test_corpus_scenario_faults_visible_to_both_kernels():
         Simulator(config, kernel=kernel).run(lowered) for kernel in KERNELS
     ]
     assert results[0].validation_faults > 0
-    assert results[0].validation_faults == results[1].validation_faults
+    assert all(
+        r.validation_faults == results[0].validation_faults for r in results
+    )

@@ -1,0 +1,187 @@
+"""Property tests for program flattening and its memoisation contract.
+
+:mod:`repro.kernel.flatten` promises three things the kernels lean on:
+
+- **correctness**: the columnar view agrees with the instruction stream
+  (dispatch codes, addresses, resolved latencies, summary fields) for any
+  program — pinned property-based over random instruction streams;
+- **memoisation**: ``flatten_program`` runs once per :class:`Program`
+  instance, and :meth:`FlatProgram.derived` builds each derived column
+  exactly once per key — the specialized kernel and every batch lane share
+  the same objects instead of recomputing;
+- **immutability**: all columns are ``bytes``/tuples, so a buggy consumer
+  raises instead of corrupting a sibling run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import DEFAULT_LATENCY, Instruction, Op
+from repro.isa.program import Program
+from repro.kernel.flatten import (
+    KIND_BNDCLR,
+    KIND_BNDSTR,
+    KIND_BRANCH_MISS,
+    KIND_LOAD,
+    KIND_MARKER,
+    KIND_OTHER,
+    KIND_STORE,
+    KIND_WCHK,
+    FlatProgram,
+    flatten_program,
+)
+
+_OPS = st.sampled_from([
+    Op.LOAD, Op.STORE, Op.WCHK, Op.BRANCH, Op.BNDSTR, Op.BNDCLR,
+    Op.ALU, Op.MALLOC_MARK, Op.FREE_MARK,
+])
+
+_instruction = st.builds(
+    Instruction,
+    op=_OPS,
+    address=st.integers(min_value=0, max_value=1 << 47),
+    size=st.integers(min_value=1, max_value=512),
+    deps=st.lists(
+        st.integers(min_value=1, max_value=64), max_size=3
+    ).map(tuple),
+    latency=st.integers(min_value=0, max_value=30),
+    mispredicted=st.booleans(),
+)
+
+_programs = st.lists(_instruction, max_size=60).map(
+    lambda instructions: Program(instructions=tuple(instructions), name="fuzz")
+)
+
+_EXPECTED_KIND = {
+    Op.LOAD: KIND_LOAD,
+    Op.STORE: KIND_STORE,
+    Op.WCHK: KIND_WCHK,
+    Op.BNDSTR: KIND_BNDSTR,
+    Op.BNDCLR: KIND_BNDCLR,
+    Op.MALLOC_MARK: KIND_MARKER,
+    Op.FREE_MARK: KIND_MARKER,
+}
+
+
+@given(_programs)
+@settings(max_examples=60, deadline=None)
+def test_columns_agree_with_instructions(program):
+    flat = flatten_program(program)
+    assert flat.count == len(program)
+    for i, inst in enumerate(program):
+        if inst.op is Op.BRANCH:
+            expected = KIND_BRANCH_MISS if inst.mispredicted else KIND_OTHER
+        else:
+            expected = _EXPECTED_KIND.get(inst.op, KIND_OTHER)
+        assert flat.kinds[i] == expected
+        if expected == KIND_MARKER:
+            # Markers are pure bookkeeping: no operand reaches the kernels.
+            assert flat.addresses[i] == 0
+            assert flat.deps[i] == ()
+        else:
+            assert flat.addresses[i] == inst.address
+            assert flat.deps[i] == inst.deps
+        if expected in (KIND_BNDSTR, KIND_BNDCLR, KIND_BRANCH_MISS, KIND_OTHER):
+            want = float(inst.latency or DEFAULT_LATENCY[inst.op])
+            assert flat.latencies[i] == want
+    assert flat.kinds_present == frozenset(flat.kinds)
+    assert flat.max_address == (max(flat.addresses) if flat.addresses else 0)
+
+
+@given(_programs)
+@settings(max_examples=30, deadline=None)
+def test_flatten_is_memoized_per_program_instance(program):
+    assert flatten_program(program) is flatten_program(program)
+
+
+def test_distinct_program_instances_flatten_independently():
+    instructions = (Instruction(op=Op.LOAD, address=64),)
+    a, b = Program(instructions, name="a"), Program(instructions, name="b")
+    assert flatten_program(a) is not flatten_program(b)
+
+
+# ----------------------------------------------------------- derived columns
+
+
+def test_derived_builds_once_per_key():
+    flat = flatten_program(
+        Program((Instruction(op=Op.LOAD, address=64),), name="memo")
+    )
+    calls = []
+
+    def build(f: FlatProgram):
+        calls.append(f)
+        return ("column", len(calls))
+
+    first = flat.derived("key-a", build)
+    assert first == ("column", 1)
+    assert flat.derived("key-a", build) is first
+    assert calls == [flat]  # exactly one build, handed the flat view
+    # A different key builds separately.
+    assert flat.derived("key-b", build) == ("column", 2)
+    assert len(calls) == 2
+
+
+def test_derived_does_not_cache_across_programs():
+    instructions = (Instruction(op=Op.STORE, address=128),)
+    flat_a = flatten_program(Program(instructions, name="a"))
+    flat_b = flatten_program(Program(instructions, name="b"))
+    flat_a.derived("k", lambda f: "from-a")
+    assert flat_b.derived("k", lambda f: "from-b") == "from-b"
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=10, deadline=None)
+def test_derived_exceptions_do_not_poison_the_memo(n):
+    flat = flatten_program(
+        Program(
+            tuple(Instruction(op=Op.ALU) for _ in range(n)), name=f"p{n}"
+        )
+    )
+
+    def broken(f):
+        raise RuntimeError("builder failed")
+
+    with pytest.raises(RuntimeError):
+        flat.derived("volatile", broken)
+    # The failed build left no entry; a working builder still runs.
+    assert flat.derived("volatile", lambda f: "ok") == "ok"
+
+
+def test_spec_columns_memoized_via_derived():
+    """The specialized kernel's column build is keyed through derived():
+    one program, one geometry -> one SpecColumns object, shared."""
+    from repro.compiler import lower_trace
+    from repro.experiments.common import scaled_config
+    from repro.kernel import specialize as sp
+    from repro.workloads import generate_trace, get_profile
+
+    config = scaled_config("aos", 8)
+    trace = generate_trace(
+        get_profile("gcc"), instructions=1500, seed=7, scale=8
+    )
+    lowered = lower_trace(trace, "aos", config=config)
+    flat = flatten_program(lowered.program)
+    layout = sp._mcu_layout(None)
+    first = sp.spec_columns(flat, (1 << 46) - 1, 6, 16, layout)
+    assert sp.spec_columns(flat, (1 << 46) - 1, 6, 16, layout) is first
+    # A different geometry misses the memo and builds fresh columns.
+    assert sp.spec_columns(flat, (1 << 46) - 1, 6, 32, layout) is not first
+
+
+# --------------------------------------------------------------- immutability
+
+
+def test_columns_are_immutable():
+    flat = flatten_program(
+        Program((Instruction(op=Op.LOAD, address=64),), name="frozen")
+    )
+    with pytest.raises(TypeError):
+        flat.kinds[0] = 9  # bytes
+    with pytest.raises(TypeError):
+        flat.addresses[0] = 1  # tuple
+    with pytest.raises((AttributeError, TypeError)):
+        flat.count = 99  # frozen dataclass

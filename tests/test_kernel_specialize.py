@@ -1,0 +1,424 @@
+"""Guard machinery and differential fuzz for the trace-speculative kernel.
+
+tests/test_kernel_equivalence.py pins the broad byte-identity grid; this
+file owns everything specific to :mod:`repro.kernel.specialize`:
+
+- the **differential equivalence-fuzz sweep**: seeded random programs
+  (trace generator seeds x workloads x mechanisms) through reference x
+  fast x specialized x batched, byte for byte — including cells where a
+  guard failure is *forced* through the injection seam, which must fall
+  back to the reference kernel with identical results;
+- the **guard taxonomy**: geometry / kinds / deps pre-run guards raise
+  :class:`GuardAbort` before any state is touched, and the injection seam
+  (``RunSettings.guard_inject`` / ``REPRO_GUARD_INJECT``) aborts
+  deterministically mid-run;
+- **accounting**: aborts count ``kernel.guard_abort`` (and the per-guard
+  counter) in the metrics registry, and the module ``STATS`` track
+  trainings / compiles / cache hits / aborts;
+- the **specialization cache**: keyed by program family x config digest x
+  registry fingerprint x codegen version;
+- the **native (C) backend**: attached only to MCU-free profiles, forced
+  off via ``REPRO_SPEC_CBACKEND=off``, byte-identical to the generated
+  Python kernel whenever both are available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.compiler import lower_trace
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.core import GUARD_INJECT_ENV, Simulator
+from repro.experiments.common import (
+    ExperimentSuite,
+    RunSettings,
+    _result_to_payload,
+    scaled_config,
+)
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+from repro.kernel import specialize as sp
+from repro.kernel import specialize_cgen as cgen
+from repro.kernel.batch import BatchCell, run_batch
+from repro.kernel.flatten import flatten_program
+from repro.obs import ObsSettings
+from repro.workloads import generate_trace, get_profile
+
+SEED = 7
+SCALE = 8
+
+
+def payload(result) -> str:
+    return json.dumps(_result_to_payload(result), sort_keys=True)
+
+
+def make_lowered(workload: str, mechanism: str, instructions: int = 2500,
+                 seed: int = SEED, config=None):
+    config = config or scaled_config(mechanism, SCALE)
+    trace = generate_trace(
+        get_profile(workload), instructions=instructions, seed=seed, scale=SCALE
+    )
+    return config, lower_trace(trace, mechanism, config=config)
+
+
+def wire(config, lowered):
+    """Mirror Simulator._wire: fresh run state from one lowered workload."""
+    from repro.core.mcu import MemoryCheckUnit
+
+    program = lowered.program
+    hbt = lowered.hbt
+    layout = lowered.pointer_layout
+    uses_aos = hbt is not None and layout is not None
+    hierarchy = MemoryHierarchy(
+        config.memory, use_l1b=uses_aos and config.aos.l1b_cache
+    )
+    va_mask = layout.va_mask if layout is not None else (1 << 46) - 1
+    mcu = None
+    if uses_aos:
+        mcu = MemoryCheckUnit(
+            hbt=hbt,
+            layout=layout,
+            options=config.aos,
+            bwb_config=config.bwb,
+            mcq_capacity=config.core.mcq_entries,
+            bounds_access=hierarchy.access_bounds,
+        )
+    return program, hierarchy, mcu, va_mask, hbt
+
+
+def train(config, lowered, name=None):
+    """One training pass via the direct API; returns the compiled spec."""
+    from repro.kernel.fast import run_fast
+
+    program, hierarchy, mcu, va_mask, _ = wire(config, lowered)
+    result = run_fast(config, hierarchy, mcu, va_mask, None, program)
+    profile = sp.build_profile(
+        flatten_program(program), config, hierarchy, mcu, va_mask,
+        result.validation_faults > 0, False,
+    )
+    return sp.specialize(name or program.name, config, hierarchy, mcu,
+                         va_mask, profile)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_spec_state():
+    """Each test sees a cold specialization cache and zeroed stats."""
+    sp.clear_cache()
+    sp.STATS.reset()
+    yield
+    sp.clear_cache()
+    sp.STATS.reset()
+
+
+# ------------------------------------------------ differential fuzz sweep
+
+#: Seeded random programs: each tuple is one fuzz cell.  Seeds vary the
+#: generated trace (allocation pattern, access mix, mispredict placement),
+#: the workload x mechanism axes vary the dispatch-code profile.
+FUZZ_CELLS = [
+    ("gcc", "baseline", 11), ("gcc", "aos", 13), ("gcc", "mte", 17),
+    ("mcf", "aos", 19), ("povray", "pa", 23), ("gobmk", "pa+aos", 29),
+    ("omnetpp", "aos", 31), ("mysql", "baseline", 37),
+]
+
+
+@pytest.mark.parametrize("workload,mechanism,seed", FUZZ_CELLS)
+def test_fuzz_seeded_programs_all_paths(workload, mechanism, seed):
+    """Seeded random programs: all four execution paths byte-identical."""
+    config, lowered = make_lowered(workload, mechanism, seed=seed)
+    reference = Simulator(config, kernel="reference").run(lowered)
+    want = payload(reference)
+    assert payload(Simulator(config, kernel="fast").run(lowered)) == want
+    simulator = Simulator(config, kernel="specialized")
+    assert payload(simulator.run(lowered)) == want  # training run
+    assert payload(simulator.run(lowered)) == want  # generated kernel
+    [batched] = run_batch(
+        [BatchCell(label=f"{workload}/{mechanism}", config=config,
+                   lowered=lowered)]
+    )
+    assert payload(batched) == want
+
+
+@pytest.mark.parametrize("workload,mechanism,seed", FUZZ_CELLS[:4])
+def test_fuzz_forced_guard_failure_falls_back_byte_identical(
+    workload, mechanism, seed
+):
+    """Same sweep with a forced mid-run abort: the fallback rerun must be
+    byte-identical too, and the abort must be accounted.
+
+    The generated kernels only re-check the seam at 4096-instruction chunk
+    boundaries, so the programs here must span at least one boundary for
+    ``after:1000`` to fire.
+    """
+    config, lowered = make_lowered(workload, mechanism, seed=seed,
+                                   instructions=6000)
+    want = payload(Simulator(config, kernel="reference").run(lowered))
+    simulator = Simulator(config, kernel="specialized",
+                          guard_inject="after:1000")
+    assert payload(simulator.run(lowered)) == want  # training (no abort)
+    before = sp.STATS.injected_aborts
+    assert payload(simulator.run(lowered)) == want  # aborts, falls back
+    assert sp.STATS.injected_aborts == before + 1
+    assert sp.STATS.last_guard == "injected"
+
+
+# ----------------------------------------------------------- injection seam
+
+
+def test_parse_injection_grammar():
+    parse = sp.parse_injection
+    assert parse("", "any") == -1
+    assert parse("entry", "any") == 0
+    assert parse("after:4096", "any") == 4096
+    assert parse("after:-3", "any") == 0  # clamped, still fires
+    assert parse("entry@gcc", "gcc:aos") == 0
+    assert parse("entry@povray", "gcc:aos") == -1  # name filter misses
+    with pytest.raises(ValueError):
+        parse("after:soon", "any")
+    with pytest.raises(ValueError):
+        parse("sometimes", "any")
+
+
+def test_injection_counts_metrics_and_falls_back():
+    """An injected abort counts ``kernel.guard_abort`` (plus the per-guard
+    counter) in the metrics registry and the result is still identical."""
+    config, lowered = make_lowered("gcc", "aos")
+    want = payload(Simulator(config, kernel="reference").run(lowered))
+    Simulator(config, kernel="specialized").run(lowered)  # train
+    obs = ObsSettings(enabled=True, tracing=False).create()
+    result = Simulator(config, obs=obs, kernel="specialized",
+                       guard_inject="entry").run(lowered)
+    counters = obs.registry.snapshot()["counters"]
+    assert counters["kernel.guard_abort"] == 1
+    assert counters["kernel.guard_abort.injected"] == 1
+    assert json.loads(payload(result))["pipeline"] == json.loads(want)["pipeline"]
+
+
+def test_injection_env_fallback(monkeypatch):
+    """REPRO_GUARD_INJECT arms the seam without code changes (CI surface)."""
+    config, lowered = make_lowered("gcc", "baseline")
+    Simulator(config, kernel="specialized").run(lowered)  # train
+    monkeypatch.setenv(GUARD_INJECT_ENV, "entry")
+    before = sp.STATS.injected_aborts
+    Simulator(config, kernel="specialized").run(lowered)
+    assert sp.STATS.injected_aborts == before + 1
+
+
+def test_injection_name_filter_spares_other_cells():
+    """A targeted injection spec only fires on matching program names."""
+    config, lowered = make_lowered("gcc", "baseline")
+    simulator = Simulator(config, kernel="specialized",
+                          guard_inject="entry@povray")
+    simulator.run(lowered)  # train
+    before = sp.STATS.guard_aborts
+    simulator.run(lowered)  # gcc cell: filter misses, no abort
+    assert sp.STATS.guard_aborts == before
+
+
+def test_run_settings_guard_inject_through_suite():
+    """RunSettings.guard_inject reaches the kernel through the suite path
+    and the aborted cell still reports reference-identical results."""
+    reference = ExperimentSuite(
+        RunSettings(instructions=3000, kernel="reference")
+    ).result("gcc", "aos")
+    settings = RunSettings(
+        instructions=3000, kernel="specialized", guard_inject="after:500"
+    )
+    suite = ExperimentSuite(settings)
+    suite.result("gcc", "aos")  # training
+    aborted = suite.result("gcc", "aos")
+    assert payload(aborted) == payload(reference)
+
+
+# ------------------------------------------------------------ guard taxonomy
+
+
+def test_geometry_guard_rejects_mismatched_hierarchy():
+    config, lowered = make_lowered("gcc", "aos")
+    spec = train(config, lowered)
+    other_config = scaled_config("aos", SCALE // 2)  # different geometry
+    program, hierarchy, mcu, va_mask, _ = wire(other_config, lowered)
+    with pytest.raises(sp.GuardAbort) as excinfo:
+        sp.start_specialized(spec, other_config, hierarchy, mcu, va_mask, program)
+    assert excinfo.value.guard == "geometry"
+
+
+def test_kinds_guard_rejects_untrained_codes():
+    """A kernel trained on an ALU-only profile refuses a program with
+    loads (untrained dispatch code) before running anything."""
+    config, lowered = make_lowered("gcc", "baseline")
+    program, hierarchy, mcu, va_mask, _ = wire(config, lowered)
+    narrow = Program(
+        instructions=tuple(Instruction(op=Op.ALU) for _ in range(64)),
+        name="alu-only",
+    )
+    profile = sp.build_profile(
+        flatten_program(narrow), config, hierarchy, mcu, va_mask, False, False
+    )
+    spec = sp.specialize("alu-only", config, hierarchy, mcu, va_mask, profile)
+    with pytest.raises(sp.GuardAbort) as excinfo:
+        sp.start_specialized(spec, config, hierarchy, mcu, va_mask, program)
+    assert excinfo.value.guard == "kinds"
+
+
+def test_deps_guard_rejects_zero_distance_dependency():
+    """A literal 0 dep distance (self-dependency) cannot use the fast
+    truthiness dispatch; the deps guard refuses the program."""
+    config, lowered = make_lowered("gcc", "baseline")
+    spec = train(config, lowered)
+    weird = Program(
+        instructions=tuple(
+            Instruction(op=Op.ALU, deps=(0,)) for _ in range(8)
+        ),
+        name="self-dep",
+    )
+    program, hierarchy, mcu, va_mask, _ = wire(config, lowered)
+    with pytest.raises(sp.GuardAbort) as excinfo:
+        sp.start_specialized(spec, config, hierarchy, mcu, va_mask, weird)
+    assert excinfo.value.guard == "deps"
+
+
+def test_simulator_falls_back_on_guard_abort_byte_identical():
+    """Through the Simulator, a pre-run guard failure (kinds) reruns the
+    cell on the reference kernel with byte-identical output."""
+    config, lowered = make_lowered("gcc", "aos")
+    want = payload(Simulator(config, kernel="reference").run(lowered))
+    # Train on a narrower program under the *same* cache key, so the real
+    # program trips the kinds guard on its next specialized run.
+    narrow = Program(
+        instructions=tuple(Instruction(op=Op.ALU) for _ in range(64)),
+        name=lowered.name,  # the Simulator's cache key uses lowered.name
+    )
+    program, hierarchy, mcu, va_mask, _ = wire(config, lowered)
+    profile = sp.build_profile(
+        flatten_program(narrow), config, hierarchy, mcu, va_mask, False, False
+    )
+    sp.specialize(narrow.name, config, hierarchy, mcu, va_mask, profile)
+    before = sp.STATS.guard_aborts
+    result = Simulator(config, kernel="specialized").run(lowered)
+    assert sp.STATS.guard_aborts == before + 1
+    assert sp.STATS.last_guard == "kinds"
+    assert payload(result) == want
+
+
+# -------------------------------------------------------------------- cache
+
+
+def test_specialization_cache_hits_and_reset():
+    config, lowered = make_lowered("gcc", "baseline")
+    simulator = Simulator(config, kernel="specialized")
+    simulator.run(lowered)
+    assert sp.STATS.trainings == 1
+    assert sp.cache_size() == 1
+    hits = sp.STATS.cache_hits
+    simulator.run(lowered)
+    assert sp.STATS.cache_hits > hits
+    assert sp.STATS.trainings == 1  # no retraining
+    sp.clear_cache()
+    assert sp.cache_size() == 0
+    simulator.run(lowered)
+    assert sp.STATS.trainings == 2  # cold cache retrains
+
+
+def test_specialization_key_axes():
+    """The cache key separates program family, config and codegen version."""
+    config_a = scaled_config("aos", SCALE)
+    config_b = scaled_config("mte", SCALE)
+    key = sp.specialization_key("gcc:aos", config_a)
+    assert f"v{sp.SPEC_VERSION}" in key
+    assert key != sp.specialization_key("mcf:aos", config_a)
+    assert key != sp.specialization_key("gcc:aos", config_b)
+    assert key == sp.specialization_key("gcc:aos", config_a)
+
+
+def test_seed_sharing_one_specialization_many_seeds():
+    """Cells differing only in seed share one compiled specialization."""
+    config = scaled_config("baseline", SCALE)
+    simulator = Simulator(config, kernel="specialized")
+    for seed in (3, 5, 11):
+        _, lowered = make_lowered("gcc", "baseline", seed=seed, config=config)
+        simulator.run(lowered)
+    assert sp.STATS.trainings == 1
+    assert sp.STATS.compiles == 1
+
+
+# ---------------------------------------------------------- native backend
+
+_HAS_CC = cgen._find_cc() is not None
+
+
+@pytest.mark.skipif(not _HAS_CC, reason="no C compiler on this host")
+def test_cbackend_attaches_only_to_mcu_free_profiles():
+    config, lowered = make_lowered("gcc", "baseline")
+    assert train(config, lowered).cfn is not None
+    config_aos, lowered_aos = make_lowered("gcc", "aos")
+    assert train(config_aos, lowered_aos).cfn is None  # MCU profile
+
+
+@pytest.mark.skipif(not _HAS_CC, reason="no C compiler on this host")
+def test_cbackend_byte_identical_to_python_kernel(monkeypatch):
+    """The differential seam: the same compiled specialization, run once
+    through the generated Python and once through the C library, produces
+    byte-identical results and cache state."""
+    config, lowered = make_lowered("gcc", "baseline", instructions=4000)
+    spec = train(config, lowered)
+    assert spec.cfn is not None and spec.csource
+    states = {}
+    for mode in ("off", "auto"):
+        monkeypatch.setenv(cgen.ENV_SWITCH, mode)
+        program, hierarchy, mcu, va_mask, _ = wire(config, lowered)
+        result = sp.run_specialized(spec, config, hierarchy, mcu, va_mask,
+                                    program)
+        states[mode] = json.dumps(
+            {
+                "pipeline": dataclasses.asdict(result),
+                "cache": hierarchy.summary(),
+                "l1d_sets": [list(s.items()) for s in hierarchy.l1d._sets],
+                "l2_sets": [list(s.items()) for s in hierarchy.l2._sets],
+            },
+            sort_keys=True,
+        )
+    assert states["off"] == states["auto"]
+
+
+@pytest.mark.skipif(not _HAS_CC, reason="no C compiler on this host")
+def test_cbackend_off_switch_and_run_accounting(monkeypatch):
+    config, lowered = make_lowered("gcc", "baseline")
+    simulator = Simulator(config, kernel="specialized")
+    simulator.run(lowered)  # train (attaches the backend)
+    assert sp.STATS.c_compiles == 1
+    monkeypatch.setenv(cgen.ENV_SWITCH, "off")
+    simulator.run(lowered)
+    assert sp.STATS.c_runs == 0
+    monkeypatch.setenv(cgen.ENV_SWITCH, "auto")
+    simulator.run(lowered)
+    assert sp.STATS.c_runs == 1
+
+
+@pytest.mark.skipif(not _HAS_CC, reason="no C compiler on this host")
+def test_cbackend_honours_injection_seam():
+    """The C runner yields at the same chunk boundaries, so the injection
+    seam aborts it exactly like the Python kernel — and the fallback is
+    still byte-identical."""
+    config, lowered = make_lowered("gcc", "baseline", instructions=6000)
+    want = payload(Simulator(config, kernel="reference").run(lowered))
+    simulator = Simulator(config, kernel="specialized",
+                          guard_inject="after:1000")
+    simulator.run(lowered)  # train
+    before = sp.STATS.injected_aborts
+    assert payload(simulator.run(lowered)) == want
+    assert sp.STATS.injected_aborts == before + 1
+
+
+def test_cbackend_eligibility_predicate():
+    """MCU profiles, marker-bearing profiles and rob-overflow profiles are
+    all ineligible regardless of compiler availability."""
+    g = {"rob_merge": True, "lq": 32, "sq": 32}
+    assert cgen.eligible({1, 2, 4, 7}, g, None)
+    assert not cgen.eligible({1, 2, 4, 7}, g, object())  # has MCU
+    assert not cgen.eligible({1, 2, 4, 7, 8}, g, None)   # signed loads
+    assert not cgen.eligible(set(), g, None)             # empty profile
+    assert not cgen.eligible({1, 7}, dict(g, rob_merge=False), None)
